@@ -1,0 +1,48 @@
+//! Criterion bench: cost of the `Ad_i` lower-bound campaign (Lemma 1) as a
+//! function of the number of writers — the harness itself must scale so the
+//! Figure 2 / Theorem 6 / Theorem 8 experiments stay cheap to regenerate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regemu_adversary::LowerBoundCampaign;
+use regemu_bounds::Params;
+use regemu_core::SpaceOptimalEmulation;
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary/lemma1_campaign");
+    group.sample_size(10);
+    for k in [2usize, 4, 8] {
+        let params = Params::new(k, 1, 4).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &params, |b, &params| {
+            b.iter(|| {
+                let emulation = SpaceOptimalEmulation::new(params);
+                let report = LowerBoundCampaign::new(&emulation).run(&emulation).unwrap();
+                assert!(report.satisfies_coverage_growth());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_adversarial_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversary/single_iteration");
+    group.sample_size(20);
+    for (k, f, n) in [(2usize, 1usize, 3usize), (4, 2, 8)] {
+        let params = Params::new(k, f, n).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_f{f}_n{n}")),
+            &params,
+            |b, &params| {
+                b.iter(|| {
+                    let emulation = SpaceOptimalEmulation::new(params);
+                    let campaign = LowerBoundCampaign::new(&emulation).with_writes(1);
+                    let report = campaign.run(&emulation).unwrap();
+                    assert_eq!(report.iterations.len(), 1);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_single_adversarial_write);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: contended throughput of the CAS-based max-register
+//! (Algorithm 1) versus the fetch-max baseline — the time/space trade-off of
+//! the paper's discussion section, measured on real threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use regemu_core::{CasMaxRegister, FetchMaxRegister, SharedMaxRegister};
+use std::sync::Arc;
+
+const WRITES_PER_THREAD: u64 = 2_000;
+
+fn contended_writes(reg: Arc<dyn SharedMaxRegister>, threads: usize) {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let reg = reg.clone();
+            std::thread::spawn(move || {
+                for i in 0..WRITES_PER_THREAD {
+                    reg.write_max(t as u64 * 1_000_000 + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_contended_write_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cas_max_register/contended_write_max");
+    for threads in [1usize, 2, 4] {
+        group.throughput(Throughput::Elements(threads as u64 * WRITES_PER_THREAD));
+        group.bench_with_input(BenchmarkId::new("cas_algorithm1", threads), &threads, |b, &threads| {
+            b.iter(|| contended_writes(Arc::new(CasMaxRegister::new(0)), threads));
+        });
+        group.bench_with_input(BenchmarkId::new("fetch_max", threads), &threads, |b, &threads| {
+            b.iter(|| contended_writes(Arc::new(FetchMaxRegister::new(0)), threads));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contended_write_max);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: single-threaded operation cost of the shared-memory
+//! max-register implementations (Theorem 2's collect construction, the CAS
+//! construction of Appendix B, and the fetch-max baseline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use regemu_core::{CasMaxRegister, CollectMaxRegister, FetchMaxRegister, SharedMaxRegister};
+use std::sync::Arc;
+
+fn bench_write_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_memory/write_max");
+    let implementations: Vec<(&str, Arc<dyn SharedMaxRegister>)> = vec![
+        ("fetch_max", Arc::new(FetchMaxRegister::new(0))),
+        ("cas_algorithm1", Arc::new(CasMaxRegister::new(0))),
+        ("collect_k16", Arc::new(CollectMaxRegister::new(16, 0))),
+    ];
+    for (name, reg) in implementations {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &reg, |b, reg| {
+            let mut value = 0u64;
+            b.iter(|| {
+                value += 1;
+                reg.write_max(value);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_memory/read_max");
+    // Read cost grows with k for the collect construction (it scans k
+    // registers) but is constant for CAS/fetch-max — the other side of the
+    // space/time trade-off.
+    for k in [1usize, 16, 64, 256] {
+        let reg = CollectMaxRegister::new(k, 0);
+        group.bench_with_input(BenchmarkId::new("collect", k), &reg, |b, reg| {
+            b.iter(|| reg.read_max());
+        });
+    }
+    let cas = CasMaxRegister::new(0);
+    group.bench_with_input(BenchmarkId::new("cas_algorithm1", 1), &cas, |b, reg| {
+        b.iter(|| reg.read_max());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_max, bench_read_max);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Criterion bench: raw throughput of the fault-prone shared-memory
+//! simulation engine (trigger + deliver cycles), so regressions in the
+//! substrate are visible independently of the emulation algorithms.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use regemu_fpsm::prelude::*;
+
+/// A client that keeps one read outstanding against each register and
+/// completes after a fixed number of acknowledgements.
+struct FanoutClient {
+    targets: Vec<ObjectId>,
+    remaining: usize,
+}
+
+impl ClientProtocol for FanoutClient {
+    fn on_invoke(&mut self, _op: HighOp, ctx: &mut Context<'_>) {
+        for b in &self.targets {
+            ctx.trigger(*b, BaseOp::Read);
+        }
+    }
+
+    fn on_response(&mut self, _delivery: Delivery, ctx: &mut Context<'_>) {
+        self.remaining = self.remaining.saturating_sub(1);
+        if self.remaining == 0 && !ctx.has_completed() {
+            ctx.complete(HighResponse::ReadValue(0));
+        }
+    }
+}
+
+fn build(servers: usize) -> Simulation {
+    let mut topology = Topology::new(servers);
+    topology.add_object_per_server(ObjectKind::Register);
+    Simulation::new(topology, SimConfig::unchecked())
+}
+
+fn bench_invoke_deliver_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine/invoke_deliver_cycle");
+    for servers in [3usize, 9, 27] {
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &servers| {
+            b.iter_batched(
+                || {
+                    let mut sim = build(servers);
+                    let targets: Vec<ObjectId> = sim.topology().objects().collect();
+                    let client = sim.register_client(Box::new(FanoutClient {
+                        targets,
+                        remaining: servers,
+                    }));
+                    (sim, client)
+                },
+                |(mut sim, client)| {
+                    let op = sim.invoke(client, HighOp::Read).unwrap();
+                    let pending: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+                    for op_id in pending {
+                        sim.deliver(op_id).unwrap();
+                    }
+                    assert!(sim.result_of(op).is_some());
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_fair_driver_quiescence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine/fair_driver_quiescence");
+    for servers in [5usize, 25] {
+        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &servers| {
+            b.iter_batched(
+                || {
+                    let mut sim = build(servers);
+                    let targets: Vec<ObjectId> = sim.topology().objects().collect();
+                    let client = sim.register_client(Box::new(FanoutClient {
+                        targets,
+                        remaining: servers,
+                    }));
+                    sim.invoke(client, HighOp::Read).unwrap();
+                    (sim, FairDriver::new(7))
+                },
+                |(mut sim, mut driver)| {
+                    driver.run_until_quiescent(&mut sim, 10_000).unwrap();
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_invoke_deliver_cycle, bench_fair_driver_quiescence);
+criterion_main!(benches);

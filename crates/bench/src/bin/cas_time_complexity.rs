@@ -1,0 +1,15 @@
+//! Regenerates the **Section 5 discussion** measurement: the max-register
+//! from a single CAS (Algorithm 1) trades space for time — the number of CAS
+//! attempts per `write-max` grows with write concurrency, whereas a native
+//! max-register always needs exactly one operation.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin cas_time_complexity
+//! ```
+
+use regemu_bench::experiments::cas_time_complexity;
+
+fn main() {
+    println!("{}", cas_time_complexity(&[1, 2, 4, 8], 20_000));
+    println!("(a native max-register performs exactly 1 operation per write-max, independent of concurrency)");
+}

@@ -1,0 +1,20 @@
+//! Regenerates **Figure 1** of the paper: a possible mapping from the
+//! register sets `R` to the servers `S` for `n = 6`, `k = 5`, `f = 2`
+//! (plus a few other parameter choices for comparison).
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin figure1
+//! ```
+
+use regemu_bench::experiments::figure1;
+use regemu_bounds::Params;
+
+fn main() {
+    // The exact parameterization shown in the paper.
+    println!("{}", figure1(Params::new(5, 2, 6).expect("paper parameters")));
+
+    // Two further layouts showing how the sets shrink as servers are added.
+    for (k, f, n) in [(5usize, 2usize, 9usize), (5, 2, 16)] {
+        println!("{}", figure1(Params::new(k, f, n).expect("valid parameters")));
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the run construction of **Figure 2 / Lemma 1 / Theorem 1**:
+//! the `Ad_i` adversary forces every completed write to leave `f` more
+//! registers covered, so coverage reaches `k·f` after `k` writes — while the
+//! max-register baseline stays flat.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin figure2_coverage
+//! ```
+
+use regemu_bench::experiments::figure2_coverage;
+use regemu_bounds::{register_lower_bound, register_upper_bound, Params};
+
+fn main() {
+    for (k, f, n) in [(4usize, 1usize, 3usize), (6, 1, 4), (4, 2, 6)] {
+        let params = Params::new(k, f, n).expect("valid parameters");
+        println!("{}", figure2_coverage(params));
+        println!(
+            "paper bounds at {params}: lower = {}, upper = {}\n",
+            register_lower_bound(params),
+            register_upper_bound(params)
+        );
+    }
+}

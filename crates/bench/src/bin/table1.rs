@@ -1,0 +1,22 @@
+//! Regenerates **Table 1** of the paper: lower/upper bounds on the number of
+//! base objects per base-object type, next to the measured resource
+//! consumption of the implemented emulations.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin table1            # small sweep
+//! cargo run -p regemu-bench --bin table1 -- --full  # full sweep
+//! ```
+
+use regemu_bench::experiments::table1;
+use regemu_workloads::{small_sweep, standard_sweep};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sweep = if full { standard_sweep() } else { small_sweep() };
+    println!("{}", table1(&sweep));
+    println!(
+        "Closed-form bounds (Table 1):\n  max-register: 2f+1   CAS: 2f+1\n  \
+         read/write register: lower kf + ceil(kf/(n-(f+1)))*(f+1), \
+         upper kf + ceil(k/floor((n-(f+1))/f))*(f+1)"
+    );
+}

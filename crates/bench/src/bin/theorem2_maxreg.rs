@@ -1,0 +1,12 @@
+//! Regenerates the **Theorem 2** comparison: a `k`-writer max-register needs
+//! at least `k` read/write registers (and exactly one CAS object suffices).
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin theorem2_maxreg
+//! ```
+
+use regemu_bench::experiments::theorem2_max_register;
+
+fn main() {
+    println!("{}", theorem2_max_register(&[1, 2, 4, 8, 16, 32, 64]));
+}

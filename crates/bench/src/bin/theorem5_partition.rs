@@ -1,0 +1,13 @@
+//! Regenerates the **Theorem 5** demonstration: with `n = 2f` servers the
+//! partitioning schedule makes a read miss a preceding write (WS-Safety
+//! violation); with `n = 2f + 1` the same schedule is safe.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin theorem5_partition
+//! ```
+
+use regemu_bench::experiments::theorem5_partition;
+
+fn main() {
+    println!("{}", theorem5_partition(&[1, 2, 3, 4]));
+}

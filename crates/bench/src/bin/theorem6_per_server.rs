@@ -1,0 +1,16 @@
+//! Regenerates the **Theorem 6** audit: with `n = 2f + 1` servers every
+//! server must store at least `k` registers; the layout provisions exactly
+//! `k` per server and the adversary pins `k` covered registers on one server.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin theorem6_per_server
+//! ```
+
+use regemu_bench::experiments::theorem6_per_server;
+
+fn main() {
+    for f in [1usize, 2] {
+        println!("{}", theorem6_per_server(&[1, 2, 3, 4, 6], f));
+        println!();
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates the **Theorem 7** table: minimum number of servers when every
+//! server stores at most `m` registers, compared with the smallest `n` at
+//! which Algorithm 2's layout fits the per-server budget.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin theorem7_bounded_storage
+//! ```
+
+use regemu_bench::experiments::theorem7_bounded_storage;
+
+fn main() {
+    for (k, f) in [(4usize, 1usize), (6, 1), (4, 2)] {
+        println!("{}", theorem7_bounded_storage(k, f, &[1, 2, 3, 4, 8]));
+        println!();
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the **Theorem 8** evidence: along the adversarial
+//! write-sequential run the point contention stays 1 while the resource
+//! consumption grows linearly with the number of writes — so no function of
+//! point contention can bound the space of a fault-tolerant emulation.
+//!
+//! ```text
+//! cargo run -p regemu-bench --bin theorem8_contention
+//! ```
+
+use regemu_bench::experiments::theorem8_contention;
+use regemu_bounds::Params;
+
+fn main() {
+    for (k, f, n) in [(8usize, 1usize, 3usize), (6, 2, 5)] {
+        println!("{}", theorem8_contention(Params::new(k, f, n).expect("valid parameters")));
+        println!();
+    }
+}

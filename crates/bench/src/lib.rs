@@ -1,0 +1,391 @@
+//! # regemu-bench — experiment harness
+//!
+//! Library backing the experiment binaries (`src/bin/*`) and Criterion
+//! benches (`benches/*`) that regenerate every table and figure of Chockler &
+//! Spiegelman (PODC 2017). Each public function in [`experiments`] produces
+//! the data behind one artifact of the paper; the binaries only print it.
+//!
+//! | paper artifact | function | binary |
+//! |---|---|---|
+//! | Table 1 | [`experiments::table1`] | `table1` |
+//! | Figure 1 | [`experiments::figure1`] | `figure1` |
+//! | Figure 2 / Lemma 1 / Theorem 1 | [`experiments::figure2_coverage`] | `figure2_coverage` |
+//! | Theorem 2 | [`experiments::theorem2_max_register`] | `theorem2_maxreg` |
+//! | Theorem 5 | [`experiments::theorem5_partition`] | `theorem5_partition` |
+//! | Theorem 6 | [`experiments::theorem6_per_server`] | `theorem6_per_server` |
+//! | Theorem 7 | [`experiments::theorem7_bounded_storage`] | `theorem7_bounded_storage` |
+//! | Theorem 8 | [`experiments::theorem8_contention`] | `theorem8_contention` |
+//! | §5 time/space trade-off | [`experiments::cas_time_complexity`] | `cas_time_complexity` |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Experiment implementations, one per table/figure/theorem of the paper.
+pub mod experiments {
+    use regemu_adversary::{demonstrate_partition, LowerBoundCampaign};
+    use regemu_bounds::{
+        cas_bound, max_register_bound, max_register_from_registers_lower_bound,
+        register_lower_bound, register_upper_bound, servers_needed_with_bounded_storage, Params,
+    };
+    use regemu_core::{
+        AbdCasEmulation, AbdMaxRegisterEmulation, CasMaxRegister, CollectMaxRegister, Emulation,
+        RegisterLayout, SharedMaxRegister, SpaceOptimalEmulation,
+    };
+    use regemu_workloads::{run_workload, ConsistencyCheck, RunConfig, TextTable, Workload};
+    use std::sync::Arc;
+
+    /// Measures the resource consumption of `emulation` on a write-sequential
+    /// workload (one write per writer, one read after each), verifying
+    /// WS-Regularity along the way.
+    pub fn measured_consumption(emulation: &dyn Emulation, seed: u64) -> usize {
+        let params = emulation.params();
+        let workload = Workload::write_sequential(params.k, 1, true);
+        let report = run_workload(
+            emulation,
+            &workload,
+            &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular),
+        )
+        .expect("experiment workload must complete");
+        assert!(
+            report.is_consistent(),
+            "{} at {} violated WS-Regularity",
+            emulation.name(),
+            params
+        );
+        report.metrics.resource_consumption()
+    }
+
+    /// **Table 1.** For every parameter point of `sweep`: the paper's lower
+    /// and upper bounds per base-object type, next to the *measured* resource
+    /// consumption of the corresponding implementation.
+    pub fn table1(sweep: &[Params]) -> TextTable {
+        let mut table = TextTable::new(
+            "Table 1 — base objects used by f-tolerant k-register emulations (paper bound vs measured)",
+            &[
+                "k", "f", "n",
+                "max-reg bound", "max-reg measured",
+                "CAS bound", "CAS measured",
+                "reg lower", "reg upper", "reg measured (Alg.2)",
+            ],
+        );
+        for p in sweep {
+            let p = *p;
+            let abd_max = AbdMaxRegisterEmulation::new(p, false);
+            let abd_cas = AbdCasEmulation::new(p, false);
+            let space_optimal = SpaceOptimalEmulation::new(p);
+            table.push_row([
+                p.k.to_string(),
+                p.f.to_string(),
+                p.n.to_string(),
+                max_register_bound(p.f).to_string(),
+                measured_consumption(&abd_max, 1).to_string(),
+                cas_bound(p.f).to_string(),
+                measured_consumption(&abd_cas, 2).to_string(),
+                register_lower_bound(p).to_string(),
+                register_upper_bound(p).to_string(),
+                measured_consumption(&space_optimal, 3).to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// **Figure 1.** The register→server layout of the space-optimal
+    /// construction (defaults to the paper's `n = 6, k = 5, f = 2`).
+    pub fn figure1(params: Params) -> String {
+        let (_, layout) = RegisterLayout::build(params);
+        layout.render()
+    }
+
+    /// **Figure 2 / Lemma 1 / Theorem 1.** Coverage growth under the `Ad_i`
+    /// adversary: per adversary-driven write, the number of covered registers
+    /// for the register-based construction versus the max-register baseline.
+    pub fn figure2_coverage(params: Params) -> TextTable {
+        let space_optimal = SpaceOptimalEmulation::new(params);
+        let abd = AbdMaxRegisterEmulation::new(params, false);
+        let register_report = LowerBoundCampaign::new(&space_optimal)
+            .run(&space_optimal)
+            .expect("campaign against Algorithm 2");
+        let rmw_report = LowerBoundCampaign::new(&abd).run(&abd).expect("campaign against ABD");
+
+        let mut table = TextTable::new(
+            format!(
+                "Figure 2 / Lemma 1 — covered registers after the i-th adversarial write ({params}, F = {:?})",
+                register_report.protected
+            ),
+            &["write #", "i*f (Lemma 1a)", "covered (Alg.2 / registers)", "covered (ABD / max-reg)"],
+        );
+        for (i, it) in register_report.iterations.iter().enumerate() {
+            let rmw_covered = rmw_report
+                .iterations
+                .get(i)
+                .map(|r| r.covered.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            table.push_row([
+                it.iteration.to_string(),
+                (it.iteration * params.f).to_string(),
+                it.covered.to_string(),
+                rmw_covered,
+            ]);
+        }
+        table
+    }
+
+    /// **Theorem 2.** Registers used by the collect-based `k`-writer
+    /// max-register versus the `k` lower bound, for a range of `k`.
+    pub fn theorem2_max_register(ks: &[usize]) -> TextTable {
+        let mut table = TextTable::new(
+            "Theorem 2 — registers needed by a k-writer max-register (ordinary shared memory)",
+            &["k", "lower bound", "collect construction", "CAS objects (Appendix B)"],
+        );
+        for &k in ks {
+            let collect = CollectMaxRegister::new(k, 0);
+            table.push_row([
+                k.to_string(),
+                max_register_from_registers_lower_bound(k).to_string(),
+                collect.register_count().to_string(),
+                "1".to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// **Theorem 5.** The partitioning argument: outcome of the
+    /// write-then-read schedule at `n = 2f` versus `n = 2f + 1`.
+    pub fn theorem5_partition(fs: &[usize]) -> TextTable {
+        let mut table = TextTable::new(
+            "Theorem 5 — partition argument: value observed by a read after a write of 42",
+            &["f", "n = 2f (read sees)", "violation?", "n = 2f+1 (read sees)", "violation?"],
+        );
+        for &f in fs {
+            let bad = demonstrate_partition(2 * f, f).expect("partition run");
+            let good = demonstrate_partition(2 * f + 1, f).expect("partition run");
+            table.push_row([
+                f.to_string(),
+                bad.read_value.to_string(),
+                bad.is_violation().to_string(),
+                good.read_value.to_string(),
+                good.is_violation().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// **Theorem 6.** At `n = 2f + 1`: the per-server register occupancy of
+    /// Algorithm 2's layout and the maximum number of registers the `Ad_i`
+    /// campaign leaves covered on a single server (both must reach `k`).
+    pub fn theorem6_per_server(ks: &[usize], f: usize) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Theorem 6 — registers per server at n = 2f+1 (f = {f})"),
+            &["k", "bound (k)", "layout occupancy per server", "max covered on one server (Ad_i)"],
+        );
+        for &k in ks {
+            let params = Params::new(k, f, 2 * f + 1).expect("n = 2f+1 is valid");
+            let emulation = SpaceOptimalEmulation::new(params);
+            let occupancy = emulation
+                .layout()
+                .occupancy()
+                .values()
+                .copied()
+                .max()
+                .unwrap_or(0);
+            let report = LowerBoundCampaign::new(&emulation).run(&emulation).expect("campaign");
+            table.push_row([
+                k.to_string(),
+                k.to_string(),
+                occupancy.to_string(),
+                report.max_covered_on_one_server().to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// **Theorem 7.** Minimum number of servers when each stores at most `m`
+    /// registers, next to the smallest `n` for which Algorithm 2's layout
+    /// fits within that per-server budget.
+    pub fn theorem7_bounded_storage(k: usize, f: usize, ms: &[usize]) -> TextTable {
+        let mut table = TextTable::new(
+            format!("Theorem 7 — servers needed with at most m registers per server (k = {k}, f = {f})"),
+            &["m", "lower bound ⌈kf/m⌉+f+1", "smallest n where Algorithm 2 fits"],
+        );
+        for &m in ms {
+            let bound = servers_needed_with_bounded_storage(k, f, m);
+            // Search for the smallest legal n whose layout respects the
+            // per-server budget.
+            let mut fitting = None;
+            for n in (2 * f + 1)..=(k * f + f + 1 + 2 * f) {
+                if let Ok(params) = Params::new(k, f, n) {
+                    let (_, layout) = RegisterLayout::build(params);
+                    if layout.occupancy().values().all(|c| *c <= m) {
+                        fitting = Some(n);
+                        break;
+                    }
+                }
+            }
+            table.push_row([
+                m.to_string(),
+                bound.to_string(),
+                fitting.map(|n| n.to_string()).unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        table
+    }
+
+    /// **Theorem 8.** Point contention versus resource consumption along an
+    /// adversarial write-sequential run: contention stays 1 while resources
+    /// grow with the number of writes.
+    pub fn theorem8_contention(params: Params) -> TextTable {
+        let emulation = SpaceOptimalEmulation::new(params);
+        let report = LowerBoundCampaign::new(&emulation).run(&emulation).expect("campaign");
+        let mut table = TextTable::new(
+            format!("Theorem 8 — resource consumption vs point contention ({params})"),
+            &["write #", "point contention", "covered registers", "resource consumption"],
+        );
+        for it in &report.iterations {
+            table.push_row([
+                it.iteration.to_string(),
+                it.point_contention.to_string(),
+                it.covered.to_string(),
+                it.resource_consumption.to_string(),
+            ]);
+        }
+        table
+    }
+
+    /// **Ablation.** Why Algorithm 2's write quorum cannot be reduced: the
+    /// same crash/delay schedule is run against the paper's writer
+    /// (slack 0) and against writers that return `slack` acknowledgements
+    /// early; the table reports what a subsequent read observes.
+    pub fn ablation_write_quorum(points: &[(usize, usize, usize)]) -> TextTable {
+        use regemu_adversary::demonstrate_quorum_ablation;
+        let mut table = TextTable::new(
+            "Ablation — write-quorum size of Algorithm 2 (value 4242 written, then f crashes)",
+            &["k", "f", "n", "slack", "read sees", "WS-Safety violated?"],
+        );
+        for &(k, f, n) in points {
+            let params = Params::new(k, f, n).expect("valid parameters");
+            let margin = (params.z() - 1) * params.f + 1;
+            for slack in [0usize, margin] {
+                let outcome = demonstrate_quorum_ablation(params, slack).expect("ablation run");
+                table.push_row([
+                    k.to_string(),
+                    f.to_string(),
+                    n.to_string(),
+                    slack.to_string(),
+                    outcome.read.to_string(),
+                    outcome.violates_ws_safety.to_string(),
+                ]);
+            }
+        }
+        table
+    }
+
+    /// **Section 5 discussion.** Time/space trade-off of the CAS-based
+    /// max-register: CAS attempts per `write-max` as the number of concurrent
+    /// writers grows (space stays one object throughout).
+    pub fn cas_time_complexity(thread_counts: &[usize], writes_per_thread: usize) -> TextTable {
+        let mut table = TextTable::new(
+            "CAS max-register (Algorithm 1) — retry cost vs concurrency",
+            &[
+                "writer threads",
+                "writes",
+                "CAS attempts",
+                "avg attempts/write",
+                "worst attempts/write",
+            ],
+        );
+        for &threads in thread_counts {
+            let reg = Arc::new(CasMaxRegister::new(0));
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let reg = reg.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..writes_per_thread {
+                            reg.write_max((t * writes_per_thread + i) as u64);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("writer thread");
+            }
+            let total_writes = threads * writes_per_thread;
+            let attempts = reg.total_attempts();
+            table.push_row([
+                threads.to_string(),
+                total_writes.to_string(),
+                attempts.to_string(),
+                format!("{:.2}", attempts as f64 / total_writes as f64),
+                reg.worst_case_attempts().to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::experiments::*;
+    use regemu_bounds::Params;
+    use regemu_workloads::small_sweep;
+
+    #[test]
+    fn table1_has_one_row_per_sweep_point() {
+        let sweep = small_sweep();
+        let table = table1(&sweep);
+        assert_eq!(table.row_count(), sweep.len());
+        // Measured columns match the bound columns for the RMW rows.
+        for row in table.rows() {
+            assert_eq!(row[3], row[4], "max-register measured == bound");
+            assert_eq!(row[5], row[6], "CAS measured == bound");
+            assert_eq!(row[8], row[9], "Algorithm 2 measured == upper bound");
+        }
+    }
+
+    #[test]
+    fn figure1_renders_the_paper_example() {
+        let s = figure1(Params::new(5, 2, 6).unwrap());
+        assert!(s.contains("R_0"));
+        assert!(s.contains("R_4"));
+        assert!(s.contains("25 registers"));
+    }
+
+    #[test]
+    fn figure2_coverage_shows_the_separation() {
+        let table = figure2_coverage(Params::new(3, 1, 3).unwrap());
+        assert_eq!(table.row_count(), 3);
+        let last = table.rows().last().unwrap();
+        // Register-based coverage reaches k·f = 3; the max-register baseline
+        // stays at or below 2f + 1 = 3 but in practice far below k·f growth.
+        assert_eq!(last[2], "3");
+    }
+
+    #[test]
+    fn theorem_tables_have_expected_shapes() {
+        assert_eq!(theorem2_max_register(&[1, 2, 4]).row_count(), 3);
+        assert_eq!(theorem5_partition(&[1, 2]).row_count(), 2);
+        assert_eq!(theorem6_per_server(&[1, 2], 1).row_count(), 2);
+        assert_eq!(theorem7_bounded_storage(4, 1, &[1, 2, 4]).row_count(), 3);
+        assert_eq!(theorem8_contention(Params::new(3, 1, 3).unwrap()).row_count(), 3);
+    }
+
+    #[test]
+    fn ablation_table_flags_only_the_reduced_quorum() {
+        let table = ablation_write_quorum(&[(1, 1, 3), (2, 1, 4)]);
+        assert_eq!(table.row_count(), 4);
+        for row in table.rows() {
+            let slack: usize = row[3].parse().unwrap();
+            let violated: bool = row[5].parse().unwrap();
+            assert_eq!(violated, slack > 0, "row {row:?}");
+        }
+    }
+
+    #[test]
+    fn cas_time_complexity_reports_at_least_one_attempt_per_write() {
+        let table = cas_time_complexity(&[1, 2], 64);
+        assert_eq!(table.row_count(), 2);
+        for row in table.rows() {
+            let per_write: f64 = row[3].parse().unwrap();
+            assert!(per_write >= 1.0);
+        }
+    }
+}

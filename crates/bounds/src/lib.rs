@@ -1,0 +1,399 @@
+//! # regemu-bounds — closed-form space-complexity bounds
+//!
+//! The bounds of Chockler & Spiegelman, *Space Complexity of Fault-Tolerant
+//! Register Emulations* (PODC 2017), as executable formulas. The central
+//! quantities (Table 1) are, for an `f`-tolerant emulation of a `k`-writer
+//! register from base objects hosted on `n > 2f` crash-prone servers:
+//!
+//! | base object | lower bound (WS-Safe, obstruction-free) | upper bound (WS-Regular, wait-free) |
+//! |---|---|---|
+//! | max-register | `2f + 1` | `2f + 1` |
+//! | CAS | `2f + 1` | `2f + 1` |
+//! | read/write register | `kf + ⌈kf/(n-(f+1))⌉·(f+1)` | `kf + ⌈k/⌊(n-(f+1))/f⌋⌉·(f+1)` |
+//!
+//! plus the appendix results: the `n = 2f+1` per-server bound (Theorem 6), the
+//! bounded-storage server bound (Theorem 7), the minimum number of servers
+//! (Theorem 5) and the `k`-writer max-register bound in ordinary shared memory
+//! (Theorem 2).
+//!
+//! ## Example
+//!
+//! ```
+//! use regemu_bounds::{Params, register_lower_bound, register_upper_bound};
+//!
+//! let p = Params::new(5, 2, 6)?; // k = 5 writers, f = 2, n = 6 servers
+//! assert_eq!(register_lower_bound(p), 10 + 4 * 3); // kf + ⌈kf/(n-f-1)⌉(f+1)
+//! assert_eq!(register_upper_bound(p), 10 + 5 * 3); // kf + ⌈k/z⌉(f+1), z = 1
+//! # Ok::<(), regemu_bounds::ParamError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The parameters of an emulation: number of writers `k`, failure threshold
+/// `f` and number of servers `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Params {
+    /// Number of writers of the emulated register.
+    pub k: usize,
+    /// Failure threshold: maximum number of servers that may crash.
+    pub f: usize,
+    /// Number of servers `n = |S|`.
+    pub n: usize,
+}
+
+/// Errors raised when constructing invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParamError {
+    /// `k` must be at least 1.
+    NoWriters,
+    /// `f` must be at least 1 (the paper assumes `f > 0`).
+    NoFaults,
+    /// Emulation is impossible with `n ≤ 2f` servers (Theorem 5).
+    TooFewServers {
+        /// Number of servers requested.
+        n: usize,
+        /// Minimum required, `2f + 1`.
+        required: usize,
+    },
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::NoWriters => write!(f, "the number of writers k must be at least 1"),
+            ParamError::NoFaults => write!(f, "the failure threshold f must be at least 1"),
+            ParamError::TooFewServers { n, required } => write!(
+                f,
+                "an f-tolerant emulation needs at least {required} servers, got {n} (Theorem 5)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+impl Params {
+    /// Creates a parameter set, validating `k ≥ 1`, `f ≥ 1` and `n ≥ 2f + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParamError`] describing the violated constraint.
+    pub fn new(k: usize, f: usize, n: usize) -> Result<Self, ParamError> {
+        if k == 0 {
+            return Err(ParamError::NoWriters);
+        }
+        if f == 0 {
+            return Err(ParamError::NoFaults);
+        }
+        if n < 2 * f + 1 {
+            return Err(ParamError::TooFewServers { n, required: 2 * f + 1 });
+        }
+        Ok(Params { k, f, n })
+    }
+
+    /// The writer capacity `z = ⌊(n - (f+1)) / f⌋` of a single register set in
+    /// the upper-bound construction (Section 3.3).
+    pub fn z(&self) -> usize {
+        (self.n - (self.f + 1)) / self.f
+    }
+
+    /// The size `y = z·f + f + 1` of a full register set in the upper-bound
+    /// construction.
+    pub fn y(&self) -> usize {
+        self.z() * self.f + self.f + 1
+    }
+
+    /// Number of register sets `m = ⌈k / z⌉` used by the upper-bound
+    /// construction.
+    pub fn register_set_count(&self) -> usize {
+        self.k.div_ceil(self.z())
+    }
+
+    /// Returns `true` when the paper's lower and upper bounds coincide for
+    /// these parameters: at `n = 2f + 1` and whenever `n ≥ kf + f + 1`.
+    pub fn bounds_coincide(&self) -> bool {
+        register_lower_bound(*self) == register_upper_bound(*self)
+    }
+}
+
+impl fmt::Display for Params {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k={}, f={}, n={}", self.k, self.f, self.n)
+    }
+}
+
+/// Minimum number of servers for any `f`-tolerant WS-Safe obstruction-free
+/// emulation (Theorem 5): `2f + 1`.
+pub fn min_servers(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Lower **and** upper bound on the number of base objects when the servers
+/// expose max-registers (Table 1, row 1): `2f + 1`, independent of `k` and `n`.
+pub fn max_register_bound(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Lower **and** upper bound on the number of base objects when the servers
+/// expose CAS objects (Table 1, row 2): `2f + 1`, independent of `k` and `n`.
+pub fn cas_bound(f: usize) -> usize {
+    2 * f + 1
+}
+
+/// Theorem 1 — lower bound on the number of read/write base registers used by
+/// any `f`-tolerant obstruction-free WS-Safe `k`-register emulation over `n`
+/// servers: `kf + ⌈kf / (n - (f+1))⌉ · (f+1)`.
+pub fn register_lower_bound(p: Params) -> usize {
+    let Params { k, f, n } = p;
+    k * f + (k * f).div_ceil(n - (f + 1)) * (f + 1)
+}
+
+/// Theorem 3 — number of read/write base registers used by the paper's
+/// wait-free WS-Regular construction (Algorithm 2):
+/// `kf + ⌈k / z⌉ · (f+1)` with `z = ⌊(n - (f+1)) / f⌋`.
+pub fn register_upper_bound(p: Params) -> usize {
+    let Params { k, f, .. } = p;
+    k * f + p.k.div_ceil(p.z()) * (f + 1)
+}
+
+/// The simplest corollary of Theorem 1: at least `kf + f + 1` registers are
+/// needed regardless of how many servers are available.
+pub fn register_lower_bound_any_n(k: usize, f: usize) -> usize {
+    k * f + f + 1
+}
+
+/// Theorem 2 — any wait-free implementation of a `k`-writer max-register from
+/// MWMR atomic read/write registers (ordinary shared memory, no failures)
+/// uses at least `k` base registers.
+pub fn max_register_from_registers_lower_bound(k: usize) -> usize {
+    k
+}
+
+/// Theorem 6 — with exactly `n = 2f + 1` servers, every server must store at
+/// least `k` registers.
+pub fn per_server_lower_bound_minimal_n(k: usize) -> usize {
+    k
+}
+
+/// Theorem 7 — when every server stores at most `m` registers, any
+/// `f`-tolerant obstruction-free WS-Safe `k`-register emulation uses at least
+/// `⌈kf / m⌉ + f + 1` servers.
+pub fn servers_needed_with_bounded_storage(k: usize, f: usize, m: usize) -> usize {
+    assert!(m > 0, "per-server storage bound m must be positive");
+    (k * f).div_ceil(m) + f + 1
+}
+
+/// The matching upper bound discussed for the special case `n = 2f + 1`: each
+/// server implements a `k`-writer max-register from `k` base registers, for a
+/// total of `(2f + 1)·k` registers.
+pub fn special_case_minimal_n_upper_bound(k: usize, f: usize) -> usize {
+    (2 * f + 1) * k
+}
+
+/// The smallest `n` at which the bounds flatten out: for `n ≥ kf + f + 1`
+/// both the lower and the upper bound equal `kf + f + 1` and adding servers
+/// no longer helps.
+pub fn saturation_server_count(k: usize, f: usize) -> usize {
+    k * f + f + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parameter_validation() {
+        assert_eq!(Params::new(0, 1, 3), Err(ParamError::NoWriters));
+        assert_eq!(Params::new(1, 0, 3), Err(ParamError::NoFaults));
+        assert_eq!(
+            Params::new(1, 1, 2),
+            Err(ParamError::TooFewServers { n: 2, required: 3 })
+        );
+        let p = Params::new(3, 1, 4).unwrap();
+        assert_eq!(p.to_string(), "k=3, f=1, n=4");
+    }
+
+    #[test]
+    fn paper_figure1_parameters() {
+        // Figure 1: n = 6, k = 5, f = 2 → z = ⌊3/2⌋ = 1, y = 5, m = 5 sets.
+        let p = Params::new(5, 2, 6).unwrap();
+        assert_eq!(p.z(), 1);
+        assert_eq!(p.y(), 5);
+        assert_eq!(p.register_set_count(), 5);
+        assert_eq!(register_lower_bound(p), 5 * 2 + 4 * 3); // 22
+        assert_eq!(register_upper_bound(p), 5 * 2 + 5 * 3); // 25
+        assert!(!p.bounds_coincide());
+    }
+
+    #[test]
+    fn bounds_coincide_at_minimal_n() {
+        // n = 2f + 1: both bounds equal kf + k(f+1) = (2f+1)k.
+        for f in 1..=4usize {
+            for k in 1..=8usize {
+                let p = Params::new(k, f, 2 * f + 1).unwrap();
+                assert_eq!(register_lower_bound(p), (2 * f + 1) * k);
+                assert_eq!(register_upper_bound(p), (2 * f + 1) * k);
+                assert_eq!(register_upper_bound(p), special_case_minimal_n_upper_bound(k, f));
+                assert!(p.bounds_coincide());
+            }
+        }
+    }
+
+    #[test]
+    fn bounds_coincide_at_saturation() {
+        // n ≥ kf + f + 1: both bounds equal kf + f + 1.
+        for f in 1..=3usize {
+            for k in 1..=6usize {
+                let n = saturation_server_count(k, f);
+                let p = Params::new(k, f, n).unwrap();
+                assert_eq!(register_lower_bound(p), k * f + f + 1);
+                assert_eq!(register_upper_bound(p), k * f + f + 1);
+                assert_eq!(register_lower_bound(p), register_lower_bound_any_n(k, f));
+                // Adding even more servers does not reduce the bound further.
+                let p_big = Params::new(k, f, n + 10).unwrap();
+                assert_eq!(register_lower_bound(p_big), k * f + f + 1);
+                assert_eq!(register_upper_bound(p_big), k * f + f + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn max_register_and_cas_bounds_ignore_k_and_n() {
+        assert_eq!(max_register_bound(1), 3);
+        assert_eq!(max_register_bound(3), 7);
+        assert_eq!(cas_bound(2), 5);
+        assert_eq!(min_servers(2), 5);
+    }
+
+    #[test]
+    fn theorem_7_examples() {
+        // m = 1 register per server: kf + f + 1 servers needed.
+        assert_eq!(servers_needed_with_bounded_storage(4, 2, 1), 8 + 3);
+        // m large enough: f + 2 servers suffice per the formula's floor.
+        assert_eq!(servers_needed_with_bounded_storage(4, 2, 100), 1 + 3);
+        assert_eq!(servers_needed_with_bounded_storage(3, 1, 2), 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn theorem_7_rejects_zero_storage() {
+        servers_needed_with_bounded_storage(1, 1, 0);
+    }
+
+    #[test]
+    fn theorem_2_and_6_are_k() {
+        assert_eq!(max_register_from_registers_lower_bound(7), 7);
+        assert_eq!(per_server_lower_bound_minimal_n(4), 4);
+    }
+
+    #[test]
+    fn upper_bound_matches_register_set_accounting() {
+        // The construction uses ⌊k/z⌋ full sets of y registers plus an
+        // overflow set; the total must equal the closed form.
+        for f in 1..=3usize {
+            for k in 1..=10usize {
+                for n in (2 * f + 1)..=(4 * f + 3) {
+                    let p = Params::new(k, f, n).unwrap();
+                    let z = p.z();
+                    let full_sets = k / z;
+                    let rem = k % z;
+                    let mut total = full_sets * p.y();
+                    if rem > 0 {
+                        total += rem * f + f + 1;
+                    }
+                    assert_eq!(
+                        total,
+                        register_upper_bound(p),
+                        "set accounting mismatch at {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn lower_bound_never_exceeds_upper_bound(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            let n = 2 * f + 1 + extra;
+            let p = Params::new(k, f, n).unwrap();
+            prop_assert!(register_lower_bound(p) <= register_upper_bound(p));
+        }
+
+        #[test]
+        fn bounds_are_monotone_in_k(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            let n = 2 * f + 1 + extra;
+            let p1 = Params::new(k, f, n).unwrap();
+            let p2 = Params::new(k + 1, f, n).unwrap();
+            prop_assert!(register_lower_bound(p1) <= register_lower_bound(p2));
+            prop_assert!(register_upper_bound(p1) <= register_upper_bound(p2));
+        }
+
+        #[test]
+        fn bounds_are_monotone_nonincreasing_in_n(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            let n = 2 * f + 1 + extra;
+            let p1 = Params::new(k, f, n).unwrap();
+            let p2 = Params::new(k, f, n + 1).unwrap();
+            prop_assert!(register_lower_bound(p2) <= register_lower_bound(p1));
+            prop_assert!(register_upper_bound(p2) <= register_upper_bound(p1));
+        }
+
+        #[test]
+        fn lower_bound_dominates_its_n_independent_corollary(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            let n = 2 * f + 1 + extra;
+            let p = Params::new(k, f, n).unwrap();
+            prop_assert!(register_lower_bound(p) >= register_lower_bound_any_n(k, f));
+            prop_assert!(register_lower_bound(p) >= k * f);
+        }
+
+        #[test]
+        fn register_bounds_always_exceed_rmw_bounds(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            // The separation of Table 1: registers always need at least as
+            // many objects as max-registers/CAS, and strictly more once k > 1.
+            let n = 2 * f + 1 + extra;
+            let p = Params::new(k, f, n).unwrap();
+            prop_assert!(register_lower_bound(p) >= max_register_bound(f));
+            if k > 1 {
+                prop_assert!(register_lower_bound(p) > cas_bound(f));
+            }
+        }
+
+        #[test]
+        fn upper_bound_gap_is_at_most_one_set(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            // The gap between the bounds is below (f+1) per "started" set,
+            // i.e. bounded by ⌈k/z⌉(f+1) - ⌈kf/(n-f-1)⌉(f+1) which is small;
+            // sanity-check it never exceeds k(f+1).
+            let n = 2 * f + 1 + extra;
+            let p = Params::new(k, f, n).unwrap();
+            prop_assert!(register_upper_bound(p) - register_lower_bound(p) <= k * (f + 1));
+        }
+
+        #[test]
+        fn z_and_y_satisfy_their_defining_inequalities(
+            k in 1usize..40, f in 1usize..6, extra in 0usize..60
+        ) {
+            let n = 2 * f + 1 + extra;
+            let p = Params::new(k, f, n).unwrap();
+            // z ≥ 1 whenever n ≥ 2f + 1, and a full set fits on the servers.
+            prop_assert!(p.z() >= 1);
+            prop_assert!(p.y() >= 2 * f + 1);
+            prop_assert!(p.y() <= n);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # regemu-core — fault-tolerant register emulation algorithms
+//!
+//! Executable implementations of every construction in Chockler &
+//! Spiegelman, *Space Complexity of Fault-Tolerant Register Emulations*
+//! (PODC 2017):
+//!
+//! * [`emulation::SpaceOptimalEmulation`] — the paper's main upper bound
+//!   (Algorithm 2): an `f`-tolerant, wait-free, WS-Regular `k`-writer
+//!   register from `kf + ⌈k/z⌉(f+1)` plain read/write registers;
+//! * [`emulation::AbdMaxRegisterEmulation`] — multi-writer ABD over one
+//!   max-register per server (`2f + 1` base objects);
+//! * [`emulation::AbdCasEmulation`] — the same protocol over one CAS object
+//!   per server, with each server's max-register interface provided by
+//!   Algorithm 1 (Appendix B);
+//! * [`emulation::RegisterBankEmulation`] — the `(2f+1)·k` register
+//!   construction for the `n = 2f+1` special case (a `k`-slot max-register
+//!   bank per server);
+//! * [`shared_memory`] — real-threaded counterparts of the standard
+//!   shared-memory corollaries (Algorithm 1 over an `AtomicU64`, the
+//!   collect-based `k`-register max-register of Theorem 2, and a `fetch_max`
+//!   baseline).
+//!
+//! All simulated protocols implement
+//! [`regemu_fpsm::ClientProtocol`] and run inside the `regemu-fpsm`
+//! fault-prone shared-memory simulator; their measured space consumption is
+//! compared against the closed-form bounds of `regemu-bounds` by the test
+//! suites and the experiment harness.
+//!
+//! ## Example: one write, one read over the space-optimal construction
+//!
+//! ```
+//! use regemu_core::prelude::*;
+//! use regemu_fpsm::prelude::*;
+//!
+//! let params = Params::new(2, 1, 4)?; // k = 2 writers, f = 1, n = 4 servers
+//! let emulation = SpaceOptimalEmulation::new(params);
+//! let mut sim = emulation.build_simulation();
+//! let writer = sim.register_client(emulation.writer_protocol(0));
+//! let reader = sim.register_client(emulation.reader_protocol());
+//!
+//! let mut driver = FairDriver::new(42);
+//! let w = sim.invoke(writer, HighOp::Write(7))?;
+//! driver.run_until_complete(&mut sim, w, 10_000)?;
+//! let r = sim.invoke(reader, HighOp::Read)?;
+//! driver.run_until_complete(&mut sim, r, 10_000)?;
+//! assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(7)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod abd;
+pub mod drivers;
+pub mod emulation;
+pub mod layout;
+pub mod quorum;
+pub mod shared_memory;
+pub mod timestamp;
+pub mod upper_bound;
+
+pub use abd::AbdClient;
+pub use drivers::{BankMaxDriver, CasMaxDriver, MaxDriver, MaxOutcome, NativeMaxDriver};
+pub use emulation::{
+    all_emulations, register_based_emulations, AbdCasEmulation, AbdMaxRegisterEmulation,
+    Emulation, RegisterBankEmulation, SpaceOptimalEmulation,
+};
+pub use layout::RegisterLayout;
+pub use shared_memory::{
+    CasMaxRegister, CollectMaxRegister, CollectWriter, FetchMaxRegister, SharedMaxRegister,
+};
+pub use upper_bound::{SharedLayout, SpaceOptimalClient};
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::abd::AbdClient;
+    pub use crate::drivers::{BankMaxDriver, CasMaxDriver, MaxDriver, NativeMaxDriver};
+    pub use crate::emulation::{
+        all_emulations, AbdCasEmulation, AbdMaxRegisterEmulation, Emulation,
+        RegisterBankEmulation, SpaceOptimalEmulation,
+    };
+    pub use crate::layout::RegisterLayout;
+    pub use crate::shared_memory::{
+        CasMaxRegister, CollectMaxRegister, FetchMaxRegister, SharedMaxRegister,
+    };
+    pub use crate::upper_bound::{SharedLayout, SpaceOptimalClient};
+    pub use regemu_bounds::Params;
+}

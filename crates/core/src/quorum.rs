@@ -1,0 +1,232 @@
+//! Quorum bookkeeping helpers shared by the emulation protocols.
+//!
+//! Two kinds of quorums appear in the constructions:
+//!
+//! * **server quorums** — "wait until `n - f` servers have fully answered"
+//!   (the `collect()` of Algorithm 2 and both phases of ABD); tracked by
+//!   [`ServerQuorumTracker`];
+//! * **register write quorums** — "wait until `|R_i| - f` of my registers
+//!   acknowledged" (line 11 of Algorithm 2); tracked by
+//!   [`RegisterQuorumTracker`].
+
+use regemu_fpsm::{ObjectId, ServerId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tracks completion of per-server tasks until a threshold of servers is
+/// reached, accumulating the maximum [`Value`] observed along the way.
+#[derive(Clone, Debug, Default)]
+pub struct ServerQuorumTracker {
+    threshold: usize,
+    completed: BTreeSet<ServerId>,
+    best: Value,
+}
+
+impl ServerQuorumTracker {
+    /// Creates a tracker that is satisfied once `threshold` distinct servers
+    /// completed.
+    pub fn new(threshold: usize) -> Self {
+        ServerQuorumTracker { threshold, completed: BTreeSet::new(), best: Value::INITIAL }
+    }
+
+    /// Records that `server` completed its task, folding `value` (if any)
+    /// into the running maximum. Re-completing a server has no effect.
+    pub fn record(&mut self, server: ServerId, value: Option<Value>) {
+        if let Some(v) = value {
+            self.best = self.best.max(v);
+        }
+        self.completed.insert(server);
+    }
+
+    /// Number of servers recorded so far.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Returns `true` once the threshold has been reached.
+    pub fn satisfied(&self) -> bool {
+        self.completed.len() >= self.threshold
+    }
+
+    /// The maximum value observed across all recorded servers.
+    pub fn best(&self) -> Value {
+        self.best
+    }
+
+    /// The servers recorded so far.
+    pub fn completed(&self) -> &BTreeSet<ServerId> {
+        &self.completed
+    }
+}
+
+/// Tracks write acknowledgements from a fixed set of registers until a
+/// threshold is reached.
+#[derive(Clone, Debug, Default)]
+pub struct RegisterQuorumTracker {
+    threshold: usize,
+    acked: BTreeSet<ObjectId>,
+}
+
+impl RegisterQuorumTracker {
+    /// Creates a tracker satisfied after `threshold` distinct registers ack.
+    pub fn new(threshold: usize) -> Self {
+        RegisterQuorumTracker { threshold, acked: BTreeSet::new() }
+    }
+
+    /// Records an acknowledgement from `register`.
+    pub fn record(&mut self, register: ObjectId) {
+        self.acked.insert(register);
+    }
+
+    /// Registers that have acknowledged.
+    pub fn acked(&self) -> &BTreeSet<ObjectId> {
+        &self.acked
+    }
+
+    /// Number of distinct registers that have acknowledged.
+    pub fn acked_count(&self) -> usize {
+        self.acked.len()
+    }
+
+    /// Returns `true` once the threshold has been reached.
+    pub fn satisfied(&self) -> bool {
+        self.acked.len() >= self.threshold
+    }
+}
+
+/// Tracks a `collect()`-style scan: for every server, the set of registers
+/// that still have to respond; a server's scan is complete once all of its
+/// registers responded. Satisfied once `threshold` servers completed.
+#[derive(Clone, Debug, Default)]
+pub struct ScanTracker {
+    threshold: usize,
+    outstanding: BTreeMap<ServerId, BTreeSet<ObjectId>>,
+    completed: BTreeSet<ServerId>,
+    best: Value,
+    values: Vec<Value>,
+}
+
+impl ScanTracker {
+    /// Creates a scan over the given `(server, registers)` groups; servers
+    /// with no registers count as completed immediately.
+    pub fn new<I>(threshold: usize, groups: I) -> Self
+    where
+        I: IntoIterator<Item = (ServerId, Vec<ObjectId>)>,
+    {
+        let mut outstanding = BTreeMap::new();
+        let mut completed = BTreeSet::new();
+        for (server, registers) in groups {
+            if registers.is_empty() {
+                completed.insert(server);
+            } else {
+                outstanding.insert(server, registers.into_iter().collect());
+            }
+        }
+        ScanTracker { threshold, outstanding, completed, best: Value::INITIAL, values: Vec::new() }
+    }
+
+    /// Records a read response of `value` from `register` on `server`.
+    pub fn record(&mut self, server: ServerId, register: ObjectId, value: Value) {
+        self.best = self.best.max(value);
+        self.values.push(value);
+        if let Some(waiting) = self.outstanding.get_mut(&server) {
+            waiting.remove(&register);
+            if waiting.is_empty() {
+                self.outstanding.remove(&server);
+                self.completed.insert(server);
+            }
+        }
+    }
+
+    /// Returns `true` once enough servers completed their scans.
+    pub fn satisfied(&self) -> bool {
+        self.completed.len() >= self.threshold
+    }
+
+    /// Number of servers whose scan completed.
+    pub fn completed_count(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The maximum value observed so far (over *all* responses, including
+    /// those from servers whose scan is still incomplete).
+    pub fn best(&self) -> Value {
+        self.best
+    }
+
+    /// The maximum value observed, restricted to nothing — alias of
+    /// [`ScanTracker::best`] kept for readability at call sites that follow
+    /// the paper's `max(rdSet)` notation.
+    pub fn max_of_read_set(&self) -> Value {
+        self.best
+    }
+
+    /// All values collected so far (the `rdSet` of Algorithm 2).
+    pub fn read_set(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_quorum_tracks_threshold_and_max() {
+        let mut q = ServerQuorumTracker::new(2);
+        assert!(!q.satisfied());
+        q.record(ServerId::new(0), Some(Value::new(1, 5)));
+        q.record(ServerId::new(0), Some(Value::new(9, 9))); // duplicate server
+        assert_eq!(q.completed_count(), 1);
+        assert!(!q.satisfied());
+        q.record(ServerId::new(2), None);
+        assert!(q.satisfied());
+        assert_eq!(q.best(), Value::new(9, 9));
+        assert!(q.completed().contains(&ServerId::new(2)));
+    }
+
+    #[test]
+    fn register_quorum_counts_distinct_registers() {
+        let mut q = RegisterQuorumTracker::new(3);
+        q.record(ObjectId::new(0));
+        q.record(ObjectId::new(0));
+        q.record(ObjectId::new(1));
+        assert_eq!(q.acked_count(), 2);
+        assert!(!q.satisfied());
+        q.record(ObjectId::new(2));
+        assert!(q.satisfied());
+        assert!(q.acked().contains(&ObjectId::new(2)));
+    }
+
+    #[test]
+    fn scan_completes_servers_only_when_all_registers_answered() {
+        let groups = vec![
+            (ServerId::new(0), vec![ObjectId::new(0), ObjectId::new(1)]),
+            (ServerId::new(1), vec![ObjectId::new(2)]),
+            (ServerId::new(2), vec![]),
+        ];
+        let mut scan = ScanTracker::new(2, groups);
+        // The empty server counts immediately.
+        assert_eq!(scan.completed_count(), 1);
+        assert!(!scan.satisfied());
+        scan.record(ServerId::new(0), ObjectId::new(0), Value::new(3, 1));
+        assert_eq!(scan.completed_count(), 1);
+        scan.record(ServerId::new(0), ObjectId::new(1), Value::new(1, 7));
+        assert_eq!(scan.completed_count(), 2);
+        assert!(scan.satisfied());
+        assert_eq!(scan.best(), Value::new(3, 1));
+        assert_eq!(scan.max_of_read_set(), Value::new(3, 1));
+        assert_eq!(scan.read_set().len(), 2);
+        // Late responses from other servers still fold into the maximum.
+        scan.record(ServerId::new(1), ObjectId::new(2), Value::new(8, 0));
+        assert_eq!(scan.best(), Value::new(8, 0));
+        assert_eq!(scan.completed_count(), 3);
+    }
+
+    #[test]
+    fn zero_threshold_is_immediately_satisfied() {
+        let scan = ScanTracker::new(0, Vec::<(ServerId, Vec<ObjectId>)>::new());
+        assert!(scan.satisfied());
+        let q = ServerQuorumTracker::new(0);
+        assert!(q.satisfied());
+    }
+}

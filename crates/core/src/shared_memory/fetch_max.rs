@@ -1,0 +1,68 @@
+//! A native (hardware-assisted) max-register baseline.
+
+use super::SharedMaxRegister;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Max-register backed by `AtomicU64::fetch_max` — the "native max-register"
+/// baseline against which the CAS and collect constructions are benchmarked.
+///
+/// Every `write-max` is a single RMW instruction, so its time complexity is
+/// constant regardless of contention, unlike [`CasMaxRegister`]'s retry loop.
+///
+/// [`CasMaxRegister`]: super::CasMaxRegister
+#[derive(Debug, Default)]
+pub struct FetchMaxRegister {
+    cell: AtomicU64,
+}
+
+impl FetchMaxRegister {
+    /// Creates the max-register with the given initial value.
+    pub fn new(initial: u64) -> Self {
+        FetchMaxRegister { cell: AtomicU64::new(initial) }
+    }
+}
+
+impl SharedMaxRegister for FetchMaxRegister {
+    fn write_max(&self, value: u64) {
+        self.cell.fetch_max(value, Ordering::SeqCst);
+    }
+
+    fn read_max(&self) -> u64 {
+        self.cell.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn keeps_the_maximum() {
+        let m = FetchMaxRegister::new(2);
+        m.write_max(1);
+        assert_eq!(m.read_max(), 2);
+        m.write_max(8);
+        assert_eq!(m.read_max(), 8);
+        assert_eq!(FetchMaxRegister::default().read_max(), 0);
+    }
+
+    #[test]
+    fn concurrent_writes_settle_on_the_global_maximum() {
+        let m = Arc::new(FetchMaxRegister::new(0));
+        let handles: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..400 {
+                        m.write_max(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.read_max(), 7 * 1000 + 399);
+    }
+}

@@ -1,0 +1,480 @@
+//! The space-optimal construction (Algorithm 2, Section 3.3 / Appendix D).
+//!
+//! An `f`-tolerant, wait-free, WS-Regular emulation of a `k`-writer register
+//! from `kf + ⌈k/z⌉·(f+1)` plain read/write registers (`z = ⌊(n-(f+1))/f⌋`),
+//! matching the upper bound of Theorem 3.
+//!
+//! The construction's two key ideas, both forced by the lower-bound adversary
+//! (Section 3.1):
+//!
+//! 1. **Disjoint register sets.** The `k` writers are partitioned over the
+//!    register sets of a [`RegisterLayout`]; writer `c_i` only writes to its
+//!    set `R_j`, whose size is large enough that the at most `f` registers
+//!    left covered by each of the set's `z` writers — plus the up to `f`
+//!    registers lost to crashed servers — can never hide the latest value
+//!    from a read quorum.
+//! 2. **Never double-cover a register.** A writer never triggers a new
+//!    low-level write on a register that still has one of its *own* writes
+//!    pending (the `coverSet`), so a writer covers at most `f` registers at
+//!    any time (Observation 3). When the old write finally responds, the
+//!    writer immediately re-writes the register with its *current* value
+//!    (lines 29–32).
+//!
+//! Reads collect every register of the layout from `n - f` servers and return
+//! the value with the highest timestamp; readers never write.
+
+use crate::layout::RegisterLayout;
+use crate::quorum::ScanTracker;
+use crate::timestamp;
+use regemu_bounds::Params;
+use regemu_fpsm::{
+    BaseOp, BaseResponse, ClientProtocol, Context, Delivery, HighOp, HighResponse, ObjectId, OpId,
+    ServerId, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Immutable description of the layout shared by all clients of one
+/// emulation instance: the register sets plus the per-server grouping used by
+/// `collect()`.
+#[derive(Clone, Debug)]
+pub struct SharedLayout {
+    params: Params,
+    layout: RegisterLayout,
+    /// All registers grouped by hosting server (including servers that host
+    /// none), in server order — the read-quorum structure.
+    scan_groups: Vec<(ServerId, Vec<ObjectId>)>,
+}
+
+impl SharedLayout {
+    /// Builds the shared view from a layout and the topology it was installed
+    /// in.
+    pub fn new(layout: RegisterLayout, topology: &regemu_fpsm::Topology) -> Arc<Self> {
+        let params = layout.params();
+        let mut by_server: BTreeMap<ServerId, Vec<ObjectId>> = BTreeMap::new();
+        for s in topology.servers() {
+            by_server.insert(s, Vec::new());
+        }
+        for b in layout.all_registers() {
+            by_server.entry(topology.server_of(b)).or_default().push(b);
+        }
+        let scan_groups = by_server.into_iter().collect();
+        Arc::new(SharedLayout { params, layout, scan_groups })
+    }
+
+    /// The layout parameters.
+    pub fn params(&self) -> Params {
+        self.params
+    }
+
+    /// The underlying register layout.
+    pub fn layout(&self) -> &RegisterLayout {
+        &self.layout
+    }
+
+    /// The per-server register groups scanned by `collect()`.
+    pub fn scan_groups(&self) -> &[(ServerId, Vec<ObjectId>)] {
+        &self.scan_groups
+    }
+}
+
+/// What the client is currently doing.
+#[derive(Debug)]
+enum Phase {
+    Idle,
+    /// Running `collect()` on behalf of `op`.
+    Collecting { op: HighOp, scan: ScanTracker },
+    /// A write has triggered its low-level writes and waits for
+    /// `|R_j| - f` acknowledgements.
+    Writing,
+}
+
+/// A client of the space-optimal construction (Algorithm 2).
+///
+/// The same type implements writers (constructed with a writer index) and
+/// readers (constructed without one). Local state persists across high-level
+/// operations, exactly as in the paper's pseudo-code: `tsVal`, `wrSet` and
+/// `coverSet` live for the whole run.
+pub struct SpaceOptimalClient {
+    shared: Arc<SharedLayout>,
+    writer_index: Option<usize>,
+    /// `R_j` — the register set this writer writes to (empty for readers).
+    my_set: Vec<ObjectId>,
+
+    /// `tsVal` — the timestamped value of this writer's latest write.
+    ts_val: Value,
+    /// `wrSet` — registers of `R_j` whose most recent low-level write by this
+    /// client has been acknowledged. Initially all of `R_j` (nothing pending).
+    wr_set: BTreeSet<ObjectId>,
+    /// `coverSet` — registers of `R_j` still covered by one of this client's
+    /// earlier low-level writes; the client must not write to them again
+    /// until that write responds.
+    cover_set: BTreeSet<ObjectId>,
+
+    /// Low-level reads belonging to the current `collect()`.
+    read_ops: BTreeMap<OpId, ObjectId>,
+    /// Low-level writes (across high-level operations) awaiting a response.
+    write_ops: BTreeMap<OpId, ObjectId>,
+
+    /// **Ablation knob** — extra acknowledgements the writer is allowed to
+    /// skip: the write returns after `|R_j| - f - slack` acks instead of
+    /// `|R_j| - f`. The paper's algorithm uses 0; any positive slack breaks
+    /// WS-Safety under the right crash/delay schedule (demonstrated by the
+    /// `ablation` module of `regemu-adversary`), which is exactly why the
+    /// quorum size is what it is.
+    write_quorum_slack: usize,
+
+    phase: Phase,
+}
+
+impl SpaceOptimalClient {
+    /// Creates the protocol for writer `writer_index` (0-based, `< k`).
+    pub fn writer(shared: Arc<SharedLayout>, writer_index: usize) -> Self {
+        let my_set = shared.layout().registers_for_writer(writer_index).to_vec();
+        let wr_set = my_set.iter().copied().collect();
+        SpaceOptimalClient {
+            shared,
+            writer_index: Some(writer_index),
+            my_set,
+            ts_val: Value::INITIAL,
+            wr_set,
+            cover_set: BTreeSet::new(),
+            read_ops: BTreeMap::new(),
+            write_ops: BTreeMap::new(),
+            write_quorum_slack: 0,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// **For ablation studies only.** Returns a writer that waits for `slack`
+    /// fewer acknowledgements than Algorithm 2 prescribes. With `slack = 0`
+    /// this is the paper's algorithm; with any larger value the construction
+    /// is no longer `f`-tolerant WS-Safe (demonstrated by the `ablation`
+    /// module of `regemu-adversary`).
+    pub fn writer_with_quorum_slack(
+        shared: Arc<SharedLayout>,
+        writer_index: usize,
+        slack: usize,
+    ) -> Self {
+        let mut client = Self::writer(shared, writer_index);
+        client.write_quorum_slack = slack;
+        client
+    }
+
+    /// Creates the protocol for a read-only client.
+    pub fn reader(shared: Arc<SharedLayout>) -> Self {
+        SpaceOptimalClient {
+            shared,
+            writer_index: None,
+            my_set: Vec::new(),
+            ts_val: Value::INITIAL,
+            wr_set: BTreeSet::new(),
+            cover_set: BTreeSet::new(),
+            read_ops: BTreeMap::new(),
+            write_ops: BTreeMap::new(),
+            write_quorum_slack: 0,
+            phase: Phase::Idle,
+        }
+    }
+
+    /// The registers currently covered by this client's own pending writes —
+    /// at most `f` of them once a write completes (Observation 3).
+    pub fn covered_registers(&self) -> &BTreeSet<ObjectId> {
+        &self.cover_set
+    }
+
+    fn read_quorum_size(&self) -> usize {
+        self.shared.params().n - self.shared.params().f
+    }
+
+    fn write_quorum_size(&self) -> usize {
+        (self.my_set.len() - self.shared.params().f).saturating_sub(self.write_quorum_slack)
+    }
+
+    /// Lines 20–24: trigger a read on every register of the layout and wait
+    /// for `n - f` complete per-server scans.
+    fn start_collect(&mut self, op: HighOp, ctx: &mut Context<'_>) {
+        let scan = ScanTracker::new(
+            self.read_quorum_size(),
+            self.shared.scan_groups().iter().cloned(),
+        );
+        self.read_ops.clear();
+        for (_, registers) in self.shared.scan_groups() {
+            for b in registers {
+                let op_id = ctx.trigger(*b, BaseOp::Read);
+                self.read_ops.insert(op_id, *b);
+            }
+        }
+        self.phase = Phase::Collecting { op, scan };
+        // Degenerate layouts (or a threshold of zero) may already be
+        // satisfied; handle the transition immediately.
+        self.maybe_finish_collect(ctx);
+    }
+
+    fn maybe_finish_collect(&mut self, ctx: &mut Context<'_>) {
+        let Phase::Collecting { op, scan } = &self.phase else { return };
+        if !scan.satisfied() {
+            return;
+        }
+        let op = *op;
+        let best = scan.best();
+        match op {
+            HighOp::Read => {
+                self.phase = Phase::Idle;
+                ctx.complete(HighResponse::ReadValue(best.val));
+            }
+            HighOp::Write(payload) => {
+                let writer = self
+                    .writer_index
+                    .expect("a read-only client cannot execute a high-level write");
+                // Lines 3–4: pick a timestamp larger than everything observed.
+                self.ts_val = Value::new(timestamp::next(best.ts, writer), payload);
+                // Lines 6–7: registers that never acknowledged the previous
+                // write remain covered; start the new round with an empty
+                // acknowledgement set.
+                self.cover_set = self
+                    .my_set
+                    .iter()
+                    .copied()
+                    .filter(|b| !self.wr_set.contains(b))
+                    .collect();
+                self.wr_set.clear();
+                // Lines 8–10: write to every register of R_j that is not
+                // covered by one of our own pending writes.
+                for b in self.my_set.clone() {
+                    if !self.cover_set.contains(&b) {
+                        let op_id = ctx.trigger(b, BaseOp::Write(self.ts_val));
+                        self.write_ops.insert(op_id, b);
+                    }
+                }
+                self.phase = Phase::Writing;
+                self.maybe_finish_write(ctx);
+            }
+        }
+    }
+
+    /// Line 11: the write returns once `|R_j| - f` registers acknowledged.
+    fn maybe_finish_write(&mut self, ctx: &mut Context<'_>) {
+        if !matches!(self.phase, Phase::Writing) {
+            return;
+        }
+        if self.wr_set.len() >= self.write_quorum_size() {
+            self.phase = Phase::Idle;
+            ctx.complete(HighResponse::WriteAck);
+        }
+    }
+
+    /// Lines 29–34: handle a low-level write acknowledgement. Active in every
+    /// phase — acknowledgements of writes from *previous* high-level
+    /// operations can arrive at any time.
+    fn on_write_ack(&mut self, register: ObjectId, ctx: &mut Context<'_>) {
+        if self.cover_set.remove(&register) {
+            // The old covering write finally landed; immediately refresh the
+            // register with our current value (it stays covered by the new
+            // write until that one responds).
+            let op_id = ctx.trigger(register, BaseOp::Write(self.ts_val));
+            self.write_ops.insert(op_id, register);
+        } else {
+            self.wr_set.insert(register);
+            self.maybe_finish_write(ctx);
+        }
+    }
+}
+
+impl ClientProtocol for SpaceOptimalClient {
+    fn on_invoke(&mut self, op: HighOp, ctx: &mut Context<'_>) {
+        debug_assert!(
+            !(op.is_write() && self.writer_index.is_none()),
+            "a read-only client received a high-level write"
+        );
+        // Both reads and writes begin with collect() (lines 2 and 18).
+        self.start_collect(op, ctx);
+    }
+
+    fn on_response(&mut self, delivery: Delivery, ctx: &mut Context<'_>) {
+        match delivery.response {
+            BaseResponse::ReadValue(value) => {
+                if self.read_ops.remove(&delivery.op_id).is_some() {
+                    if let Phase::Collecting { scan, .. } = &mut self.phase {
+                        scan.record(delivery.server, delivery.object, value);
+                        self.maybe_finish_collect(ctx);
+                    }
+                    // Stale responses from an earlier collect are ignored.
+                }
+            }
+            BaseResponse::WriteAck => {
+                if let Some(register) = self.write_ops.remove(&delivery.op_id) {
+                    self.on_write_ack(register, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "space-optimal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regemu_fpsm::prelude::*;
+    use regemu_fpsm::RunMetrics;
+
+    fn build(k: usize, f: usize, n: usize) -> (Simulation, Arc<SharedLayout>) {
+        let params = Params::new(k, f, n).unwrap();
+        let (topology, layout) = RegisterLayout::build(params);
+        let shared = SharedLayout::new(layout, &topology);
+        let sim = Simulation::new(topology, SimConfig::with_fault_threshold(f));
+        (sim, shared)
+    }
+
+    fn register_clients(
+        sim: &mut Simulation,
+        shared: &Arc<SharedLayout>,
+        k: usize,
+        readers: usize,
+    ) -> (Vec<ClientId>, Vec<ClientId>) {
+        let writers = (0..k)
+            .map(|i| sim.register_client(Box::new(SpaceOptimalClient::writer(shared.clone(), i))))
+            .collect();
+        let readers = (0..readers)
+            .map(|_| sim.register_client(Box::new(SpaceOptimalClient::reader(shared.clone()))))
+            .collect();
+        (writers, readers)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (mut sim, shared) = build(2, 1, 4);
+        let (writers, readers) = register_clients(&mut sim, &shared, 2, 1);
+        let mut driver = FairDriver::new(5);
+
+        let w = sim.invoke(writers[0], HighOp::Write(77)).unwrap();
+        driver.run_until_complete(&mut sim, w, 5000).unwrap();
+        let r = sim.invoke(readers[0], HighOp::Read).unwrap();
+        driver.run_until_complete(&mut sim, r, 5000).unwrap();
+        assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(77)));
+    }
+
+    #[test]
+    fn sequential_writers_from_different_sets_are_observed_in_order() {
+        let (mut sim, shared) = build(4, 1, 6);
+        let (writers, readers) = register_clients(&mut sim, &shared, 4, 1);
+        let mut driver = FairDriver::new(11);
+
+        for (i, w) in writers.iter().enumerate() {
+            let op = sim.invoke(*w, HighOp::Write(1000 + i as u64)).unwrap();
+            driver.run_until_complete(&mut sim, op, 8000).unwrap();
+            let r = sim.invoke(readers[0], HighOp::Read).unwrap();
+            driver.run_until_complete(&mut sim, r, 8000).unwrap();
+            assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(1000 + i as u64)));
+        }
+    }
+
+    #[test]
+    fn read_returns_latest_value_despite_f_crashes() {
+        let (mut sim, shared) = build(2, 1, 4);
+        let (writers, readers) = register_clients(&mut sim, &shared, 2, 1);
+        let mut driver = FairDriver::new(3);
+
+        let w = sim.invoke(writers[1], HighOp::Write(5)).unwrap();
+        driver.run_until_complete(&mut sim, w, 5000).unwrap();
+        // Crash one server (f = 1) after the write completed.
+        sim.crash_server(ServerId::new(0)).unwrap();
+        let r = sim.invoke(readers[0], HighOp::Read).unwrap();
+        driver.run_until_complete(&mut sim, r, 5000).unwrap();
+        assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(5)));
+    }
+
+    #[test]
+    fn writer_covers_at_most_f_registers_after_completion() {
+        // Block the acknowledgements of up to f low-level writes; the write
+        // must still complete (wait-freedom) and leave at most f covered
+        // registers (Observation 3).
+        let (mut sim, shared) = build(2, 2, 8);
+        let writer_protocol = SpaceOptimalClient::writer(shared.clone(), 0);
+        let my_set = writer_protocol.my_set.clone();
+        let c = sim.register_client(Box::new(writer_protocol));
+        let mut driver = FairDriver::new(7);
+
+        let w = sim.invoke(c, HighOp::Write(9)).unwrap();
+        // Let the collect finish and the low-level writes be triggered, then
+        // block the first f write ops.
+        for _ in 0..10_000 {
+            if sim.pending_ops().any(|p| p.op.is_write()) {
+                break;
+            }
+            driver.step(&mut sim).unwrap();
+        }
+        let writes: Vec<OpId> = sim
+            .pending_ops()
+            .filter(|p| p.op.is_write())
+            .map(|p| p.op_id)
+            .collect();
+        assert_eq!(writes.len(), my_set.len(), "one write per register of R_j");
+        for op in writes.iter().take(2) {
+            driver.block(*op);
+        }
+        driver.run_until_complete(&mut sim, w, 10_000).unwrap();
+        // After completion, exactly the blocked writes are still covering.
+        let metrics = RunMetrics::capture(&sim);
+        assert_eq!(metrics.covered_count(), 2);
+        assert!(metrics.covered_count() <= 2);
+    }
+
+    #[test]
+    fn resource_consumption_matches_theorem_3() {
+        for (k, f, n) in [(1, 1, 3), (2, 1, 4), (3, 1, 5), (2, 2, 6), (5, 2, 6)] {
+            let (mut sim, shared) = build(k, f, n);
+            let (writers, readers) = register_clients(&mut sim, &shared, k, 1);
+            let mut driver = FairDriver::new(k as u64 * 31 + f as u64);
+            for (i, w) in writers.iter().enumerate() {
+                let op = sim.invoke(*w, HighOp::Write(i as u64 + 1)).unwrap();
+                driver.run_until_complete(&mut sim, op, 20_000).unwrap();
+            }
+            let r = sim.invoke(readers[0], HighOp::Read).unwrap();
+            driver.run_until_complete(&mut sim, r, 20_000).unwrap();
+            assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(k as u64)));
+
+            let params = Params::new(k, f, n).unwrap();
+            let metrics = RunMetrics::capture(&sim);
+            // Reads touch every register of the layout, so the consumption is
+            // exactly the layout size, which is Theorem 3's formula.
+            assert_eq!(metrics.resource_consumption(), regemu_bounds::register_upper_bound(params));
+            assert!(metrics.resource_consumption() >= regemu_bounds::register_lower_bound(params));
+        }
+    }
+
+    #[test]
+    fn reader_never_triggers_writes() {
+        let (mut sim, shared) = build(2, 1, 4);
+        let (_writers, readers) = register_clients(&mut sim, &shared, 2, 1);
+        let mut driver = FairDriver::new(2);
+        let r = sim.invoke(readers[0], HighOp::Read).unwrap();
+        driver.run_until_complete(&mut sim, r, 5000).unwrap();
+        assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(0)));
+        let metrics = RunMetrics::capture(&sim);
+        assert!(metrics.written.is_empty(), "readers must not write");
+    }
+
+    #[test]
+    fn two_writers_of_the_same_set_do_not_lose_updates() {
+        // k = 2, z = 2: both writers share one register set.
+        let (mut sim, shared) = build(2, 1, 6);
+        assert_eq!(shared.layout().set_count(), 1);
+        let (writers, readers) = register_clients(&mut sim, &shared, 2, 1);
+        let mut driver = FairDriver::new(13);
+        for round in 0..3u64 {
+            for (i, w) in writers.iter().enumerate() {
+                let value = round * 10 + i as u64 + 1;
+                let op = sim.invoke(*w, HighOp::Write(value)).unwrap();
+                driver.run_until_complete(&mut sim, op, 8000).unwrap();
+                let r = sim.invoke(readers[0], HighOp::Read).unwrap();
+                driver.run_until_complete(&mut sim, r, 8000).unwrap();
+                assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(value)));
+            }
+        }
+    }
+}

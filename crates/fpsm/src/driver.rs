@@ -1,0 +1,329 @@
+//! Run drivers: fair schedulers and crash plans.
+//!
+//! The [`Simulation`] engine is entirely passive; a *driver* decides which
+//! enabled action happens next. [`FairDriver`] implements the fair schedules
+//! required by the liveness definitions: every pending low-level operation on
+//! a correct base object is eventually delivered (unless explicitly blocked),
+//! in a pseudo-random order derived from a seed so runs are reproducible.
+//!
+//! The lower-bound adversary `Ad_i` is *not* implemented here — it lives in
+//! the `regemu-adversary` crate and drives the simulation through the same
+//! public API.
+
+use crate::error::SimError;
+use crate::ids::{HighOpId, OpId, ServerId, Time};
+use crate::sim::Simulation;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// A plan of server crashes to inject at given logical times.
+///
+/// The driver consults the plan before every step and crashes every server
+/// whose scheduled time has been reached.
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    entries: Vec<(Time, ServerId)>,
+}
+
+impl CrashPlan {
+    /// An empty plan (failure-free run).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a crash of `server` once the simulation time reaches `at`.
+    pub fn crash_at(mut self, at: Time, server: ServerId) -> Self {
+        self.entries.push((at, server));
+        self
+    }
+
+    /// Servers scheduled to crash, in insertion order.
+    pub fn servers(&self) -> impl Iterator<Item = ServerId> + '_ {
+        self.entries.iter().map(|(_, s)| *s)
+    }
+
+    /// Returns the servers whose crash time has been reached and removes them
+    /// from the plan.
+    fn due(&mut self, now: Time) -> Vec<ServerId> {
+        let (due, rest): (Vec<_>, Vec<_>) = self.entries.iter().partition(|(t, _)| *t <= now);
+        self.entries = rest;
+        due.into_iter().map(|(_, s)| s).collect()
+    }
+
+    /// Number of crashes still scheduled.
+    pub fn remaining(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A pseudo-random fair driver.
+///
+/// Every call to [`FairDriver::step`] delivers one deliverable pending
+/// operation chosen uniformly at random (excluding explicitly blocked ones),
+/// so in any infinite execution every unblocked operation on a correct object
+/// is eventually delivered with probability 1 — a fair run in the paper's
+/// sense.
+#[derive(Debug)]
+pub struct FairDriver {
+    rng: StdRng,
+    crash_plan: CrashPlan,
+    blocked: BTreeSet<OpId>,
+    steps: u64,
+}
+
+impl FairDriver {
+    /// Creates a driver with the given RNG seed and no crash plan.
+    pub fn new(seed: u64) -> Self {
+        FairDriver {
+            rng: StdRng::seed_from_u64(seed),
+            crash_plan: CrashPlan::none(),
+            blocked: BTreeSet::new(),
+            steps: 0,
+        }
+    }
+
+    /// Attaches a crash plan to the driver.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Blocks a pending operation: the driver will never deliver it. Used to
+    /// model the environment withholding a response for arbitrarily long.
+    pub fn block(&mut self, op: OpId) {
+        self.blocked.insert(op);
+    }
+
+    /// Unblocks a previously blocked operation.
+    pub fn unblock(&mut self, op: OpId) {
+        self.blocked.remove(&op);
+    }
+
+    /// Number of currently blocked operations.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked.len()
+    }
+
+    /// Number of delivery steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Access to the driver's random number generator (for workloads that
+    /// want to share the seeded stream).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn inject_due_crashes(&mut self, sim: &mut Simulation) -> Result<(), SimError> {
+        for server in self.crash_plan.due(sim.time()) {
+            sim.crash_server(server)?;
+        }
+        Ok(())
+    }
+
+    /// Delivers one randomly chosen deliverable, unblocked pending operation.
+    ///
+    /// Returns `Ok(true)` if an operation was delivered, `Ok(false)` if no
+    /// deliverable operation exists (quiescence or everything blocked).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (which indicate a bug in the driver itself,
+    /// e.g. scheduled crashes exceeding the fault threshold).
+    pub fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
+        self.inject_due_crashes(sim)?;
+        let candidates: Vec<OpId> = sim
+            .deliverable_ops()
+            .map(|p| p.op_id)
+            .filter(|id| !self.blocked.contains(id))
+            .collect();
+        let Some(&chosen) = candidates.choose(&mut self.rng) else {
+            return Ok(false);
+        };
+        sim.deliver(chosen)?;
+        self.steps += 1;
+        Ok(true)
+    }
+
+    /// Delivers operations until the high-level operation `target` completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stuck`] if the operation has not completed after
+    /// `max_steps` deliveries or no deliverable operation remains.
+    pub fn run_until_complete(
+        &mut self,
+        sim: &mut Simulation,
+        target: HighOpId,
+        max_steps: u64,
+    ) -> Result<(), SimError> {
+        let mut executed = 0;
+        while sim.result_of(target).is_none() {
+            if executed >= max_steps || !self.step(sim)? {
+                return Err(SimError::Stuck {
+                    steps: executed,
+                    waiting_for: format!("high-level operation {target} to complete"),
+                });
+            }
+            executed += 1;
+        }
+        Ok(())
+    }
+
+    /// Delivers operations until no deliverable, unblocked operation remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stuck`] if quiescence is not reached within
+    /// `max_steps` deliveries.
+    pub fn run_until_quiescent(
+        &mut self,
+        sim: &mut Simulation,
+        max_steps: u64,
+    ) -> Result<(), SimError> {
+        let mut executed = 0;
+        while self.step(sim)? {
+            executed += 1;
+            if executed >= max_steps {
+                return Err(SimError::Stuck {
+                    steps: executed,
+                    waiting_for: "quiescence".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Picks a uniformly random element of `0..bound` from the driver's RNG.
+    pub fn pick(&mut self, bound: usize) -> usize {
+        self.rng.gen_range(0..bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientProtocol, Context, Delivery};
+    use crate::ids::ObjectId;
+    use crate::object::ObjectKind;
+    use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
+    use crate::sim::SimConfig;
+    use crate::topology::Topology;
+    use crate::value::Value;
+
+    /// Writes to all targets and completes once a majority of acks arrived.
+    struct MajorityWriter {
+        targets: Vec<ObjectId>,
+        acks: usize,
+    }
+
+    impl ClientProtocol for MajorityWriter {
+        fn on_invoke(&mut self, op: HighOp, ctx: &mut Context<'_>) {
+            if let HighOp::Write(v) = op {
+                self.acks = 0;
+                for b in &self.targets {
+                    ctx.trigger(*b, BaseOp::Write(Value::new(1, v)));
+                }
+            }
+        }
+
+        fn on_response(&mut self, delivery: Delivery, ctx: &mut Context<'_>) {
+            if delivery.response == BaseResponse::WriteAck {
+                self.acks += 1;
+                if self.acks == self.targets.len() / 2 + 1 && !ctx.has_completed() {
+                    ctx.complete(HighResponse::WriteAck);
+                }
+            }
+        }
+    }
+
+    fn build(n: usize, f: usize) -> (Simulation, Vec<ObjectId>) {
+        let mut t = Topology::new(n);
+        let objs = t.add_object_per_server(ObjectKind::Register);
+        (Simulation::new(t, SimConfig::with_fault_threshold(f)), objs)
+    }
+
+    #[test]
+    fn fair_driver_completes_a_majority_write() {
+        let (mut sim, objs) = build(3, 1);
+        let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+        let w = sim.invoke(c, HighOp::Write(1)).unwrap();
+        let mut driver = FairDriver::new(7);
+        driver.run_until_complete(&mut sim, w, 100).unwrap();
+        assert_eq!(sim.result_of(w), Some(HighResponse::WriteAck));
+    }
+
+    #[test]
+    fn driver_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let (mut sim, objs) = build(5, 2);
+            let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+            let w = sim.invoke(c, HighOp::Write(1)).unwrap();
+            let mut driver = FairDriver::new(seed);
+            driver.run_until_complete(&mut sim, w, 100).unwrap();
+            sim.history().events().to_vec()
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    fn crash_plan_crashes_up_to_f_servers_and_write_still_completes() {
+        let (mut sim, objs) = build(3, 1);
+        let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+        let w = sim.invoke(c, HighOp::Write(1)).unwrap();
+        let plan = CrashPlan::none().crash_at(0, ServerId::new(2));
+        let mut driver = FairDriver::new(1).with_crash_plan(plan);
+        driver.run_until_complete(&mut sim, w, 100).unwrap();
+        assert!(sim.is_server_crashed(ServerId::new(2)));
+        assert_eq!(sim.result_of(w), Some(HighResponse::WriteAck));
+    }
+
+    #[test]
+    fn blocking_a_majority_makes_the_driver_stuck() {
+        let (mut sim, _objs) = build(3, 1);
+        let c = sim.register_client(Box::new(MajorityWriter {
+            targets: sim.topology().objects().collect(),
+            acks: 0,
+        }));
+        let w = sim.invoke(c, HighOp::Write(1)).unwrap();
+        let mut driver = FairDriver::new(3);
+        // Block two of the three writes: only one ack can ever arrive, the
+        // majority of 2 is unreachable.
+        let pending: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+        driver.block(pending[0]);
+        driver.block(pending[1]);
+        assert_eq!(driver.blocked_count(), 2);
+        let err = driver.run_until_complete(&mut sim, w, 100).unwrap_err();
+        assert!(matches!(err, SimError::Stuck { .. }));
+        // Unblocking lets the operation finish.
+        driver.unblock(pending[0]);
+        driver.run_until_complete(&mut sim, w, 100).unwrap();
+    }
+
+    #[test]
+    fn run_until_quiescent_drains_all_pending_ops() {
+        let (mut sim, objs) = build(3, 1);
+        let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+        sim.invoke(c, HighOp::Write(1)).unwrap();
+        let mut driver = FairDriver::new(11);
+        driver.run_until_quiescent(&mut sim, 100).unwrap();
+        assert_eq!(sim.pending_count(), 0);
+        assert!(driver.steps() >= 3);
+    }
+
+    #[test]
+    fn crash_plan_bookkeeping() {
+        let plan = CrashPlan::none()
+            .crash_at(5, ServerId::new(0))
+            .crash_at(9, ServerId::new(1));
+        assert_eq!(plan.remaining(), 2);
+        assert_eq!(plan.servers().count(), 2);
+        let mut plan = plan;
+        let due = plan.due(6);
+        assert_eq!(due, vec![ServerId::new(0)]);
+        assert_eq!(plan.remaining(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Errors produced by the simulation engine.
+
+use crate::ids::{ClientId, ObjectId, OpId, ServerId};
+use crate::object::ObjectError;
+use std::fmt;
+
+/// Errors returned by [`crate::sim::Simulation`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The referenced client does not exist.
+    UnknownClient(ClientId),
+    /// The referenced server does not exist.
+    UnknownServer(ServerId),
+    /// The referenced base object does not exist.
+    UnknownObject(ObjectId),
+    /// The referenced low-level operation is not pending.
+    UnknownOp(OpId),
+    /// The client has crashed and cannot invoke operations.
+    ClientCrashed(ClientId),
+    /// The client already has a high-level operation in progress; its
+    /// schedule must be well-formed (sequential per client).
+    ClientBusy(ClientId),
+    /// The target server has crashed, so the pending operation can never be
+    /// delivered.
+    ServerCrashed(ServerId),
+    /// A base object rejected the operation.
+    Object(ObjectError),
+    /// Crashing another server would exceed the configured failure threshold
+    /// `f`.
+    FaultBudgetExceeded {
+        /// Configured failure threshold.
+        f: usize,
+        /// Number of servers already crashed.
+        already_crashed: usize,
+    },
+    /// A driver gave up after executing the given number of steps without
+    /// reaching its goal (e.g. the target operation never completed because
+    /// every remaining pending operation is blocked or crashed).
+    Stuck {
+        /// Number of steps executed before giving up.
+        steps: u64,
+        /// Human-readable description of what the driver was waiting for.
+        waiting_for: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownClient(c) => write!(f, "unknown client {c}"),
+            SimError::UnknownServer(s) => write!(f, "unknown server {s}"),
+            SimError::UnknownObject(b) => write!(f, "unknown base object {b}"),
+            SimError::UnknownOp(op) => write!(f, "no pending low-level operation {op}"),
+            SimError::ClientCrashed(c) => write!(f, "client {c} has crashed"),
+            SimError::ClientBusy(c) => {
+                write!(f, "client {c} already has a high-level operation in progress")
+            }
+            SimError::ServerCrashed(s) => write!(f, "server {s} has crashed"),
+            SimError::Object(e) => write!(f, "base object error: {e}"),
+            SimError::FaultBudgetExceeded { f: thr, already_crashed } => write!(
+                f,
+                "crashing another server would exceed the failure threshold ({already_crashed} of {thr} already crashed)"
+            ),
+            SimError::Stuck { steps, waiting_for } => {
+                write!(f, "driver stuck after {steps} steps while waiting for {waiting_for}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Object(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ObjectError> for SimError {
+    fn from(e: ObjectError) -> Self {
+        SimError::Object(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::ObjectKind;
+    use crate::op::BaseOp;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        assert_eq!(SimError::UnknownClient(ClientId::new(2)).to_string(), "unknown client c2");
+        assert!(SimError::ClientBusy(ClientId::new(0)).to_string().contains("in progress"));
+        let e = SimError::FaultBudgetExceeded { f: 1, already_crashed: 1 };
+        assert!(e.to_string().contains("failure threshold"));
+    }
+
+    #[test]
+    fn object_error_converts_and_sources() {
+        let oe = ObjectError::UnsupportedOp { kind: ObjectKind::Register, op: BaseOp::ReadMax };
+        let se: SimError = oe.into();
+        assert!(matches!(se, SimError::Object(_)));
+        assert!(std::error::Error::source(&se).is_some());
+        assert!(std::error::Error::source(&SimError::UnknownOp(OpId::new(1))).is_none());
+    }
+}

@@ -1,0 +1,280 @@
+//! The recorded history of a run.
+//!
+//! [`History`] is an append-only event log plus convenience queries used by
+//! the metrics module, the consistency checkers and the lower-bound
+//! adversary. It intentionally stores the raw [`Event`] stream rather than a
+//! digested form, so that every consumer (linearizability checker,
+//! WS-Regularity checker, covering analysis, point-contention analysis) can
+//! derive exactly the view it needs.
+
+use crate::event::Event;
+use crate::ids::{ClientId, HighOpId, ObjectId, OpId, Time};
+use crate::op::{HighOp, HighResponse};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// A completed or pending high-level operation extracted from a history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HighInterval {
+    /// Identifier of the high-level operation.
+    pub id: HighOpId,
+    /// The invoking client.
+    pub client: ClientId,
+    /// The operation.
+    pub op: HighOp,
+    /// Invocation time.
+    pub invoked_at: Time,
+    /// Return time and response, or `None` if the operation is pending.
+    pub returned: Option<(Time, HighResponse)>,
+}
+
+impl HighInterval {
+    /// Returns `true` if the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.returned.is_some()
+    }
+
+    /// Returns `true` if `self` precedes `other` (returned before the other
+    /// was invoked), i.e. `self ≺ other` in the schedule's real-time order.
+    pub fn precedes(&self, other: &HighInterval) -> bool {
+        match self.returned {
+            Some((t, _)) => t < other.invoked_at,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if the two operations are concurrent (neither precedes
+    /// the other).
+    pub fn concurrent_with(&self, other: &HighInterval) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+}
+
+/// Append-only record of every action taken in a run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All events, in the order they occurred.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Extracts all high-level operation intervals, in invocation order.
+    pub fn high_intervals(&self) -> Vec<HighInterval> {
+        let mut out: Vec<HighInterval> = Vec::new();
+        for e in &self.events {
+            match *e {
+                Event::Invoke { time, client, high_op, op } => out.push(HighInterval {
+                    id: high_op,
+                    client,
+                    op,
+                    invoked_at: time,
+                    returned: None,
+                }),
+                Event::Return { time, high_op, response, .. } => {
+                    if let Some(iv) = out.iter_mut().find(|iv| iv.id == high_op) {
+                        iv.returned = Some((time, response));
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The set of base objects on which at least one low-level operation was
+    /// triggered — the *resource consumption* of the run (Section 2).
+    pub fn touched_objects(&self) -> BTreeSet<ObjectId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Trigger { object, .. } => Some(*object),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The set of base objects on which at least one low-level *write-class*
+    /// operation was triggered.
+    pub fn written_objects(&self) -> BTreeSet<ObjectId> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Trigger { object, op, .. } if op.is_write() => Some(*object),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Identifiers of low-level operations that were triggered but have not
+    /// responded in this history (pending operations).
+    pub fn pending_low_level(&self) -> BTreeSet<OpId> {
+        let mut pending = BTreeSet::new();
+        for e in &self.events {
+            match e {
+                Event::Trigger { op_id, .. } => {
+                    pending.insert(*op_id);
+                }
+                Event::Respond { op_id, .. } => {
+                    pending.remove(op_id);
+                }
+                _ => {}
+            }
+        }
+        pending
+    }
+
+    /// Returns `true` if no two high-level *writes* are concurrent — the
+    /// run is *write-sequential* (Section 2).
+    pub fn is_write_sequential(&self) -> bool {
+        let writes: Vec<HighInterval> = self
+            .high_intervals()
+            .into_iter()
+            .filter(|iv| iv.op.is_write())
+            .collect();
+        for (i, a) in writes.iter().enumerate() {
+            for b in writes.iter().skip(i + 1) {
+                if a.concurrent_with(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the run is write-only (no high-level reads invoked).
+    pub fn is_write_only(&self) -> bool {
+        self.high_intervals().iter().all(|iv| iv.op.is_write())
+    }
+
+    /// Maximum number of clients with an incomplete high-level operation at
+    /// any single point of the run — the *point contention* (Appendix C).
+    pub fn point_contention(&self) -> usize {
+        let mut current: BTreeSet<ClientId> = BTreeSet::new();
+        let mut max = 0usize;
+        for e in &self.events {
+            match e {
+                Event::Invoke { client, .. } => {
+                    current.insert(*client);
+                    max = max.max(current.len());
+                }
+                Event::Return { client, .. } => {
+                    current.remove(client);
+                }
+                _ => {}
+            }
+        }
+        max
+    }
+
+    /// The largest time stamp recorded, i.e. the length of the run in steps.
+    pub fn end_time(&self) -> Time {
+        self.events.last().map(Event::time).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BaseOp, BaseResponse};
+    use crate::value::Value;
+
+    fn mk_history() -> History {
+        let mut h = History::new();
+        // c0: WRITE(1) [t1..t4] touching b0 (write, responds) and b1 (write, pending)
+        h.push(Event::Invoke { time: 1, client: ClientId::new(0), high_op: HighOpId::new(0), op: HighOp::Write(1) });
+        h.push(Event::Trigger { time: 2, client: ClientId::new(0), high_op: Some(HighOpId::new(0)), op_id: OpId::new(0), object: ObjectId::new(0), op: BaseOp::Write(Value::new(1, 1)) });
+        h.push(Event::Trigger { time: 2, client: ClientId::new(0), high_op: Some(HighOpId::new(0)), op_id: OpId::new(1), object: ObjectId::new(1), op: BaseOp::Write(Value::new(1, 1)) });
+        h.push(Event::Respond { time: 3, client: ClientId::new(0), op_id: OpId::new(0), object: ObjectId::new(0), response: BaseResponse::WriteAck });
+        h.push(Event::Return { time: 4, client: ClientId::new(0), high_op: HighOpId::new(0), response: HighResponse::WriteAck });
+        // c1: READ() [t5..] pending, triggers read on b0
+        h.push(Event::Invoke { time: 5, client: ClientId::new(1), high_op: HighOpId::new(1), op: HighOp::Read });
+        h.push(Event::Trigger { time: 6, client: ClientId::new(1), high_op: Some(HighOpId::new(1)), op_id: OpId::new(2), object: ObjectId::new(0), op: BaseOp::Read });
+        h
+    }
+
+    #[test]
+    fn high_intervals_and_precedence() {
+        let h = mk_history();
+        let ivs = h.high_intervals();
+        assert_eq!(ivs.len(), 2);
+        assert!(ivs[0].is_complete());
+        assert!(!ivs[1].is_complete());
+        assert!(ivs[0].precedes(&ivs[1]));
+        assert!(!ivs[1].precedes(&ivs[0]));
+        assert!(!ivs[0].concurrent_with(&ivs[1]));
+    }
+
+    #[test]
+    fn touched_and_pending_sets() {
+        let h = mk_history();
+        let touched = h.touched_objects();
+        assert!(touched.contains(&ObjectId::new(0)));
+        assert!(touched.contains(&ObjectId::new(1)));
+        assert_eq!(touched.len(), 2);
+        assert_eq!(h.written_objects().len(), 2);
+        let pending = h.pending_low_level();
+        assert!(pending.contains(&OpId::new(1)));
+        assert!(pending.contains(&OpId::new(2)));
+        assert!(!pending.contains(&OpId::new(0)));
+    }
+
+    #[test]
+    fn write_sequential_and_write_only_detection() {
+        let h = mk_history();
+        assert!(h.is_write_sequential());
+        assert!(!h.is_write_only());
+
+        // Two overlapping writes are not write-sequential.
+        let mut h2 = History::new();
+        h2.push(Event::Invoke { time: 1, client: ClientId::new(0), high_op: HighOpId::new(0), op: HighOp::Write(1) });
+        h2.push(Event::Invoke { time: 2, client: ClientId::new(1), high_op: HighOpId::new(1), op: HighOp::Write(2) });
+        h2.push(Event::Return { time: 3, client: ClientId::new(0), high_op: HighOpId::new(0), response: HighResponse::WriteAck });
+        assert!(!h2.is_write_sequential());
+        assert!(h2.is_write_only());
+    }
+
+    #[test]
+    fn point_contention_counts_concurrent_high_ops() {
+        let h = mk_history();
+        assert_eq!(h.point_contention(), 1);
+        let mut h2 = History::new();
+        for i in 0..3u64 {
+            h2.push(Event::Invoke { time: i, client: ClientId::new(i as usize), high_op: HighOpId::new(i), op: HighOp::Write(i) });
+        }
+        h2.push(Event::Return { time: 4, client: ClientId::new(0), high_op: HighOpId::new(0), response: HighResponse::WriteAck });
+        assert_eq!(h2.point_contention(), 3);
+    }
+
+    #[test]
+    fn end_time_and_len() {
+        let h = mk_history();
+        assert_eq!(h.end_time(), 6);
+        assert_eq!(h.len(), 7);
+        assert!(!h.is_empty());
+        assert!(History::new().is_empty());
+    }
+}

@@ -1,0 +1,674 @@
+//! The simulation engine for asynchronous fault-prone shared memory.
+//!
+//! [`Simulation`] executes runs of an emulation algorithm under *explicit*
+//! environment control: nothing happens unless the caller (a driver or an
+//! adversary) asks for it. The primitive transitions are:
+//!
+//! * [`Simulation::invoke`] — a client invokes a high-level operation; its
+//!   protocol state machine runs and may trigger low-level operations.
+//! * [`Simulation::deliver`] — a pending low-level operation takes effect on
+//!   its (atomic) base object **and** responds to the client, in one step.
+//!   This realizes Assumption 1 (Write Linearization): a write linearizes at
+//!   its respond step, so a pending write has no effect until it is delivered.
+//! * [`Simulation::drop_pending`] — a pending low-level operation is discarded
+//!   without ever taking effect (e.g. a message lost because its sender
+//!   crashed). The environment is free to choose between delivering and
+//!   dropping, exactly as in the paper's model.
+//! * [`Simulation::crash_server`] / [`Simulation::crash_client`] — crash
+//!   faults; crashing a server crashes every base object mapped to it.
+//!
+//! Fair schedules, crash plans and the lower-bound adversary `Ad_i` are all
+//! implemented *on top of* this interface (see [`crate::driver`] and the
+//! `regemu-adversary` crate).
+
+use crate::client::{ClientProtocol, Context, Delivery};
+use crate::error::SimError;
+use crate::event::Event;
+use crate::history::History;
+use crate::ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
+use crate::object::BaseObject;
+use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
+use crate::topology::Topology;
+use std::collections::BTreeMap;
+
+/// Static configuration of a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Failure threshold `f`. When set, [`Simulation::crash_server`] refuses
+    /// to crash more than `f` servers, which keeps runs inside the fault model
+    /// the emulation was designed for. Use [`SimConfig::unchecked`] to lift
+    /// the restriction (e.g. for impossibility demonstrations).
+    pub fault_threshold: Option<usize>,
+}
+
+impl SimConfig {
+    /// Configuration enforcing the failure threshold `f`.
+    pub fn with_fault_threshold(f: usize) -> Self {
+        SimConfig { fault_threshold: Some(f) }
+    }
+
+    /// Configuration without a failure-threshold check.
+    pub fn unchecked() -> Self {
+        SimConfig { fault_threshold: None }
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::unchecked()
+    }
+}
+
+/// A low-level operation that has been triggered but has not yet responded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingOp {
+    /// Identifier of the operation.
+    pub op_id: OpId,
+    /// Client that triggered it.
+    pub client: ClientId,
+    /// High-level operation on whose behalf it was triggered (if any).
+    pub high_op: Option<HighOpId>,
+    /// Target base object.
+    pub object: ObjectId,
+    /// Server hosting the target object.
+    pub server: ServerId,
+    /// The operation itself.
+    pub op: BaseOp,
+    /// Time at which it was triggered.
+    pub triggered_at: Time,
+}
+
+impl PendingOp {
+    /// Returns `true` if this pending operation is a *covering write*: a
+    /// write-class operation that may still take effect and overwrite the
+    /// object at any later time.
+    pub fn is_covering_write(&self) -> bool {
+        self.op.is_write()
+    }
+}
+
+/// Result of delivering a pending low-level operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryOutcome {
+    /// The response the base object produced.
+    pub response: BaseResponse,
+    /// Set when delivering this response caused the client's current
+    /// high-level operation to return.
+    pub completed_high_op: Option<(HighOpId, HighResponse)>,
+    /// `false` when the triggering client had crashed: the operation still
+    /// took effect on the object, but no response was delivered to anyone.
+    pub notified_client: bool,
+}
+
+/// State of a single client inside the simulation.
+struct ClientSlot {
+    protocol: Box<dyn ClientProtocol>,
+    crashed: bool,
+    /// High-level operation currently in progress, if any.
+    current: Option<(HighOpId, HighOp)>,
+    /// Completed high-level operations, in completion order.
+    completed: Vec<(HighOpId, HighOp, HighResponse)>,
+}
+
+/// The simulation of an asynchronous fault-prone shared-memory system.
+pub struct Simulation {
+    topology: Topology,
+    config: SimConfig,
+    objects: Vec<BaseObject>,
+    server_crashed: Vec<bool>,
+    clients: Vec<ClientSlot>,
+    pending: BTreeMap<OpId, PendingOp>,
+    history: History,
+    time: Time,
+    next_op_id: u64,
+    next_high_id: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation for the given topology.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        let objects = topology
+            .objects()
+            .map(|id| BaseObject::new(id, topology.server_of(id), topology.kind_of(id)))
+            .collect();
+        let server_crashed = vec![false; topology.server_count()];
+        Simulation {
+            topology,
+            config,
+            objects,
+            server_crashed,
+            clients: Vec::new(),
+            pending: BTreeMap::new(),
+            history: History::new(),
+            time: 0,
+            next_op_id: 0,
+            next_high_id: 0,
+        }
+    }
+
+    /// The topology this simulation runs over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The configuration of the simulation.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Current logical time (number of steps executed so far).
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The recorded history of the run so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Registers a new client running the given protocol and returns its id.
+    pub fn register_client(&mut self, protocol: Box<dyn ClientProtocol>) -> ClientId {
+        let id = ClientId::new(self.clients.len());
+        self.clients.push(ClientSlot {
+            protocol,
+            crashed: false,
+            current: None,
+            completed: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of registered clients.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Returns the base object with the given id.
+    pub fn object(&self, id: ObjectId) -> Result<&BaseObject, SimError> {
+        self.objects.get(id.index()).ok_or(SimError::UnknownObject(id))
+    }
+
+    /// Returns `true` if the server has crashed.
+    pub fn is_server_crashed(&self, server: ServerId) -> bool {
+        self.server_crashed.get(server.index()).copied().unwrap_or(false)
+    }
+
+    /// Returns `true` if the client has crashed.
+    pub fn is_client_crashed(&self, client: ClientId) -> bool {
+        self.clients.get(client.index()).map(|c| c.crashed).unwrap_or(false)
+    }
+
+    /// Number of servers crashed so far.
+    pub fn crashed_server_count(&self) -> usize {
+        self.server_crashed.iter().filter(|c| **c).count()
+    }
+
+    /// Returns `true` if the client has no high-level operation in progress
+    /// and has not crashed.
+    pub fn is_client_idle(&self, client: ClientId) -> bool {
+        self.clients
+            .get(client.index())
+            .map(|c| !c.crashed && c.current.is_none())
+            .unwrap_or(false)
+    }
+
+    /// The high-level operation currently in progress at `client`, if any.
+    pub fn current_high_op(&self, client: ClientId) -> Option<(HighOpId, HighOp)> {
+        self.clients.get(client.index()).and_then(|c| c.current)
+    }
+
+    /// Returns the response of a completed high-level operation, if it has
+    /// completed.
+    pub fn result_of(&self, high_op: HighOpId) -> Option<HighResponse> {
+        self.clients
+            .iter()
+            .flat_map(|c| c.completed.iter())
+            .find(|(id, _, _)| *id == high_op)
+            .map(|(_, _, resp)| *resp)
+    }
+
+    /// All completed high-level operations of `client`, in completion order.
+    pub fn completed_ops(&self, client: ClientId) -> &[(HighOpId, HighOp, HighResponse)] {
+        self.clients
+            .get(client.index())
+            .map(|c| c.completed.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Iterator over all pending low-level operations.
+    pub fn pending_ops(&self) -> impl Iterator<Item = &PendingOp> {
+        self.pending.values()
+    }
+
+    /// Number of pending low-level operations.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The pending operation with the given id, if any.
+    pub fn pending_op(&self, op_id: OpId) -> Option<&PendingOp> {
+        self.pending.get(&op_id)
+    }
+
+    /// Pending operations that can still be delivered (their server has not
+    /// crashed).
+    pub fn deliverable_ops(&self) -> impl Iterator<Item = &PendingOp> {
+        self.pending
+            .values()
+            .filter(move |p| !self.is_server_crashed(p.server))
+    }
+
+    // ----- transitions -----------------------------------------------------
+
+    /// Invokes a high-level operation at `client`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the client is unknown, crashed, or already has a high-level
+    /// operation in progress (per-client schedules must be sequential).
+    pub fn invoke(&mut self, client: ClientId, op: HighOp) -> Result<HighOpId, SimError> {
+        let slot = self
+            .clients
+            .get(client.index())
+            .ok_or(SimError::UnknownClient(client))?;
+        if slot.crashed {
+            return Err(SimError::ClientCrashed(client));
+        }
+        if slot.current.is_some() {
+            return Err(SimError::ClientBusy(client));
+        }
+
+        let high_op = HighOpId::new(self.next_high_id);
+        self.next_high_id += 1;
+        self.time += 1;
+        self.history.push(Event::Invoke { time: self.time, client, high_op, op });
+        self.clients[client.index()].current = Some((high_op, op));
+
+        let mut ctx = Context::new(client, self.time, &mut self.next_op_id);
+        // Split borrow: protocol is behind the slot, context borrows the id
+        // counter; both are disjoint fields of `self` only via this temporary
+        // take-out of the protocol box.
+        let mut protocol = std::mem::replace(
+            &mut self.clients[client.index()].protocol,
+            Box::new(crate::client::NoopProtocol),
+        );
+        protocol.on_invoke(op, &mut ctx);
+        self.clients[client.index()].protocol = protocol;
+        let (triggers, completion) = ctx.into_effects();
+        self.apply_effects(client, Some(high_op), triggers, completion);
+        Ok(high_op)
+    }
+
+    /// Delivers the pending low-level operation `op_id`: the operation takes
+    /// effect on its base object and the response is handed to the client's
+    /// protocol (unless the client crashed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operation is not pending or its server has crashed.
+    pub fn deliver(&mut self, op_id: OpId) -> Result<DeliveryOutcome, SimError> {
+        let pending = *self.pending.get(&op_id).ok_or(SimError::UnknownOp(op_id))?;
+        if self.is_server_crashed(pending.server) {
+            return Err(SimError::ServerCrashed(pending.server));
+        }
+        // Apply to the object: this is the operation's linearization point.
+        let response = self.objects[pending.object.index()].apply(&pending.op)?;
+        self.pending.remove(&op_id);
+        self.time += 1;
+        self.history.push(Event::Respond {
+            time: self.time,
+            client: pending.client,
+            op_id,
+            object: pending.object,
+            response,
+        });
+
+        let client_crashed = self.is_client_crashed(pending.client);
+        if client_crashed {
+            return Ok(DeliveryOutcome { response, completed_high_op: None, notified_client: false });
+        }
+
+        let delivery = Delivery {
+            op_id,
+            object: pending.object,
+            server: pending.server,
+            op: pending.op,
+            response,
+        };
+        let client = pending.client;
+        let current_high = self.clients[client.index()].current.map(|(id, _)| id);
+        let mut ctx = Context::new(client, self.time, &mut self.next_op_id);
+        let mut protocol = std::mem::replace(
+            &mut self.clients[client.index()].protocol,
+            Box::new(crate::client::NoopProtocol),
+        );
+        protocol.on_response(delivery, &mut ctx);
+        self.clients[client.index()].protocol = protocol;
+        let (triggers, completion) = ctx.into_effects();
+        let completed = self.apply_effects(client, current_high, triggers, completion);
+        Ok(DeliveryOutcome { response, completed_high_op: completed, notified_client: true })
+    }
+
+    /// Discards a pending low-level operation without applying it.
+    ///
+    /// Models an operation that never takes effect (for instance because the
+    /// message carrying it was lost when its sender crashed). The environment
+    /// may choose freely between [`Simulation::deliver`] and this.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operation is not pending.
+    pub fn drop_pending(&mut self, op_id: OpId) -> Result<PendingOp, SimError> {
+        self.pending.remove(&op_id).ok_or(SimError::UnknownOp(op_id))
+    }
+
+    /// Crashes a server, crashing every base object mapped to it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the server is unknown or crashing it would exceed the
+    /// configured failure threshold.
+    pub fn crash_server(&mut self, server: ServerId) -> Result<(), SimError> {
+        if server.index() >= self.topology.server_count() {
+            return Err(SimError::UnknownServer(server));
+        }
+        if self.server_crashed[server.index()] {
+            return Ok(());
+        }
+        if let Some(f) = self.config.fault_threshold {
+            let crashed = self.crashed_server_count();
+            if crashed >= f {
+                return Err(SimError::FaultBudgetExceeded { f, already_crashed: crashed });
+            }
+        }
+        self.server_crashed[server.index()] = true;
+        for obj in self.topology.objects_on(server) {
+            self.objects[obj.index()].crash();
+        }
+        self.time += 1;
+        self.history.push(Event::ServerCrash { time: self.time, server });
+        Ok(())
+    }
+
+    /// Crashes a client. Its pending low-level operations remain pending; the
+    /// environment decides whether they ever take effect.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the client is unknown.
+    pub fn crash_client(&mut self, client: ClientId) -> Result<(), SimError> {
+        if client.index() >= self.clients.len() {
+            return Err(SimError::UnknownClient(client));
+        }
+        if self.clients[client.index()].crashed {
+            return Ok(());
+        }
+        self.clients[client.index()].crashed = true;
+        self.time += 1;
+        self.history.push(Event::ClientCrash { time: self.time, client });
+        Ok(())
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    fn apply_effects(
+        &mut self,
+        client: ClientId,
+        high_op: Option<HighOpId>,
+        triggers: Vec<(OpId, ObjectId, BaseOp)>,
+        completion: Option<HighResponse>,
+    ) -> Option<(HighOpId, HighResponse)> {
+        for (op_id, object, op) in triggers {
+            let server = self.topology.server_of(object);
+            debug_assert!(
+                self.topology.kind_of(object).supports(&op),
+                "protocol {} triggered {} on a {}",
+                self.clients[client.index()].protocol.name(),
+                op,
+                self.topology.kind_of(object),
+            );
+            self.time += 1;
+            self.history.push(Event::Trigger {
+                time: self.time,
+                client,
+                high_op,
+                op_id,
+                object,
+                op,
+            });
+            self.pending.insert(
+                op_id,
+                PendingOp {
+                    op_id,
+                    client,
+                    high_op,
+                    object,
+                    server,
+                    op,
+                    triggered_at: self.time,
+                },
+            );
+        }
+        if let Some(response) = completion {
+            let (high_id, op) = self.clients[client.index()]
+                .current
+                .take()
+                .expect("protocol completed a high-level operation but none was in progress");
+            self.time += 1;
+            self.history.push(Event::Return {
+                time: self.time,
+                client,
+                high_op: high_id,
+                response,
+            });
+            self.clients[client.index()].completed.push((high_id, op, response));
+            Some((high_id, response))
+        } else {
+            None
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("time", &self.time)
+            .field("servers", &self.topology.server_count())
+            .field("objects", &self.topology.object_count())
+            .field("clients", &self.clients.len())
+            .field("pending", &self.pending.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NoopProtocol;
+    use crate::object::ObjectKind;
+    use crate::value::Value;
+
+    /// A protocol that writes to a fixed register and returns after the ack,
+    /// and reads from it and returns the payload.
+    struct SingleRegisterClient {
+        target: ObjectId,
+    }
+
+    impl ClientProtocol for SingleRegisterClient {
+        fn on_invoke(&mut self, op: HighOp, ctx: &mut Context<'_>) {
+            match op {
+                HighOp::Write(v) => {
+                    ctx.trigger(self.target, BaseOp::Write(Value::new(1, v)));
+                }
+                HighOp::Read => {
+                    ctx.trigger(self.target, BaseOp::Read);
+                }
+            }
+        }
+
+        fn on_response(&mut self, delivery: Delivery, ctx: &mut Context<'_>) {
+            match delivery.response {
+                BaseResponse::WriteAck => ctx.complete(HighResponse::WriteAck),
+                BaseResponse::ReadValue(v) => ctx.complete(HighResponse::ReadValue(v.val)),
+                _ => unreachable!(),
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "single-register"
+        }
+    }
+
+    fn simple_sim() -> (Simulation, ObjectId) {
+        let mut t = Topology::new(1);
+        let b = t.add_object(ObjectKind::Register, ServerId::new(0));
+        (Simulation::new(t, SimConfig::unchecked()), b)
+    }
+
+    #[test]
+    fn invoke_deliver_complete_cycle() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        let w = sim.invoke(c, HighOp::Write(42)).unwrap();
+        assert!(sim.result_of(w).is_none());
+        assert_eq!(sim.pending_count(), 1);
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        let outcome = sim.deliver(op_id).unwrap();
+        assert!(outcome.notified_client);
+        assert_eq!(outcome.completed_high_op, Some((w, HighResponse::WriteAck)));
+        assert_eq!(sim.result_of(w), Some(HighResponse::WriteAck));
+        assert_eq!(sim.pending_count(), 0);
+
+        let r = sim.invoke(c, HighOp::Read).unwrap();
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        sim.deliver(op_id).unwrap();
+        assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(42)));
+    }
+
+    #[test]
+    fn pending_write_has_no_effect_until_delivered() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        sim.invoke(c, HighOp::Write(7)).unwrap();
+        // The write is pending: the object still holds the initial value.
+        assert_eq!(sim.object(b).unwrap().value(), Value::INITIAL);
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        sim.deliver(op_id).unwrap();
+        assert_eq!(sim.object(b).unwrap().value(), Value::new(1, 7));
+    }
+
+    #[test]
+    fn dropped_ops_never_take_effect() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        sim.invoke(c, HighOp::Write(7)).unwrap();
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        let dropped = sim.drop_pending(op_id).unwrap();
+        assert!(dropped.is_covering_write());
+        assert_eq!(sim.pending_count(), 0);
+        assert_eq!(sim.object(b).unwrap().value(), Value::INITIAL);
+        assert_eq!(sim.deliver(op_id).unwrap_err(), SimError::UnknownOp(op_id));
+    }
+
+    #[test]
+    fn busy_and_crashed_clients_cannot_invoke() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        sim.invoke(c, HighOp::Write(1)).unwrap();
+        assert_eq!(sim.invoke(c, HighOp::Read).unwrap_err(), SimError::ClientBusy(c));
+        sim.crash_client(c).unwrap();
+        assert_eq!(sim.invoke(c, HighOp::Read).unwrap_err(), SimError::ClientCrashed(c));
+        assert!(sim.is_client_crashed(c));
+        assert!(!sim.is_client_idle(c));
+    }
+
+    #[test]
+    fn crashed_server_blocks_delivery_and_crashes_objects() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        sim.invoke(c, HighOp::Write(1)).unwrap();
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        sim.crash_server(ServerId::new(0)).unwrap();
+        assert!(sim.is_server_crashed(ServerId::new(0)));
+        assert!(sim.object(b).unwrap().is_crashed());
+        assert_eq!(sim.deliver(op_id).unwrap_err(), SimError::ServerCrashed(ServerId::new(0)));
+        assert_eq!(sim.deliverable_ops().count(), 0);
+        assert_eq!(sim.pending_count(), 1);
+    }
+
+    #[test]
+    fn fault_threshold_is_enforced() {
+        let mut t = Topology::new(3);
+        t.add_object_per_server(ObjectKind::Register);
+        let mut sim = Simulation::new(t, SimConfig::with_fault_threshold(1));
+        sim.crash_server(ServerId::new(0)).unwrap();
+        // Re-crashing the same server is a no-op, not a second fault.
+        sim.crash_server(ServerId::new(0)).unwrap();
+        let err = sim.crash_server(ServerId::new(1)).unwrap_err();
+        assert!(matches!(err, SimError::FaultBudgetExceeded { f: 1, already_crashed: 1 }));
+        assert_eq!(sim.crashed_server_count(), 1);
+    }
+
+    #[test]
+    fn delivery_to_crashed_client_still_applies_to_object() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        let w = sim.invoke(c, HighOp::Write(9)).unwrap();
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        sim.crash_client(c).unwrap();
+        let outcome = sim.deliver(op_id).unwrap();
+        assert!(!outcome.notified_client);
+        assert!(outcome.completed_high_op.is_none());
+        // The write took effect even though nobody was notified.
+        assert_eq!(sim.object(b).unwrap().value(), Value::new(1, 9));
+        assert!(sim.result_of(w).is_none());
+    }
+
+    #[test]
+    fn history_records_the_full_run() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        let w = sim.invoke(c, HighOp::Write(3)).unwrap();
+        let op_id = sim.pending_ops().next().unwrap().op_id;
+        sim.deliver(op_id).unwrap();
+        let h = sim.history();
+        assert_eq!(h.high_intervals().len(), 1);
+        assert!(h.high_intervals()[0].is_complete());
+        assert_eq!(h.touched_objects().len(), 1);
+        assert!(h.is_write_sequential());
+        assert!(sim.result_of(w).is_some());
+        assert!(sim.time() >= 4);
+    }
+
+    #[test]
+    fn noop_protocol_returns_without_pending_ops() {
+        let (mut sim, _b) = simple_sim();
+        let c = sim.register_client(Box::new(NoopProtocol));
+        let w = sim.invoke(c, HighOp::Write(1)).unwrap();
+        assert_eq!(sim.result_of(w), Some(HighResponse::WriteAck));
+        assert_eq!(sim.pending_count(), 0);
+        assert!(sim.is_client_idle(c));
+        assert_eq!(sim.completed_ops(c).len(), 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_rejected() {
+        let (mut sim, _b) = simple_sim();
+        assert!(matches!(
+            sim.invoke(ClientId::new(5), HighOp::Read),
+            Err(SimError::UnknownClient(_))
+        ));
+        assert!(matches!(sim.deliver(OpId::new(99)), Err(SimError::UnknownOp(_))));
+        assert!(matches!(
+            sim.crash_server(ServerId::new(9)),
+            Err(SimError::UnknownServer(_))
+        ));
+        assert!(matches!(
+            sim.crash_client(ClientId::new(9)),
+            Err(SimError::UnknownClient(_))
+        ));
+        assert!(matches!(sim.object(ObjectId::new(42)), Err(SimError::UnknownObject(_))));
+    }
+}

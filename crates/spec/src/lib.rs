@@ -1,0 +1,52 @@
+//! # regemu-spec — consistency-condition checkers
+//!
+//! Checkers for the consistency conditions used by Chockler & Spiegelman
+//! (PODC 2017) to state their bounds:
+//!
+//! * **atomicity** (linearizability) — [`linearizability::check_linearizable`];
+//! * **Write-Sequential Regularity** — [`regularity::check_ws_regular`], the
+//!   condition satisfied by the paper's upper-bound constructions;
+//! * **Write-Sequential Safety** — [`regularity::check_ws_safe`], the weaker
+//!   condition under which the lower bounds are proven.
+//!
+//! The checkers operate on [`history::HighHistory`] schedules, which can be
+//! extracted from any recorded `regemu-fpsm` run or constructed by hand.
+//!
+//! ## Example
+//!
+//! ```
+//! use regemu_spec::prelude::*;
+//! use regemu_fpsm::{HighOp, HighResponse};
+//!
+//! let mut schedule = HighHistory::default();
+//! schedule.push_complete(0, HighOp::Write(7), HighResponse::WriteAck, 0, 1);
+//! schedule.push_complete(1, HighOp::Read, HighResponse::ReadValue(7), 2, 3);
+//!
+//! check_ws_regular(&schedule, &SequentialSpec::register())?;
+//! check_linearizable(&schedule, &SequentialSpec::register())?;
+//! # Ok::<(), regemu_spec::Violation>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod history;
+pub mod linearizability;
+pub mod regularity;
+pub mod report;
+pub mod sequential;
+
+pub use history::HighHistory;
+pub use linearizability::check_linearizable;
+pub use regularity::{check_ws_regular, check_ws_safe, legal_read_values};
+pub use report::{CheckResult, Condition, Violation};
+pub use sequential::{Semantics, SequentialSpec};
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::history::HighHistory;
+    pub use crate::linearizability::check_linearizable;
+    pub use crate::regularity::{check_ws_regular, check_ws_safe};
+    pub use crate::report::{CheckResult, Condition, Violation};
+    pub use crate::sequential::{Semantics, SequentialSpec};
+}

@@ -1,0 +1,251 @@
+//! Linearizability (atomicity) checking.
+//!
+//! Implements a Wing & Gong style search: a schedule is linearizable with
+//! respect to a sequential specification iff there is a total order of its
+//! operations that (1) respects the real-time precedence relation `≺` and (2)
+//! belongs to the specification. Complete operations must all appear in the
+//! linearization; pending write operations *may* be included (they may have
+//! taken effect), pending reads are ignored.
+//!
+//! The search memoizes visited `(set of linearized ops, abstract state)`
+//! pairs, which keeps it fast for the moderately sized, moderately concurrent
+//! histories produced by the test suites. It is exponential in the worst
+//! case, as any exact checker must be.
+
+use crate::history::HighHistory;
+use crate::report::{CheckResult, Condition, Violation};
+use crate::sequential::SequentialSpec;
+use regemu_fpsm::history::HighInterval;
+use regemu_fpsm::Payload;
+use std::collections::HashSet;
+
+/// Checks that `history` is linearizable (atomic) w.r.t. `spec`.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] with condition [`Condition::Atomicity`] when no
+/// linearization exists.
+pub fn check_linearizable(history: &HighHistory, spec: &SequentialSpec) -> CheckResult {
+    let ops: Vec<HighInterval> = history
+        .ops()
+        .iter()
+        // Pending reads impose no constraint and can be dropped outright.
+        .filter(|o| o.is_complete() || o.op.is_write())
+        .copied()
+        .collect();
+
+    if ops.is_empty() {
+        return Ok(());
+    }
+
+    let searcher = Searcher { ops: &ops, spec: *spec };
+    if searcher.search() {
+        Ok(())
+    } else {
+        Err(Violation::new(
+            Condition::Atomicity,
+            None,
+            format!(
+                "no linearization of the {} operations exists for the {:?} specification",
+                ops.len(),
+                spec.semantics
+            ),
+        ))
+    }
+}
+
+struct Searcher<'a> {
+    ops: &'a [HighInterval],
+    spec: SequentialSpec,
+}
+
+impl Searcher<'_> {
+    fn search(&self) -> bool {
+        let n = self.ops.len();
+        let mut scheduled = vec![false; n];
+        let mut visited: HashSet<(Vec<u64>, Payload)> = HashSet::new();
+        self.dfs(&mut scheduled, self.spec.initial, &mut visited)
+    }
+
+    fn key(scheduled: &[bool]) -> Vec<u64> {
+        let mut words = vec![0u64; scheduled.len().div_ceil(64)];
+        for (i, s) in scheduled.iter().enumerate() {
+            if *s {
+                words[i / 64] |= 1 << (i % 64);
+            }
+        }
+        words
+    }
+
+    /// Returns `true` if all remaining (unscheduled) complete operations can
+    /// still be linearized from `state`.
+    fn dfs(
+        &self,
+        scheduled: &mut Vec<bool>,
+        state: Payload,
+        visited: &mut HashSet<(Vec<u64>, Payload)>,
+    ) -> bool {
+        if self
+            .ops
+            .iter()
+            .zip(scheduled.iter())
+            .all(|(o, s)| *s || !o.is_complete())
+        {
+            return true;
+        }
+        if !visited.insert((Self::key(scheduled), state)) {
+            return false;
+        }
+
+        for i in 0..self.ops.len() {
+            if scheduled[i] || !self.is_minimal(i, scheduled) {
+                continue;
+            }
+            let op = &self.ops[i];
+            let (next_state, expected) = self.spec.step(state, op.op);
+            // A complete operation must have returned exactly the response
+            // the specification mandates at this point; a pending write is
+            // unconstrained (it never returned).
+            let consistent = match op.returned {
+                Some((_, actual)) => actual == expected,
+                None => true,
+            };
+            if !consistent {
+                continue;
+            }
+            scheduled[i] = true;
+            if self.dfs(scheduled, next_state, visited) {
+                scheduled[i] = false;
+                return true;
+            }
+            scheduled[i] = false;
+        }
+
+        // Pending writes may also be *skipped* (they may never take effect);
+        // skipping is modelled by the termination condition above, which only
+        // requires complete operations to be scheduled. However, a pending
+        // write that is never scheduled must not be required by any complete
+        // operation — the exploration above already covers that case because
+        // skipping simply means never choosing it.
+        false
+    }
+
+    /// `ops[i]` may be linearized next iff every *unscheduled* operation that
+    /// precedes it in real time has already been linearized — i.e. there is
+    /// no unscheduled `p` with `p ≺ ops[i]`.
+    fn is_minimal(&self, i: usize, scheduled: &[bool]) -> bool {
+        self.ops.iter().zip(scheduled.iter()).all(|(p, s)| {
+            *s || !p.precedes(&self.ops[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regemu_fpsm::HighOp;
+    use regemu_fpsm::HighResponse;
+
+    fn register() -> SequentialSpec {
+        SequentialSpec::register()
+    }
+
+    fn max_register() -> SequentialSpec {
+        SequentialSpec::max_register()
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 2, 3);
+        h.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 4, 5);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(2), 6, 7);
+        assert!(check_linearizable(&h, &register()).is_ok());
+    }
+
+    #[test]
+    fn stale_read_is_not_linearizable() {
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 2, 3);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 4, 5);
+        let err = check_linearizable(&h, &register()).unwrap_err();
+        assert_eq!(err.condition, Condition::Atomicity);
+    }
+
+    #[test]
+    fn concurrent_read_may_return_either_value() {
+        // Read overlaps the write of 2: both 1 and 2 are legal.
+        let mut ok1 = HighHistory::default();
+        ok1.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        ok1.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 2, 6);
+        ok1.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 3, 4);
+        assert!(check_linearizable(&ok1, &register()).is_ok());
+
+        let mut ok2 = HighHistory::default();
+        ok2.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        ok2.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 2, 6);
+        ok2.push_complete(1, HighOp::Read, HighResponse::ReadValue(2), 3, 4);
+        assert!(check_linearizable(&ok2, &register()).is_ok());
+    }
+
+    #[test]
+    fn new_old_inversion_is_rejected() {
+        // Two sequential reads around a concurrent write: the first sees the
+        // new value, the second the old one — classic atomicity violation.
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 2, 20);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(2), 3, 4);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 5, 6);
+        assert!(check_linearizable(&h, &register()).is_err());
+    }
+
+    #[test]
+    fn pending_write_may_or_may_not_take_effect() {
+        // A pending write of 5 explains the read of 5.
+        let mut h = HighHistory::default();
+        h.push_pending(0, HighOp::Write(5), 0);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(5), 1, 2);
+        assert!(check_linearizable(&h, &register()).is_ok());
+
+        // ... and a read of the initial value is fine too (the pending write
+        // simply never took effect).
+        let mut h2 = HighHistory::default();
+        h2.push_pending(0, HighOp::Write(5), 0);
+        h2.push_complete(1, HighOp::Read, HighResponse::ReadValue(0), 1, 2);
+        assert!(check_linearizable(&h2, &register()).is_ok());
+    }
+
+    #[test]
+    fn max_register_semantics_differ_from_register() {
+        // write 5, then write 3, then read. A max-register must return 5; a
+        // plain register must return 3.
+        let mut read5 = HighHistory::default();
+        read5.push_complete(0, HighOp::Write(5), HighResponse::WriteAck, 0, 1);
+        read5.push_complete(0, HighOp::Write(3), HighResponse::WriteAck, 2, 3);
+        read5.push_complete(1, HighOp::Read, HighResponse::ReadValue(5), 4, 5);
+        assert!(check_linearizable(&read5, &max_register()).is_ok());
+        assert!(check_linearizable(&read5, &register()).is_err());
+
+        let mut read3 = HighHistory::default();
+        read3.push_complete(0, HighOp::Write(5), HighResponse::WriteAck, 0, 1);
+        read3.push_complete(0, HighOp::Write(3), HighResponse::WriteAck, 2, 3);
+        read3.push_complete(1, HighOp::Read, HighResponse::ReadValue(3), 4, 5);
+        assert!(check_linearizable(&read3, &max_register()).is_err());
+        assert!(check_linearizable(&read3, &register()).is_ok());
+    }
+
+    #[test]
+    fn empty_and_read_only_histories_are_trivially_linearizable() {
+        let h = HighHistory::default();
+        assert!(check_linearizable(&h, &register()).is_ok());
+        let mut r = HighHistory::default();
+        r.push_complete(0, HighOp::Read, HighResponse::ReadValue(0), 0, 1);
+        assert!(check_linearizable(&r, &register()).is_ok());
+        let mut bad = HighHistory::default();
+        bad.push_complete(0, HighOp::Read, HighResponse::ReadValue(3), 0, 1);
+        assert!(check_linearizable(&bad, &register()).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Write-Sequential Regularity and Write-Sequential Safety checkers.
+//!
+//! The paper defines (Section 2 / Appendix A.3):
+//!
+//! * **WS-Regularity** — for every *write-sequential* schedule `σ` and every
+//!   complete read `rd`, there is a linearization of `σ|writes(σ) ∪ {rd}`.
+//! * **WS-Safety** — as WS-Regularity, but only required for complete reads
+//!   that are not concurrent with any write.
+//!
+//! Because the writes of a write-sequential schedule are totally ordered by
+//! real time, checking reduces to interval arithmetic: a read may be
+//! linearized after any write it does not precede and after every write that
+//! precedes it, so the set of legal return values is determined by that
+//! window. Schedules that are not write-sequential satisfy both conditions
+//! vacuously (and the checkers report success).
+
+use crate::history::HighHistory;
+use crate::report::{CheckResult, Condition, Violation};
+use crate::sequential::SequentialSpec;
+use regemu_fpsm::history::HighInterval;
+use regemu_fpsm::Payload;
+
+/// Checks Write-Sequential Regularity of `history` against `spec`.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] identifying the offending read when some complete
+/// read cannot be explained by any placement among the (sequential) writes.
+pub fn check_ws_regular(history: &HighHistory, spec: &SequentialSpec) -> CheckResult {
+    check(history, spec, Condition::WsRegularity)
+}
+
+/// Checks Write-Sequential Safety of `history` against `spec`.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] identifying the offending read when some complete
+/// read that is not concurrent with any write returns a value other than the
+/// one mandated by the last preceding write.
+pub fn check_ws_safe(history: &HighHistory, spec: &SequentialSpec) -> CheckResult {
+    check(history, spec, Condition::WsSafety)
+}
+
+fn check(history: &HighHistory, spec: &SequentialSpec, condition: Condition) -> CheckResult {
+    if !history.is_write_sequential() {
+        // Both conditions only constrain write-sequential schedules.
+        return Ok(());
+    }
+    let writes = history.sequential_writes();
+    for read in history.complete_reads() {
+        if condition == Condition::WsSafety
+            && writes.iter().any(|w| w.concurrent_with(&read))
+        {
+            // WS-Safety says nothing about reads concurrent with writes.
+            continue;
+        }
+        let legal = legal_read_values(&writes, &read, spec);
+        let returned = read
+            .returned
+            .and_then(|(_, r)| r.payload())
+            .expect("complete read carries a payload");
+        if !legal.contains(&returned) {
+            return Err(Violation::new(
+                condition,
+                Some(read),
+                format!(
+                    "read returned {returned} but only {legal:?} are allowed by the \
+                     write-sequential order"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The set of values a read may legally return given the totally ordered
+/// `writes` of a write-sequential schedule.
+///
+/// The read may be linearized immediately after the `j`-th write for any
+/// `j ∈ [p, q-1]`, where `p` is the number of writes that precede the read and
+/// `q-1` is the index of the last write the read does not precede. The value
+/// observed at position `j` is the sequential-specification state after the
+/// first `j` writes.
+pub fn legal_read_values(
+    writes: &[HighInterval],
+    read: &HighInterval,
+    spec: &SequentialSpec,
+) -> Vec<Payload> {
+    let m = writes.len();
+    // p: largest index (1-based) of a write that precedes the read.
+    let p = writes
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| w.precedes(read))
+        .map(|(i, _)| i + 1)
+        .max()
+        .unwrap_or(0);
+    // q: smallest index (1-based) of a write the read precedes.
+    let q = writes
+        .iter()
+        .enumerate()
+        .filter(|(_, w)| read.precedes(w))
+        .map(|(i, _)| i + 1)
+        .min()
+        .unwrap_or(m + 1);
+
+    let mut values = Vec::new();
+    let payloads: Vec<Payload> = writes
+        .iter()
+        .map(|w| w.op.payload().expect("write carries a payload"))
+        .collect();
+    for j in p..q {
+        values.push(spec.state_after(payloads.iter().take(j).copied()));
+    }
+    values.sort_unstable();
+    values.dedup();
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regemu_fpsm::{HighOp, HighResponse};
+
+    fn register() -> SequentialSpec {
+        SequentialSpec::register()
+    }
+
+    #[test]
+    fn read_after_write_must_return_it() {
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 2, 3);
+        assert!(check_ws_regular(&h, &register()).is_ok());
+        assert!(check_ws_safe(&h, &register()).is_ok());
+
+        let mut bad = HighHistory::default();
+        bad.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        bad.push_complete(1, HighOp::Read, HighResponse::ReadValue(0), 2, 3);
+        assert!(check_ws_regular(&bad, &register()).is_err());
+        assert!(check_ws_safe(&bad, &register()).is_err());
+    }
+
+    #[test]
+    fn read_concurrent_with_a_write_may_return_old_or_new() {
+        let mk = |ret: u64| {
+            let mut h = HighHistory::default();
+            h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+            h.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 2, 10);
+            h.push_complete(1, HighOp::Read, HighResponse::ReadValue(ret), 3, 4);
+            h
+        };
+        assert!(check_ws_regular(&mk(1), &register()).is_ok());
+        assert!(check_ws_regular(&mk(2), &register()).is_ok());
+        assert!(check_ws_regular(&mk(7), &register()).is_err());
+        // WS-Safety does not constrain reads concurrent with writes at all.
+        assert!(check_ws_safe(&mk(7), &register()).is_ok());
+    }
+
+    #[test]
+    fn regularity_forbids_reading_values_older_than_a_preceding_write() {
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(1, HighOp::Write(2), HighResponse::WriteAck, 2, 3);
+        // Read invoked after both writes returned: must return 2, not 1.
+        h.push_complete(2, HighOp::Read, HighResponse::ReadValue(1), 4, 5);
+        assert!(check_ws_regular(&h, &register()).is_err());
+    }
+
+    #[test]
+    fn unlike_atomicity_regularity_allows_new_old_inversion() {
+        // Two sequential reads both concurrent with the write of 2: the first
+        // returns the new value, the second the old one. Regular but not
+        // atomic.
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 2, 20);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(2), 3, 4);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 5, 6);
+        assert!(check_ws_regular(&h, &register()).is_ok());
+        let lin = crate::linearizability::check_linearizable(&h, &register());
+        assert!(lin.is_err());
+    }
+
+    #[test]
+    fn non_write_sequential_schedules_are_vacuously_ok() {
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 5);
+        h.push_complete(1, HighOp::Write(2), HighResponse::WriteAck, 2, 7);
+        h.push_complete(2, HighOp::Read, HighResponse::ReadValue(99), 3, 4);
+        assert!(check_ws_regular(&h, &register()).is_ok());
+        assert!(check_ws_safe(&h, &register()).is_ok());
+    }
+
+    #[test]
+    fn pending_write_value_is_legal_but_not_required() {
+        let mk = |ret: u64| {
+            let mut h = HighHistory::default();
+            h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+            h.push_pending(1, HighOp::Write(2), 2);
+            h.push_complete(2, HighOp::Read, HighResponse::ReadValue(ret), 3, 4);
+            h
+        };
+        assert!(check_ws_regular(&mk(1), &register()).is_ok());
+        assert!(check_ws_regular(&mk(2), &register()).is_ok());
+        assert!(check_ws_regular(&mk(0), &register()).is_err());
+    }
+
+    #[test]
+    fn reads_with_no_writes_must_return_initial() {
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Read, HighResponse::ReadValue(0), 0, 1);
+        assert!(check_ws_safe(&h, &register()).is_ok());
+        let mut bad = HighHistory::default();
+        bad.push_complete(0, HighOp::Read, HighResponse::ReadValue(4), 0, 1);
+        assert!(check_ws_safe(&bad, &register()).is_err());
+    }
+
+    #[test]
+    fn legal_values_window_is_computed_correctly() {
+        let w1 = HighHistory::write(0, 1, 0, 1);
+        let w2 = HighHistory::write(0, 2, 2, 3);
+        let w3 = HighHistory::write(0, 3, 10, 11);
+        // Read invoked after w2 returns, returns before w3 is invoked.
+        let rd = HighHistory::read(1, 0, 4, 5);
+        let legal = legal_read_values(&[w1, w2, w3], &rd, &register());
+        assert_eq!(legal, vec![2]);
+        // Read concurrent with w2 and w3 but after w1.
+        let rd2 = HighHistory::read(1, 0, 2, 12);
+        let legal2 = legal_read_values(&[w1, w2, w3], &rd2, &register());
+        assert_eq!(legal2, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn max_register_regularity_uses_prefix_maximum() {
+        let spec = SequentialSpec::max_register();
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(5), HighResponse::WriteAck, 0, 1);
+        h.push_complete(1, HighOp::Write(3), HighResponse::WriteAck, 2, 3);
+        h.push_complete(2, HighOp::Read, HighResponse::ReadValue(5), 4, 5);
+        assert!(check_ws_regular(&h, &spec).is_ok());
+        let mut bad = HighHistory::default();
+        bad.push_complete(0, HighOp::Write(5), HighResponse::WriteAck, 0, 1);
+        bad.push_complete(1, HighOp::Write(3), HighResponse::WriteAck, 2, 3);
+        bad.push_complete(2, HighOp::Read, HighResponse::ReadValue(3), 4, 5);
+        assert!(check_ws_regular(&bad, &spec).is_err());
+    }
+}

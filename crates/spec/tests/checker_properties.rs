@@ -1,0 +1,138 @@
+//! Property-based tests of the consistency checkers: the strength hierarchy
+//! atomicity ⇒ WS-Regularity ⇒ WS-Safety holds on arbitrary schedules, and
+//! schedules generated from a sequential oracle always pass every checker.
+
+use proptest::prelude::*;
+use regemu_fpsm::{HighOp, HighResponse};
+use regemu_spec::prelude::*;
+use regemu_spec::Semantics;
+
+/// A random schedule: operations with random intervals and random (possibly
+/// wrong) read return values.
+fn arbitrary_history(max_ops: usize) -> impl Strategy<Value = HighHistory> {
+    proptest::collection::vec(
+        (
+            0usize..4,           // client
+            proptest::bool::ANY, // is write
+            0u64..4,             // value written / returned
+            0u64..20,            // invocation time
+            1u64..10,            // duration
+        ),
+        1..max_ops,
+    )
+    .prop_map(|ops| {
+        let mut h = HighHistory::default();
+        for (client, is_write, value, start, len) in ops {
+            if is_write {
+                h.push_complete(client, HighOp::Write(value), HighResponse::WriteAck, start, start + len);
+            } else {
+                h.push_complete(client, HighOp::Read, HighResponse::ReadValue(value), start, start + len);
+            }
+        }
+        h
+    })
+}
+
+/// A schedule produced by executing sequential operations against the actual
+/// sequential specification — correct by construction.
+fn sequential_history(semantics: Semantics) -> impl Strategy<Value = HighHistory> {
+    proptest::collection::vec((0usize..3, proptest::bool::ANY, 1u64..6), 1..12).prop_map(move |ops| {
+        let spec = SequentialSpec { semantics, initial: 0 };
+        let mut h = HighHistory::default();
+        let mut state = 0;
+        let mut time = 0;
+        for (client, is_write, value) in ops {
+            time += 2;
+            if is_write {
+                state = spec.apply_write(state, value);
+                h.push_complete(client, HighOp::Write(value), HighResponse::WriteAck, time, time + 1);
+            } else {
+                h.push_complete(client, HighOp::Read, HighResponse::ReadValue(state), time, time + 1);
+            }
+        }
+        h
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Atomicity implies WS-Regularity implies WS-Safety, on any schedule.
+    #[test]
+    fn condition_hierarchy_holds(history in arbitrary_history(7)) {
+        let spec = SequentialSpec::register();
+        let atomic = check_linearizable(&history, &spec).is_ok();
+        let regular = check_ws_regular(&history, &spec).is_ok();
+        let safe = check_ws_safe(&history, &spec).is_ok();
+        if atomic {
+            prop_assert!(regular, "atomic but not WS-Regular: {history:?}");
+        }
+        if regular {
+            prop_assert!(safe, "WS-Regular but not WS-Safe: {history:?}");
+        }
+    }
+
+    /// Sequential executions of the register specification pass every checker.
+    #[test]
+    fn sequential_register_histories_pass_everything(
+        history in sequential_history(Semantics::LastWrite)
+    ) {
+        let spec = SequentialSpec::register();
+        prop_assert!(check_linearizable(&history, &spec).is_ok());
+        prop_assert!(check_ws_regular(&history, &spec).is_ok());
+        prop_assert!(check_ws_safe(&history, &spec).is_ok());
+    }
+
+    /// Sequential executions of the max-register specification pass every
+    /// checker under the max-register semantics (and are generally *not*
+    /// linearizable under plain register semantics once a smaller value is
+    /// written over a larger one — the two specifications are distinct).
+    #[test]
+    fn sequential_max_register_histories_pass_their_spec(
+        history in sequential_history(Semantics::Max)
+    ) {
+        let spec = SequentialSpec::max_register();
+        prop_assert!(check_linearizable(&history, &spec).is_ok());
+        prop_assert!(check_ws_regular(&history, &spec).is_ok());
+    }
+
+    /// Corrupting the return value of a read in an otherwise sequential
+    /// schedule is caught by the WS-Safety checker (and therefore by the
+    /// stronger ones too) whenever the corrupted value is not legitimately
+    /// readable.
+    #[test]
+    fn corrupted_reads_are_detected(
+        history in sequential_history(Semantics::LastWrite),
+        bogus in 100u64..200,
+    ) {
+        // Only meaningful if there is at least one complete read.
+        let spec = SequentialSpec::register();
+        let mut intervals = history.ops().to_vec();
+        let Some(pos) = intervals.iter().position(|iv| iv.op.is_read()) else {
+            return Ok(());
+        };
+        intervals[pos].returned = Some((
+            intervals[pos].returned.unwrap().0,
+            HighResponse::ReadValue(bogus),
+        ));
+        let corrupted = HighHistory::from_intervals(intervals);
+        // `bogus` is far outside the written value domain (1..6), so no
+        // linearization can explain it.
+        prop_assert!(check_ws_safe(&corrupted, &spec).is_err());
+        prop_assert!(check_ws_regular(&corrupted, &spec).is_err());
+        prop_assert!(check_linearizable(&corrupted, &spec).is_err());
+    }
+
+    /// The WS checkers never reject a schedule with no reads: writes alone
+    /// are always explainable.
+    #[test]
+    fn write_only_histories_are_always_accepted(history in arbitrary_history(7)) {
+        let writes_only = HighHistory::from_intervals(
+            history.ops().iter().copied().filter(|iv| iv.op.is_write()).collect(),
+        );
+        let spec = SequentialSpec::register();
+        prop_assert!(check_ws_regular(&writes_only, &spec).is_ok());
+        prop_assert!(check_ws_safe(&writes_only, &spec).is_ok());
+        prop_assert!(check_linearizable(&writes_only, &spec).is_ok());
+    }
+}

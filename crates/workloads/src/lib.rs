@@ -1,0 +1,46 @@
+//! # regemu-workloads — workload generation and experiment running
+//!
+//! Glue between the emulation algorithms (`regemu-core`), the fault-prone
+//! shared-memory simulator (`regemu-fpsm`), the consistency checkers
+//! (`regemu-spec`) and the adversary (`regemu-adversary`):
+//!
+//! * [`generator::Workload`] — deterministic workload generators
+//!   (write-sequential, read-heavy, random mixed, concurrent);
+//! * [`runner::run_workload`] — execute a workload against an emulation
+//!   under a seeded fair scheduler with optional crash plan, measure the
+//!   space consumption and check a consistency condition;
+//! * [`table`] — parameter sweeps and plain-text table rendering used by the
+//!   experiment binaries in `regemu-bench`.
+//!
+//! ## Example
+//!
+//! ```
+//! use regemu_workloads::prelude::*;
+//! use regemu_core::{Emulation, SpaceOptimalEmulation};
+//! use regemu_bounds::Params;
+//!
+//! let emulation = SpaceOptimalEmulation::new(Params::new(2, 1, 4)?);
+//! let workload = Workload::write_sequential(2, 1, true);
+//! let report = run_workload(&emulation, &workload, &RunConfig::with_seed(7))?;
+//! assert!(report.is_consistent());
+//! assert_eq!(report.metrics.resource_consumption(), emulation.base_object_count());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod generator;
+pub mod runner;
+pub mod table;
+
+pub use generator::{Issuer, Workload, WorkloadOp};
+pub use runner::{run_workload, ConsistencyCheck, RunConfig, RunReport};
+pub use table::{small_sweep, standard_sweep, TextTable};
+
+/// Convenient glob import of the most frequently used items.
+pub mod prelude {
+    pub use crate::generator::{Issuer, Workload};
+    pub use crate::runner::{run_workload, ConsistencyCheck, RunConfig, RunReport};
+    pub use crate::table::{small_sweep, standard_sweep, TextTable};
+}

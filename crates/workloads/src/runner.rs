@@ -1,0 +1,302 @@
+//! Experiment runner: execute a workload against an emulation and measure it.
+//!
+//! [`run_workload`] drives an [`Emulation`] with a [`Workload`] under a
+//! seeded fair scheduler (optionally with a crash plan), records the run,
+//! measures its space consumption and — if requested — checks the resulting
+//! schedule against a consistency condition.
+
+use crate::generator::{Issuer, Workload};
+use regemu_bounds::Params;
+use regemu_core::Emulation;
+use regemu_fpsm::{ClientId, CrashPlan, FairDriver, HighOpId, RunMetrics, SimError, Simulation};
+use regemu_spec::{check_linearizable, check_ws_regular, check_ws_safe, HighHistory, SequentialSpec, Violation};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which consistency condition to verify after the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConsistencyCheck {
+    /// Do not check.
+    None,
+    /// Write-Sequential Safety.
+    WsSafe,
+    /// Write-Sequential Regularity (the guarantee of the paper's upper
+    /// bounds).
+    WsRegular,
+    /// Atomicity (linearizability).
+    Atomic,
+}
+
+/// Configuration of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Seed of the fair scheduler.
+    pub seed: u64,
+    /// Servers to crash, and when.
+    pub crash_plan: CrashPlan,
+    /// Per-operation step budget before the run is declared stuck.
+    pub max_steps_per_op: u64,
+    /// Consistency condition to verify at the end.
+    pub check: ConsistencyCheck,
+    /// Whether to keep delivering outstanding low-level operations after the
+    /// last high-level operation completed (a "drain" phase).
+    pub drain: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            seed: 0xC0FFEE,
+            crash_plan: CrashPlan::none(),
+            max_steps_per_op: 100_000,
+            check: ConsistencyCheck::WsRegular,
+            drain: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A configuration with the given scheduler seed.
+    pub fn with_seed(seed: u64) -> Self {
+        RunConfig { seed, ..Default::default() }
+    }
+
+    /// Sets the crash plan.
+    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Sets the consistency check.
+    pub fn check(mut self, check: ConsistencyCheck) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Enables the drain phase.
+    pub fn drain(mut self) -> Self {
+        self.drain = true;
+        self
+    }
+}
+
+/// The measured outcome of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Name of the emulation that was exercised.
+    pub emulation: String,
+    /// Its `(k, f, n)` parameters.
+    pub params: Params,
+    /// Number of base objects the emulation provisioned.
+    pub provisioned_objects: usize,
+    /// Space metrics of the run (resource consumption, coverage, …).
+    pub metrics: RunMetrics,
+    /// Number of high-level operations that completed.
+    pub completed_ops: usize,
+    /// Verdict of the consistency check, if one was requested.
+    pub check_violation: Option<Violation>,
+    /// The high-level schedule of the run (for further analysis).
+    pub history: HighHistory,
+}
+
+impl RunReport {
+    /// Returns `true` when the requested consistency check passed (or none
+    /// was requested).
+    pub fn is_consistent(&self) -> bool {
+        self.check_violation.is_none()
+    }
+}
+
+/// Runs `workload` against `emulation` under `config`.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if some operation cannot complete within the step
+/// budget (e.g. because the crash plan exceeds what the emulation tolerates).
+pub fn run_workload(
+    emulation: &dyn Emulation,
+    workload: &Workload,
+    config: &RunConfig,
+) -> Result<RunReport, SimError> {
+    let params = emulation.params();
+    let mut sim = emulation.build_simulation();
+    let mut driver = FairDriver::new(config.seed).with_crash_plan(config.crash_plan.clone());
+
+    // Register one client per writer identity and per reader slot, lazily.
+    let mut writer_clients: HashMap<usize, ClientId> = HashMap::new();
+    let mut reader_clients: HashMap<usize, ClientId> = HashMap::new();
+    let mut completed: usize = 0;
+    let mut outstanding: Vec<(ClientId, HighOpId)> = Vec::new();
+
+    for step in workload.ops() {
+        let client = match step.issuer {
+            Issuer::Writer(i) => *writer_clients
+                .entry(i % params.k)
+                .or_insert_with(|| sim.register_client(emulation.writer_protocol(i % params.k))),
+            Issuer::Reader(i) => *reader_clients
+                .entry(i)
+                .or_insert_with(|| sim.register_client(emulation.reader_protocol())),
+        };
+        // A client's schedule must be sequential: wait for its previous
+        // operation if it is still running.
+        if !sim.is_client_idle(client) {
+            if let Some((_, pending)) = outstanding.iter().find(|(c, _)| *c == client).copied() {
+                driver.run_until_complete(&mut sim, pending, config.max_steps_per_op)?;
+            }
+        }
+        outstanding.retain(|(_, op)| sim.result_of(*op).is_none());
+
+        let high_op = sim.invoke(client, step.op)?;
+        if step.sequential {
+            driver.run_until_complete(&mut sim, high_op, config.max_steps_per_op)?;
+            completed += 1;
+        } else {
+            outstanding.push((client, high_op));
+        }
+    }
+
+    // Finish whatever is still in flight.
+    for (_, high_op) in outstanding.drain(..) {
+        driver.run_until_complete(&mut sim, high_op, config.max_steps_per_op)?;
+        completed += 1;
+    }
+    if config.drain {
+        driver.run_until_quiescent(&mut sim, config.max_steps_per_op)?;
+    }
+
+    finish(emulation, params, &sim, completed, config)
+}
+
+fn finish(
+    emulation: &dyn Emulation,
+    params: Params,
+    sim: &Simulation,
+    completed_sequential: usize,
+    config: &RunConfig,
+) -> Result<RunReport, SimError> {
+    let metrics = RunMetrics::capture(sim);
+    let history = HighHistory::from_run(sim.history());
+    let completed_ops = history.ops().iter().filter(|o| o.is_complete()).count().max(completed_sequential);
+    let spec = SequentialSpec::register();
+    let check_violation = match config.check {
+        ConsistencyCheck::None => None,
+        ConsistencyCheck::WsSafe => check_ws_safe(&history, &spec).err(),
+        ConsistencyCheck::WsRegular => check_ws_regular(&history, &spec).err(),
+        ConsistencyCheck::Atomic => check_linearizable(&history, &spec).err(),
+    };
+    Ok(RunReport {
+        emulation: emulation.name().to_string(),
+        params,
+        provisioned_objects: emulation.base_object_count(),
+        metrics,
+        completed_ops,
+        check_violation,
+        history,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regemu_core::{all_emulations, AbdMaxRegisterEmulation, SpaceOptimalEmulation};
+    use regemu_fpsm::ServerId;
+
+    fn params(k: usize, f: usize, n: usize) -> Params {
+        Params::new(k, f, n).unwrap()
+    }
+
+    #[test]
+    fn write_sequential_runs_are_ws_regular_for_every_emulation() {
+        let p = params(2, 1, 4);
+        let workload = Workload::write_sequential(2, 2, true);
+        for emulation in all_emulations(p) {
+            let report = run_workload(
+                emulation.as_ref(),
+                &workload,
+                &RunConfig::with_seed(11).check(ConsistencyCheck::WsRegular),
+            )
+            .unwrap();
+            assert!(report.is_consistent(), "{}: {:?}", report.emulation, report.check_violation);
+            assert_eq!(report.completed_ops, workload.len());
+            assert!(report.metrics.resource_consumption() <= report.provisioned_objects);
+        }
+    }
+
+    #[test]
+    fn runs_survive_f_crashes_from_the_plan() {
+        let p = params(2, 1, 4);
+        let workload = Workload::write_sequential(2, 2, true);
+        let plan = CrashPlan::none().crash_at(5, ServerId::new(3));
+        for emulation in all_emulations(p) {
+            let report = run_workload(
+                emulation.as_ref(),
+                &workload,
+                &RunConfig::with_seed(3).crash_plan(plan.clone()).check(ConsistencyCheck::WsRegular),
+            )
+            .unwrap();
+            assert!(report.is_consistent(), "{}: {:?}", report.emulation, report.check_violation);
+        }
+    }
+
+    #[test]
+    fn concurrent_reads_are_regular_for_the_space_optimal_construction() {
+        let p = params(2, 1, 4);
+        let emulation = SpaceOptimalEmulation::new(p);
+        let workload = Workload::concurrent_read_write(2, 2);
+        let report = run_workload(
+            &emulation,
+            &workload,
+            &RunConfig::with_seed(19).check(ConsistencyCheck::WsRegular).drain(),
+        )
+        .unwrap();
+        assert!(report.is_consistent(), "{:?}", report.check_violation);
+        assert_eq!(report.completed_ops, workload.len());
+    }
+
+    #[test]
+    fn atomic_abd_variant_is_linearizable_under_mixed_workloads() {
+        let p = params(2, 1, 3);
+        let emulation = AbdMaxRegisterEmulation::new(p, true);
+        let workload = Workload::random_mixed(2, 2, 14, 0.5, 21);
+        let report = run_workload(
+            &emulation,
+            &workload,
+            &RunConfig::with_seed(23).check(ConsistencyCheck::Atomic),
+        )
+        .unwrap();
+        assert!(report.is_consistent(), "{:?}", report.check_violation);
+    }
+
+    #[test]
+    fn read_heavy_workloads_scale_readers_without_extra_space() {
+        // Readers never write in the WS-Regular constructions, so piling on
+        // readers does not change the resource consumption — the reason the
+        // paper can state its bounds independently of the number of readers.
+        let p = params(2, 1, 4);
+        let emulation = SpaceOptimalEmulation::new(p);
+        let few_readers = Workload::read_heavy(p.k, 2, 1, 1);
+        let many_readers = Workload::read_heavy(p.k, 2, 6, 3);
+        let a = run_workload(&emulation, &few_readers, &RunConfig::with_seed(31)).unwrap();
+        let b = run_workload(&emulation, &many_readers, &RunConfig::with_seed(32)).unwrap();
+        assert!(a.is_consistent() && b.is_consistent());
+        assert_eq!(
+            a.metrics.resource_consumption(),
+            b.metrics.resource_consumption()
+        );
+        assert!(b.metrics.written.len() <= a.provisioned_objects);
+        assert_eq!(b.completed_ops, many_readers.len());
+    }
+
+    #[test]
+    fn resource_consumption_is_reported_per_emulation() {
+        let p = params(3, 1, 5);
+        let workload = Workload::write_sequential(3, 1, false);
+        let space_optimal = SpaceOptimalEmulation::new(p);
+        let report = run_workload(&space_optimal, &workload, &RunConfig::default()).unwrap();
+        // The writers only touch their own register sets plus whatever the
+        // collect reads, which is the full layout: consumption equals the
+        // provisioned count (= Theorem 3 formula).
+        assert_eq!(report.metrics.resource_consumption(), report.provisioned_objects);
+        assert_eq!(report.provisioned_objects, regemu_bounds::register_upper_bound(p));
+    }
+}

@@ -1,0 +1,61 @@
+//! # regemu — fault-tolerant register emulations and their space complexity
+//!
+//! A full reproduction of Chockler & Spiegelman, *Space Complexity of
+//! Fault-Tolerant Register Emulations* (PODC 2017), as a Rust workspace. This
+//! facade crate re-exports the public API of every sub-crate:
+//!
+//! * [`fpsm`] — the asynchronous fault-prone shared-memory simulator
+//!   (servers, base objects, crash faults, explicit environment control);
+//! * [`spec`] — consistency-condition checkers (atomicity, WS-Regularity,
+//!   WS-Safety);
+//! * [`bounds`] — the paper's closed-form space bounds (Table 1 and the
+//!   appendix theorems);
+//! * [`core`] — the emulation algorithms (Algorithm 2, ABD over
+//!   max-registers / CAS / register banks, shared-memory max-registers);
+//! * [`adversary`] — the executable lower-bound adversary (`Ad_i`, Lemma 1
+//!   campaigns, the partition argument);
+//! * [`workloads`] — workload generators, experiment runner and sweeps.
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and the
+//! `regemu-bench` crate for the binaries that regenerate every table and
+//! figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use regemu::prelude::*;
+//!
+//! // An f-tolerant 3-writer register from plain read/write registers,
+//! // using the paper's space-optimal construction (Algorithm 2).
+//! let params = Params::new(3, 1, 5)?;
+//! let emulation = SpaceOptimalEmulation::new(params);
+//! assert_eq!(emulation.base_object_count(), register_upper_bound(params));
+//!
+//! // Run a write-sequential workload and verify WS-Regularity.
+//! let workload = Workload::write_sequential(3, 1, true);
+//! let report = run_workload(&emulation, &workload, &RunConfig::with_seed(1))?;
+//! assert!(report.is_consistent());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use regemu_adversary as adversary;
+pub use regemu_bounds as bounds;
+pub use regemu_core as core;
+pub use regemu_fpsm as fpsm;
+pub use regemu_spec as spec;
+pub use regemu_workloads as workloads;
+
+/// One-stop import for applications and examples.
+pub mod prelude {
+    pub use regemu_adversary::prelude::*;
+    pub use regemu_bounds::{
+        cas_bound, max_register_bound, register_lower_bound, register_upper_bound, Params,
+    };
+    pub use regemu_core::prelude::*;
+    pub use regemu_fpsm::prelude::*;
+    pub use regemu_spec::prelude::*;
+    pub use regemu_workloads::prelude::*;
+}

@@ -1,0 +1,170 @@
+//! Multi-threaded stress tests of the shared-memory max-register
+//! implementations (Appendix B / Theorem 2), including a linearizability
+//! check of real concurrent executions of Algorithm 1.
+
+use regemu::prelude::*;
+use regemu::core::CollectWriter;
+use regemu_fpsm::history::HighInterval;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Records a real-threaded execution as a high-level history by stamping
+/// invocations and responses with a global logical clock.
+struct Recorder {
+    clock: AtomicU64,
+}
+
+impl Recorder {
+    fn new() -> Arc<Self> {
+        Arc::new(Recorder { clock: AtomicU64::new(1) })
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn record<F: FnOnce() -> HighResponse>(
+        &self,
+        client: usize,
+        op: HighOp,
+        body: F,
+    ) -> HighInterval {
+        let invoked_at = self.now();
+        let response = body();
+        let returned_at = self.now();
+        HighInterval {
+            id: HighOpId::new(0),
+            client: ClientId::new(client),
+            op,
+            invoked_at,
+            returned: Some((returned_at, response)),
+        }
+    }
+}
+
+fn run_threads<W, R>(threads: usize, ops_per_thread: usize, write: W, read: R) -> HighHistory
+where
+    W: Fn(usize, u64) + Send + Sync + 'static,
+    R: Fn(usize) -> u64 + Send + Sync + 'static,
+{
+    let recorder = Recorder::new();
+    let write = Arc::new(write);
+    let read = Arc::new(read);
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let recorder = recorder.clone();
+        let write = write.clone();
+        let read = read.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut intervals = Vec::new();
+            for i in 0..ops_per_thread {
+                let value = (t * ops_per_thread + i + 1) as u64;
+                if i % 2 == 0 {
+                    intervals.push(recorder.record(t, HighOp::Write(value), || {
+                        write(t, value);
+                        HighResponse::WriteAck
+                    }));
+                } else {
+                    intervals.push(recorder.record(t, HighOp::Read, || {
+                        HighResponse::ReadValue(read(t))
+                    }));
+                }
+            }
+            intervals
+        }));
+    }
+    let mut all = Vec::new();
+    for h in handles {
+        all.extend(h.join().unwrap());
+    }
+    // Re-number the operation ids (they only need to be unique).
+    for (i, interval) in all.iter_mut().enumerate() {
+        interval.id = HighOpId::new(i as u64);
+    }
+    HighHistory::from_intervals(all)
+}
+
+#[test]
+fn cas_max_register_real_executions_are_linearizable() {
+    // Small enough that the exact checker stays fast, repeated over several
+    // runs to vary the interleavings.
+    for round in 0..5 {
+        let reg = Arc::new(CasMaxRegister::new(0));
+        let w = reg.clone();
+        let r = reg.clone();
+        let history = run_threads(3, 4, move |_, v| w.write_max(v), move |_| r.read_max());
+        let _ = round;
+        check_linearizable(&history, &SequentialSpec::max_register())
+            .expect("Algorithm 1 must be atomic");
+    }
+}
+
+#[test]
+fn collect_max_register_real_executions_are_linearizable() {
+    for _ in 0..5 {
+        let reg = Arc::new(CollectMaxRegister::new(3, 0));
+        let writers: Vec<CollectWriter> = (0..3).map(|i| reg.writer(i)).collect();
+        let reader = reg.clone();
+        let history = run_threads(
+            3,
+            4,
+            move |t, v| writers[t].write_max(v),
+            move |_| reader.read_max(),
+        );
+        check_linearizable(&history, &SequentialSpec::max_register())
+            .expect("the collect-based k-register construction must be atomic");
+    }
+}
+
+#[test]
+fn fetch_max_baseline_is_linearizable() {
+    let reg = Arc::new(FetchMaxRegister::new(0));
+    let w = reg.clone();
+    let r = reg.clone();
+    let history = run_threads(4, 4, move |_, v| w.write_max(v), move |_| r.read_max());
+    check_linearizable(&history, &SequentialSpec::max_register()).unwrap();
+}
+
+#[test]
+fn cas_max_register_retry_count_grows_with_contention() {
+    // Sequentially, an effective write needs ~3 CAS steps. Under heavy
+    // contention the retry loop runs longer; the *total* attempt count per
+    // write must be at least the sequential floor and is typically higher.
+    let sequential = CasMaxRegister::new(0);
+    for v in 1..=512u64 {
+        sequential.write_max(v);
+    }
+    let sequential_per_write = sequential.total_attempts() as f64 / 512.0;
+
+    let contended = Arc::new(CasMaxRegister::new(0));
+    let handles: Vec<_> = (0..8u64)
+        .map(|t| {
+            let reg = contended.clone();
+            std::thread::spawn(move || {
+                for i in 0..512u64 {
+                    reg.write_max(t * 10_000 + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let contended_per_write = contended.total_attempts() as f64 / (8.0 * 512.0);
+    assert!(sequential_per_write >= 2.0);
+    assert!(
+        contended_per_write >= 1.0,
+        "every write needs at least one probe, got {contended_per_write}"
+    );
+    // The maximum value is what all threads agree on at the end.
+    assert_eq!(contended.read_max(), 7 * 10_000 + 511);
+}
+
+#[test]
+fn theorem_2_register_count_matches_the_bound_for_various_k() {
+    for k in [1usize, 2, 5, 16, 64] {
+        let reg = CollectMaxRegister::new(k, 0);
+        assert_eq!(reg.register_count(), k);
+        assert_eq!(reg.register_count(), regemu::bounds::max_register_from_registers_lower_bound(k));
+    }
+}

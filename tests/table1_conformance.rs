@@ -1,0 +1,108 @@
+//! Integration test: the measured space consumption of every implemented
+//! emulation conforms to Table 1 of the paper, over a sweep of `(k, f, n)`.
+
+use regemu::prelude::*;
+
+/// Runs a write-sequential workload (every writer writes once, one read after
+/// each write) and returns the measured resource consumption.
+fn measure(emulation: &dyn Emulation, seed: u64) -> usize {
+    let params = emulation.params();
+    let workload = Workload::write_sequential(params.k, 1, true);
+    let report = run_workload(
+        emulation,
+        &workload,
+        &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular),
+    )
+    .expect("workload must complete");
+    assert!(
+        report.is_consistent(),
+        "{} at {params} violated WS-Regularity: {:?}",
+        emulation.name(),
+        report.check_violation
+    );
+    report.metrics.resource_consumption()
+}
+
+#[test]
+fn max_register_and_cas_emulations_use_2f_plus_1_objects() {
+    for params in small_sweep() {
+        let abd_max = AbdMaxRegisterEmulation::new(params, false);
+        let abd_cas = AbdCasEmulation::new(params, false);
+        assert_eq!(measure(&abd_max, 1), max_register_bound(params.f), "{params}");
+        assert_eq!(measure(&abd_cas, 2), cas_bound(params.f), "{params}");
+    }
+}
+
+#[test]
+fn space_optimal_construction_matches_theorem_3_and_respects_theorem_1() {
+    for params in small_sweep() {
+        let emulation = SpaceOptimalEmulation::new(params);
+        let consumption = measure(&emulation, 3);
+        assert_eq!(consumption, register_upper_bound(params), "{params}");
+        assert!(consumption >= register_lower_bound(params), "{params}");
+        // Provisioning matches consumption: the construction has no unused
+        // registers.
+        assert_eq!(emulation.base_object_count(), consumption, "{params}");
+    }
+}
+
+#[test]
+fn register_emulations_are_separated_from_rmw_emulations_for_k_above_1() {
+    // The headline separation of the paper: the space cost of register-based
+    // emulations grows with k, the RMW-based ones stay at 2f + 1.
+    for params in small_sweep().into_iter().filter(|p| p.k > 1) {
+        let register_cost = SpaceOptimalEmulation::new(params).base_object_count();
+        let rmw_cost = AbdMaxRegisterEmulation::new(params, false).base_object_count();
+        assert!(
+            register_cost > rmw_cost,
+            "expected separation at {params}: {register_cost} vs {rmw_cost}"
+        );
+    }
+}
+
+#[test]
+fn bounds_coincide_at_the_two_special_cases_and_measurements_agree() {
+    // n = 2f + 1 and n ≥ kf + f + 1 are the cases where the paper's bounds
+    // are tight; the implementation hits them exactly.
+    for (k, f) in [(2usize, 1usize), (3, 1), (2, 2)] {
+        let minimal = Params::new(k, f, 2 * f + 1).unwrap();
+        assert!(minimal.bounds_coincide());
+        let consumption = measure(&SpaceOptimalEmulation::new(minimal), 7);
+        assert_eq!(consumption, (2 * f + 1) * k);
+
+        let saturated = Params::new(k, f, k * f + f + 1).unwrap();
+        assert!(saturated.bounds_coincide());
+        let consumption = measure(&SpaceOptimalEmulation::new(saturated), 8);
+        assert_eq!(consumption, k * f + f + 1);
+    }
+}
+
+#[test]
+fn register_bank_construction_uses_k_registers_per_server() {
+    for params in small_sweep().into_iter().filter(|p| p.n == 2 * p.f + 1) {
+        let emulation = RegisterBankEmulation::new(params, false);
+        assert_eq!(emulation.base_object_count(), params.n * params.k);
+        let consumption = measure(&emulation, 4);
+        // The ABD phases read every bank register, so consumption equals the
+        // provisioned (2f+1)·k — the special-case matching upper bound.
+        assert_eq!(consumption, (2 * params.f + 1) * params.k, "{params}");
+    }
+}
+
+#[test]
+fn all_emulations_tolerate_exactly_f_crashes() {
+    let params = Params::new(2, 1, 4).unwrap();
+    for emulation in all_emulations(params) {
+        let workload = Workload::write_sequential(params.k, 2, true);
+        // Crash one server early in the run.
+        let plan = CrashPlan::none().crash_at(3, ServerId::new(params.n - 1));
+        let report = run_workload(
+            emulation.as_ref(),
+            &workload,
+            &RunConfig::with_seed(5).crash_plan(plan).check(ConsistencyCheck::WsRegular),
+        )
+        .expect("an f-tolerant emulation must survive f crashes");
+        assert!(report.is_consistent(), "{}", emulation.name());
+        assert_eq!(report.completed_ops, workload.len());
+    }
+}
