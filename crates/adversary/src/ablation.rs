@@ -19,9 +19,7 @@
 use regemu_bounds::Params;
 use regemu_core::layout::RegisterLayout;
 use regemu_core::upper_bound::{SharedLayout, SpaceOptimalClient};
-use regemu_fpsm::{
-    HighOp, OpId, ServerId, SimConfig, SimError, Simulation,
-};
+use regemu_fpsm::{HighOp, OpId, ServerId, SimConfig, SimError, Simulation};
 use regemu_spec::{check_ws_safe, HighHistory, SequentialSpec};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -60,12 +58,11 @@ pub fn demonstrate_quorum_ablation(
     let shared = SharedLayout::new(layout, &topology);
     let mut sim = Simulation::new(topology, SimConfig::with_fault_threshold(params.f));
 
-    let writer =
-        sim.register_client(Box::new(SpaceOptimalClient::writer_with_quorum_slack(
-            shared.clone(),
-            0,
-            slack,
-        )));
+    let writer = sim.register_client(Box::new(SpaceOptimalClient::writer_with_quorum_slack(
+        shared.clone(),
+        0,
+        slack,
+    )));
     let reader = sim.register_client(Box::new(SpaceOptimalClient::reader(shared.clone())));
 
     let written = 4242u64;
@@ -105,7 +102,10 @@ pub fn demonstrate_quorum_ablation(
         }
         steps += 1;
         if steps > 1_000_000 {
-            return Err(SimError::Stuck { steps, waiting_for: "ablation phase 1".to_string() });
+            return Err(SimError::Stuck {
+                steps,
+                waiting_for: "ablation phase 1".to_string(),
+            });
         }
     }
 
@@ -128,12 +128,18 @@ pub fn demonstrate_quorum_ablation(
             .map(|p| p.op_id)
             .min()
         else {
-            return Err(SimError::Stuck { steps, waiting_for: "the read to return".to_string() });
+            return Err(SimError::Stuck {
+                steps,
+                waiting_for: "the read to return".to_string(),
+            });
         };
         sim.deliver(op)?;
         steps += 1;
         if steps > 1_000_000 {
-            return Err(SimError::Stuck { steps, waiting_for: "ablation phase 3".to_string() });
+            return Err(SimError::Stuck {
+                steps,
+                waiting_for: "ablation phase 3".to_string(),
+            });
         }
     }
     let read_value = sim.result_of(read).and_then(|r| r.payload()).unwrap_or(0);
@@ -222,7 +228,10 @@ mod tests {
             assert_eq!(safe.read, safe.written, "k={k} f={f} n={n}");
             // …but skipping the full margin loses the write.
             let unsafe_outcome = demonstrate_quorum_ablation(p, slack).unwrap();
-            assert_ne!(unsafe_outcome.read, unsafe_outcome.written, "k={k} f={f} n={n}");
+            assert_ne!(
+                unsafe_outcome.read, unsafe_outcome.written,
+                "k={k} f={f} n={n}"
+            );
             assert!(unsafe_outcome.violates_ws_safety, "k={k} f={f} n={n}");
         }
     }
@@ -231,8 +240,14 @@ mod tests {
     fn guaranteed_visibility_margin_is_exactly_one_register() {
         for (k, f, n) in [(2usize, 1usize, 4usize), (4, 2, 9), (6, 3, 13)] {
             let p = params(k, f, n);
-            assert_eq!(guaranteed_visible_registers(p, LayoutAblation::PaperSized), 1);
-            assert_eq!(guaranteed_visible_registers(p, LayoutAblation::OneRegisterSmaller), 0);
+            assert_eq!(
+                guaranteed_visible_registers(p, LayoutAblation::PaperSized),
+                1
+            );
+            assert_eq!(
+                guaranteed_visible_registers(p, LayoutAblation::OneRegisterSmaller),
+                0
+            );
         }
     }
 }

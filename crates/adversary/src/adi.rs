@@ -18,7 +18,9 @@
 //! the space consumption grow.
 
 use crate::covering::CoveringTracker;
-use regemu_fpsm::{ClientId, HighOp, HighOpId, ObjectId, OpId, Payload, ServerId, SimError, Simulation};
+use regemu_fpsm::{
+    ClientId, HighOp, HighOpId, ObjectId, OpId, Payload, ServerId, SimError, Simulation,
+};
 use std::collections::BTreeSet;
 
 /// Outcome of one adversary-driven write extension.
@@ -65,7 +67,13 @@ impl AdversaryIteration {
         previous_writers: BTreeSet<ClientId>,
         old_pending: Vec<(OpId, ObjectId, ClientId)>,
     ) -> Self {
-        AdversaryIteration { protected, f, previous_writers, old_pending, max_steps: 200_000 }
+        AdversaryIteration {
+            protected,
+            f,
+            previous_writers,
+            old_pending,
+            max_steps: 200_000,
+        }
     }
 
     /// Overrides the step budget after which the iteration gives up.
@@ -125,7 +133,9 @@ impl AdversaryIteration {
         // coverage only on the servers the adversary chose to silence.
         loop {
             Self::feed_new_events(sim, &mut tracker, &mut processed_events);
-            let Some(op) = self.pick_deliverable(sim, &tracker) else { break };
+            let Some(op) = self.pick_deliverable(sim, &tracker) else {
+                break;
+            };
             sim.deliver(op)?;
             steps += 1;
             if steps > self.max_steps {
@@ -165,11 +175,7 @@ impl AdversaryIteration {
         })
     }
 
-    fn feed_new_events(
-        sim: &Simulation,
-        tracker: &mut CoveringTracker,
-        processed: &mut usize,
-    ) {
+    fn feed_new_events(sim: &Simulation, tracker: &mut CoveringTracker, processed: &mut usize) {
         let events = sim.history().events();
         while *processed < events.len() {
             tracker.observe(&events[*processed], sim.topology());
@@ -212,7 +218,10 @@ mod tests {
             AdversaryIteration::new(protected.clone(), params.f, BTreeSet::new(), Vec::new());
         let outcome = iteration.run(&mut sim, writer, 1).unwrap();
 
-        assert!(sim.result_of(outcome.high_op).is_some(), "write must return (Lemma 3)");
+        assert!(
+            sim.result_of(outcome.high_op).is_some(),
+            "write must return (Lemma 3)"
+        );
         assert!(
             outcome.covered.len() >= params.f,
             "at least f registers must stay covered, got {}",

@@ -78,7 +78,9 @@ impl CampaignReport {
 
     /// Lemma 1(b): coverage never touches the protected set.
     pub fn coverage_always_avoids_protected(&self) -> bool {
-        self.iterations.iter().all(|it| it.coverage_avoids_protected)
+        self.iterations
+            .iter()
+            .all(|it| it.coverage_avoids_protected)
     }
 
     /// Theorem 8: point contention stayed 1 while resources grew.
@@ -89,7 +91,11 @@ impl CampaignReport {
     /// The maximum number of covered registers hosted by a single server
     /// (used for the Theorem 6 audit at `n = 2f + 1`).
     pub fn max_covered_on_one_server(&self) -> usize {
-        self.covered_per_server.iter().map(|(_, c)| *c).max().unwrap_or(0)
+        self.covered_per_server
+            .iter()
+            .map(|(_, c)| *c)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -106,7 +112,9 @@ impl LowerBoundCampaign {
     /// with the default protected set: the `f + 1` highest-numbered servers.
     pub fn new(emulation: &dyn Emulation) -> Self {
         let params = emulation.params();
-        let protected = ((params.n - (params.f + 1))..params.n).map(ServerId::new).collect();
+        let protected = ((params.n - (params.f + 1))..params.n)
+            .map(ServerId::new)
+            .collect();
         LowerBoundCampaign {
             protected,
             writes: params.k,
@@ -167,9 +175,7 @@ impl LowerBoundCampaign {
                 iteration: i + 1,
                 covered: outcome.covered.len(),
                 newly_covered: outcome.newly_covered.len(),
-                coverage_avoids_protected: outcome
-                    .covered_servers
-                    .is_disjoint(&self.protected),
+                coverage_avoids_protected: outcome.covered_servers.is_disjoint(&self.protected),
                 resource_consumption: metrics.resource_consumption(),
                 point_contention: metrics.point_contention,
                 steps: outcome.steps,
@@ -207,9 +213,7 @@ impl LowerBoundCampaign {
 mod tests {
     use super::*;
     use regemu_bounds::Params;
-    use regemu_core::{
-        AbdMaxRegisterEmulation, RegisterBankEmulation, SpaceOptimalEmulation,
-    };
+    use regemu_core::{AbdMaxRegisterEmulation, RegisterBankEmulation, SpaceOptimalEmulation};
 
     #[test]
     fn space_optimal_coverage_grows_by_f_per_write() {
@@ -221,10 +225,7 @@ mod tests {
         assert!(report.coverage_always_avoids_protected(), "{report:?}");
         assert!(report.is_write_sequential_evidence());
         assert!(report.final_covered >= params.k * params.f);
-        assert!(
-            report.final_resource_consumption
-                >= regemu_bounds::register_lower_bound(params)
-        );
+        assert!(report.final_resource_consumption >= regemu_bounds::register_lower_bound(params));
     }
 
     #[test]

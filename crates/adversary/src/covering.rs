@@ -70,7 +70,11 @@ impl CoveringTracker {
         previous_writers: BTreeSet<ClientId>,
         old_pending: impl IntoIterator<Item = (OpId, ObjectId, ClientId)>,
     ) -> Self {
-        assert_eq!(protected.len(), f + 1, "the protected set F must have exactly f + 1 servers");
+        assert_eq!(
+            protected.len(),
+            f + 1,
+            "the protected set F must have exactly f + 1 servers"
+        );
         let mut covered_at_checkpoint = BTreeSet::new();
         let mut pending_old_writes: BTreeMap<ObjectId, usize> = BTreeMap::new();
         let mut old_write_ops = BTreeMap::new();
@@ -107,7 +111,13 @@ impl CoveringTracker {
     /// write-class operations matter; everything else is ignored.
     pub fn observe(&mut self, event: &Event, topology: &Topology) {
         match event {
-            Event::Trigger { client, op_id, object, op, .. } if op.is_write() => {
+            Event::Trigger {
+                client,
+                op_id,
+                object,
+                op,
+                ..
+            } if op.is_write() => {
                 self.new_write_ops.insert(*op_id, *object);
                 self.write_clients.insert(*op_id, *client);
                 *self.pending_new_writes.entry(*object).or_default() += 1;
@@ -259,7 +269,9 @@ impl CoveringTracker {
             .collect();
         for s in &self.q {
             if self.protected.contains(s) || !cov_servers.contains(s) {
-                return Err(format!("Q_i contains {s} which is not a covered non-F server"));
+                return Err(format!(
+                    "Q_i contains {s} which is not a covered non-F server"
+                ));
             }
         }
         // Lemma 2.11: (Q_i ∪ M_i) ∩ δ(Rr_i) = ∅.

@@ -42,10 +42,18 @@ pub struct QuorumEmulation {
 impl QuorumEmulation {
     /// Builds the emulation over `n` servers, one max-register each.
     pub fn new(n: usize, f: usize) -> Self {
-        assert!(n > f, "need more servers than failures for the quorum to be nonempty");
+        assert!(
+            n > f,
+            "need more servers than failures for the quorum to be nonempty"
+        );
         let mut topology = Topology::new(n);
         let objects = topology.add_object_per_server(ObjectKind::MaxRegister);
-        QuorumEmulation { n, f, topology, objects }
+        QuorumEmulation {
+            n,
+            f,
+            topology,
+            objects,
+        }
     }
 
     /// A fresh simulation of the emulation (without a fault budget: the
@@ -160,7 +168,10 @@ pub fn demonstrate_partition(n: usize, f: usize) -> Result<PartitionOutcome, Sim
     // servers; the environment delays the rest indefinitely.
     let write_side: BTreeSet<ServerId> = (0..(n - f)).map(ServerId::new).collect();
     deliver_only_on(&mut sim, writer, &write_side)?;
-    assert!(sim.result_of(write).is_some(), "the write must return after n - f acks");
+    assert!(
+        sim.result_of(write).is_some(),
+        "the write must return after n - f acks"
+    );
 
     // The read starts strictly after the write returned, and hears only from
     // the *last* n - f servers. The writer's leftover low-level writes on
@@ -168,7 +179,10 @@ pub fn demonstrate_partition(n: usize, f: usize) -> Result<PartitionOutcome, Sim
     let read = sim.invoke(reader, HighOp::Read)?;
     let read_side: BTreeSet<ServerId> = (f..n).map(ServerId::new).collect();
     deliver_only_on(&mut sim, reader, &read_side)?;
-    assert!(sim.result_of(read).is_some(), "the read must return after n - f replies");
+    assert!(
+        sim.result_of(read).is_some(),
+        "the read must return after n - f replies"
+    );
 
     let read_value = sim
         .result_of(read)
@@ -213,9 +227,15 @@ mod tests {
     fn with_2f_servers_the_partition_violates_ws_safety() {
         for f in 1..=3usize {
             let outcome = demonstrate_partition(2 * f, f).unwrap();
-            assert!(outcome.is_violation(), "n = 2f must admit a violation (f = {f})");
+            assert!(
+                outcome.is_violation(),
+                "n = 2f must admit a violation (f = {f})"
+            );
             let err = check_ws_safe(&outcome.history, &SequentialSpec::register());
-            assert!(err.is_err(), "the produced schedule must fail the WS-Safety checker");
+            assert!(
+                err.is_err(),
+                "the produced schedule must fail the WS-Safety checker"
+            );
         }
     }
 
@@ -223,7 +243,10 @@ mod tests {
     fn with_2f_plus_1_servers_the_same_schedule_is_safe() {
         for f in 1..=3usize {
             let outcome = demonstrate_partition(2 * f + 1, f).unwrap();
-            assert!(!outcome.is_violation(), "n = 2f + 1 quorums intersect (f = {f})");
+            assert!(
+                !outcome.is_violation(),
+                "n = 2f + 1 quorums intersect (f = {f})"
+            );
             check_ws_safe(&outcome.history, &SequentialSpec::register()).unwrap();
         }
     }

@@ -28,12 +28,20 @@ fn bench_contended_write_max(c: &mut Criterion) {
     let mut group = c.benchmark_group("cas_max_register/contended_write_max");
     for threads in [1usize, 2, 4] {
         group.throughput(Throughput::Elements(threads as u64 * WRITES_PER_THREAD));
-        group.bench_with_input(BenchmarkId::new("cas_algorithm1", threads), &threads, |b, &threads| {
-            b.iter(|| contended_writes(Arc::new(CasMaxRegister::new(0)), threads));
-        });
-        group.bench_with_input(BenchmarkId::new("fetch_max", threads), &threads, |b, &threads| {
-            b.iter(|| contended_writes(Arc::new(FetchMaxRegister::new(0)), threads));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("cas_algorithm1", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| contended_writes(Arc::new(CasMaxRegister::new(0)), threads));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fetch_max", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| contended_writes(Arc::new(FetchMaxRegister::new(0)), threads));
+            },
+        );
     }
     group.finish();
 }

@@ -44,23 +44,31 @@ fn bench_space_optimal_scaling_in_k(c: &mut Criterion) {
     for k in [1usize, 4, 8, 16] {
         let params = Params::new(k, 1, 5).unwrap();
         let emulation = regemu_core::SpaceOptimalEmulation::new(params);
-        group.bench_with_input(BenchmarkId::from_parameter(k), &emulation, |b, emulation| {
-            b.iter_batched(
-                || {
-                    let mut sim = emulation.build_simulation();
-                    let writer = sim.register_client(emulation.writer_protocol(0));
-                    (sim, writer, FairDriver::new(3))
-                },
-                |(mut sim, writer, mut driver)| {
-                    let w = sim.invoke(writer, HighOp::Write(1)).unwrap();
-                    driver.run_until_complete(&mut sim, w, 200_000).unwrap();
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &emulation,
+            |b, emulation| {
+                b.iter_batched(
+                    || {
+                        let mut sim = emulation.build_simulation();
+                        let writer = sim.register_client(emulation.writer_protocol(0));
+                        (sim, writer, FairDriver::new(3))
+                    },
+                    |(mut sim, writer, mut driver)| {
+                        let w = sim.invoke(writer, HighOp::Write(1)).unwrap();
+                        driver.run_until_complete(&mut sim, w, 200_000).unwrap();
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_write_read_pair, bench_space_optimal_scaling_in_k);
+criterion_group!(
+    benches,
+    bench_write_read_pair,
+    bench_space_optimal_scaling_in_k
+);
 criterion_main!(benches);

@@ -36,28 +36,32 @@ fn build(servers: usize) -> Simulation {
 fn bench_invoke_deliver_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine/invoke_deliver_cycle");
     for servers in [3usize, 9, 27] {
-        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &servers| {
-            b.iter_batched(
-                || {
-                    let mut sim = build(servers);
-                    let targets: Vec<ObjectId> = sim.topology().objects().collect();
-                    let client = sim.register_client(Box::new(FanoutClient {
-                        targets,
-                        remaining: servers,
-                    }));
-                    (sim, client)
-                },
-                |(mut sim, client)| {
-                    let op = sim.invoke(client, HighOp::Read).unwrap();
-                    let pending: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
-                    for op_id in pending {
-                        sim.deliver(op_id).unwrap();
-                    }
-                    assert!(sim.result_of(op).is_some());
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(servers),
+            &servers,
+            |b, &servers| {
+                b.iter_batched(
+                    || {
+                        let mut sim = build(servers);
+                        let targets: Vec<ObjectId> = sim.topology().objects().collect();
+                        let client = sim.register_client(Box::new(FanoutClient {
+                            targets,
+                            remaining: servers,
+                        }));
+                        (sim, client)
+                    },
+                    |(mut sim, client)| {
+                        let op = sim.invoke(client, HighOp::Read).unwrap();
+                        let pending: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+                        for op_id in pending {
+                            sim.deliver(op_id).unwrap();
+                        }
+                        assert!(sim.result_of(op).is_some());
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
@@ -65,27 +69,35 @@ fn bench_invoke_deliver_cycle(c: &mut Criterion) {
 fn bench_fair_driver_quiescence(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine/fair_driver_quiescence");
     for servers in [5usize, 25] {
-        group.bench_with_input(BenchmarkId::from_parameter(servers), &servers, |b, &servers| {
-            b.iter_batched(
-                || {
-                    let mut sim = build(servers);
-                    let targets: Vec<ObjectId> = sim.topology().objects().collect();
-                    let client = sim.register_client(Box::new(FanoutClient {
-                        targets,
-                        remaining: servers,
-                    }));
-                    sim.invoke(client, HighOp::Read).unwrap();
-                    (sim, FairDriver::new(7))
-                },
-                |(mut sim, mut driver)| {
-                    driver.run_until_quiescent(&mut sim, 10_000).unwrap();
-                },
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(servers),
+            &servers,
+            |b, &servers| {
+                b.iter_batched(
+                    || {
+                        let mut sim = build(servers);
+                        let targets: Vec<ObjectId> = sim.topology().objects().collect();
+                        let client = sim.register_client(Box::new(FanoutClient {
+                            targets,
+                            remaining: servers,
+                        }));
+                        sim.invoke(client, HighOp::Read).unwrap();
+                        (sim, FairDriver::new(7))
+                    },
+                    |(mut sim, mut driver)| {
+                        driver.run_until_quiescent(&mut sim, 10_000).unwrap();
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_invoke_deliver_cycle, bench_fair_driver_quiescence);
+criterion_group!(
+    benches,
+    bench_invoke_deliver_cycle,
+    bench_fair_driver_quiescence
+);
 criterion_main!(benches);

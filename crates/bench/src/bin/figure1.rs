@@ -11,10 +11,16 @@ use regemu_bounds::Params;
 
 fn main() {
     // The exact parameterization shown in the paper.
-    println!("{}", figure1(Params::new(5, 2, 6).expect("paper parameters")));
+    println!(
+        "{}",
+        figure1(Params::new(5, 2, 6).expect("paper parameters"))
+    );
 
     // Two further layouts showing how the sets shrink as servers are added.
     for (k, f, n) in [(5usize, 2usize, 9usize), (5, 2, 16)] {
-        println!("{}", figure1(Params::new(k, f, n).expect("valid parameters")));
+        println!(
+            "{}",
+            figure1(Params::new(k, f, n).expect("valid parameters"))
+        );
     }
 }

@@ -12,7 +12,11 @@ use regemu_workloads::{small_sweep, standard_sweep};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    let sweep = if full { standard_sweep() } else { small_sweep() };
+    let sweep = if full {
+        standard_sweep()
+    } else {
+        small_sweep()
+    };
     println!("{}", table1(&sweep));
     println!(
         "Closed-form bounds (Table 1):\n  max-register: 2f+1   CAS: 2f+1\n  \

@@ -12,7 +12,10 @@ use regemu_bounds::Params;
 
 fn main() {
     for (k, f, n) in [(8usize, 1usize, 3usize), (6, 2, 5)] {
-        println!("{}", theorem8_contention(Params::new(k, f, n).expect("valid parameters")));
+        println!(
+            "{}",
+            theorem8_contention(Params::new(k, f, n).expect("valid parameters"))
+        );
         println!();
     }
 }

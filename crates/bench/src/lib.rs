@@ -105,7 +105,9 @@ pub mod experiments {
         let register_report = LowerBoundCampaign::new(&space_optimal)
             .run(&space_optimal)
             .expect("campaign against Algorithm 2");
-        let rmw_report = LowerBoundCampaign::new(&abd).run(&abd).expect("campaign against ABD");
+        let rmw_report = LowerBoundCampaign::new(&abd)
+            .run(&abd)
+            .expect("campaign against ABD");
 
         let mut table = TextTable::new(
             format!(
@@ -135,7 +137,12 @@ pub mod experiments {
     pub fn theorem2_max_register(ks: &[usize]) -> TextTable {
         let mut table = TextTable::new(
             "Theorem 2 — registers needed by a k-writer max-register (ordinary shared memory)",
-            &["k", "lower bound", "collect construction", "CAS objects (Appendix B)"],
+            &[
+                "k",
+                "lower bound",
+                "collect construction",
+                "CAS objects (Appendix B)",
+            ],
         );
         for &k in ks {
             let collect = CollectMaxRegister::new(k, 0);
@@ -154,7 +161,13 @@ pub mod experiments {
     pub fn theorem5_partition(fs: &[usize]) -> TextTable {
         let mut table = TextTable::new(
             "Theorem 5 — partition argument: value observed by a read after a write of 42",
-            &["f", "n = 2f (read sees)", "violation?", "n = 2f+1 (read sees)", "violation?"],
+            &[
+                "f",
+                "n = 2f (read sees)",
+                "violation?",
+                "n = 2f+1 (read sees)",
+                "violation?",
+            ],
         );
         for &f in fs {
             let bad = demonstrate_partition(2 * f, f).expect("partition run");
@@ -176,7 +189,12 @@ pub mod experiments {
     pub fn theorem6_per_server(ks: &[usize], f: usize) -> TextTable {
         let mut table = TextTable::new(
             format!("Theorem 6 — registers per server at n = 2f+1 (f = {f})"),
-            &["k", "bound (k)", "layout occupancy per server", "max covered on one server (Ad_i)"],
+            &[
+                "k",
+                "bound (k)",
+                "layout occupancy per server",
+                "max covered on one server (Ad_i)",
+            ],
         );
         for &k in ks {
             let params = Params::new(k, f, 2 * f + 1).expect("n = 2f+1 is valid");
@@ -188,7 +206,9 @@ pub mod experiments {
                 .copied()
                 .max()
                 .unwrap_or(0);
-            let report = LowerBoundCampaign::new(&emulation).run(&emulation).expect("campaign");
+            let report = LowerBoundCampaign::new(&emulation)
+                .run(&emulation)
+                .expect("campaign");
             table.push_row([
                 k.to_string(),
                 k.to_string(),
@@ -204,8 +224,14 @@ pub mod experiments {
     /// fits within that per-server budget.
     pub fn theorem7_bounded_storage(k: usize, f: usize, ms: &[usize]) -> TextTable {
         let mut table = TextTable::new(
-            format!("Theorem 7 — servers needed with at most m registers per server (k = {k}, f = {f})"),
-            &["m", "lower bound ⌈kf/m⌉+f+1", "smallest n where Algorithm 2 fits"],
+            format!(
+                "Theorem 7 — servers needed with at most m registers per server (k = {k}, f = {f})"
+            ),
+            &[
+                "m",
+                "lower bound ⌈kf/m⌉+f+1",
+                "smallest n where Algorithm 2 fits",
+            ],
         );
         for &m in ms {
             let bound = servers_needed_with_bounded_storage(k, f, m);
@@ -224,7 +250,9 @@ pub mod experiments {
             table.push_row([
                 m.to_string(),
                 bound.to_string(),
-                fitting.map(|n| n.to_string()).unwrap_or_else(|| "-".to_string()),
+                fitting
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".to_string()),
             ]);
         }
         table
@@ -235,10 +263,17 @@ pub mod experiments {
     /// grow with the number of writes.
     pub fn theorem8_contention(params: Params) -> TextTable {
         let emulation = SpaceOptimalEmulation::new(params);
-        let report = LowerBoundCampaign::new(&emulation).run(&emulation).expect("campaign");
+        let report = LowerBoundCampaign::new(&emulation)
+            .run(&emulation)
+            .expect("campaign");
         let mut table = TextTable::new(
             format!("Theorem 8 — resource consumption vs point contention ({params})"),
-            &["write #", "point contention", "covered registers", "resource consumption"],
+            &[
+                "write #",
+                "point contention",
+                "covered registers",
+                "resource consumption",
+            ],
         );
         for it in &report.iterations {
             table.push_row([
@@ -365,7 +400,10 @@ mod tests {
         assert_eq!(theorem5_partition(&[1, 2]).row_count(), 2);
         assert_eq!(theorem6_per_server(&[1, 2], 1).row_count(), 2);
         assert_eq!(theorem7_bounded_storage(4, 1, &[1, 2, 4]).row_count(), 3);
-        assert_eq!(theorem8_contention(Params::new(3, 1, 3).unwrap()).row_count(), 3);
+        assert_eq!(
+            theorem8_contention(Params::new(3, 1, 3).unwrap()).row_count(),
+            3
+        );
     }
 
     #[test]

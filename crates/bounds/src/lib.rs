@@ -90,7 +90,10 @@ impl Params {
             return Err(ParamError::NoFaults);
         }
         if n < 2 * f + 1 {
-            return Err(ParamError::TooFewServers { n, required: 2 * f + 1 });
+            return Err(ParamError::TooFewServers {
+                n,
+                required: 2 * f + 1,
+            });
         }
         Ok(Params { k, f, n })
     }
@@ -238,7 +241,10 @@ mod tests {
                 let p = Params::new(k, f, 2 * f + 1).unwrap();
                 assert_eq!(register_lower_bound(p), (2 * f + 1) * k);
                 assert_eq!(register_upper_bound(p), (2 * f + 1) * k);
-                assert_eq!(register_upper_bound(p), special_case_minimal_n_upper_bound(k, f));
+                assert_eq!(
+                    register_upper_bound(p),
+                    special_case_minimal_n_upper_bound(k, f)
+                );
                 assert!(p.bounds_coincide());
             }
         }

@@ -24,9 +24,7 @@ use crate::drivers::{MaxDriver, MaxOutcome};
 use crate::quorum::ServerQuorumTracker;
 use crate::timestamp;
 use regemu_bounds::Params;
-use regemu_fpsm::{
-    ClientProtocol, Context, Delivery, HighOp, HighResponse, ObjectId, Value,
-};
+use regemu_fpsm::{ClientProtocol, Context, Delivery, HighOp, HighResponse, ObjectId, Value};
 use std::collections::BTreeMap;
 
 /// Which phase of the two-phase quorum protocol the client is in.
@@ -35,9 +33,15 @@ enum Phase {
     /// No high-level operation in progress.
     Idle,
     /// Phase 1: `read-max` from `n - f` servers.
-    Query { op: HighOp, quorum: ServerQuorumTracker },
+    Query {
+        op: HighOp,
+        quorum: ServerQuorumTracker,
+    },
     /// Phase 2: `write-max` to `n - f` servers, then return `response`.
-    Update { response: HighResponse, quorum: ServerQuorumTracker },
+    Update {
+        response: HighResponse,
+        quorum: ServerQuorumTracker,
+    },
 }
 
 /// The ABD client protocol, generic over the per-server [`MaxDriver`]s.
@@ -78,7 +82,14 @@ impl AbdClient {
                 object_to_driver.insert(b, i);
             }
         }
-        AbdClient { params, writer_index, read_write_back, drivers, object_to_driver, phase: Phase::Idle }
+        AbdClient {
+            params,
+            writer_index,
+            read_write_back,
+            drivers,
+            object_to_driver,
+            phase: Phase::Idle,
+        }
     }
 
     fn quorum_size(&self) -> usize {
@@ -90,7 +101,10 @@ impl AbdClient {
             d.reset();
             d.start_read_max(ctx);
         }
-        self.phase = Phase::Query { op, quorum: ServerQuorumTracker::new(self.quorum_size()) };
+        self.phase = Phase::Query {
+            op,
+            quorum: ServerQuorumTracker::new(self.quorum_size()),
+        };
     }
 
     fn start_update(&mut self, value: Value, response: HighResponse, ctx: &mut Context<'_>) {
@@ -98,8 +112,10 @@ impl AbdClient {
             d.reset();
             d.start_write_max(value, ctx);
         }
-        self.phase =
-            Phase::Update { response, quorum: ServerQuorumTracker::new(self.quorum_size()) };
+        self.phase = Phase::Update {
+            response,
+            quorum: ServerQuorumTracker::new(self.quorum_size()),
+        };
     }
 }
 
@@ -135,9 +151,7 @@ impl ClientProtocol for AbdClient {
                 let op = *op;
                 match op {
                     HighOp::Write(payload) => {
-                        let writer = self
-                            .writer_index
-                            .expect("writes require a writer index");
+                        let writer = self.writer_index.expect("writes require a writer index");
                         let ts = timestamp::next(best.ts, writer);
                         self.start_update(Value::new(ts, payload), HighResponse::WriteAck, ctx);
                     }
@@ -181,14 +195,19 @@ mod tests {
     fn native_setup(p: Params) -> (Simulation, Vec<ObjectId>) {
         let mut t = Topology::new(p.n);
         let objs = t.add_object_per_server(ObjectKind::MaxRegister);
-        (Simulation::new(t, SimConfig::with_fault_threshold(p.f)), objs)
+        (
+            Simulation::new(t, SimConfig::with_fault_threshold(p.f)),
+            objs,
+        )
     }
 
     fn native_client(p: Params, objs: &[ObjectId], writer: Option<usize>, wb: bool) -> AbdClient {
         let drivers: Vec<Box<dyn MaxDriver>> = objs
             .iter()
             .enumerate()
-            .map(|(s, b)| Box::new(NativeMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>)
+            .map(|(s, b)| {
+                Box::new(NativeMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>
+            })
             .collect();
         AbdClient::new(p, writer, wb, drivers)
     }
@@ -256,7 +275,10 @@ mod tests {
         }
         let metrics = RunMetrics::capture(&sim);
         assert_eq!(metrics.resource_consumption(), 2 * p.f + 1);
-        assert_eq!(metrics.resource_consumption(), regemu_bounds::max_register_bound(p.f));
+        assert_eq!(
+            metrics.resource_consumption(),
+            regemu_bounds::max_register_bound(p.f)
+        );
     }
 
     #[test]
@@ -269,7 +291,9 @@ mod tests {
             let drivers: Vec<Box<dyn MaxDriver>> = objs
                 .iter()
                 .enumerate()
-                .map(|(s, b)| Box::new(CasMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>)
+                .map(|(s, b)| {
+                    Box::new(CasMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>
+                })
                 .collect();
             AbdClient::new(p, writer, false, drivers)
         };
@@ -296,7 +320,11 @@ mod tests {
         let mut t = Topology::new(p.n);
         let mut banks: Vec<Vec<ObjectId>> = Vec::new();
         for s in 0..p.n {
-            banks.push((0..k).map(|_| t.add_object(ObjectKind::Register, ServerId::new(s))).collect());
+            banks.push(
+                (0..k)
+                    .map(|_| t.add_object(ObjectKind::Register, ServerId::new(s)))
+                    .collect(),
+            );
         }
         let mut sim = Simulation::new(t, SimConfig::with_fault_threshold(p.f));
         let make = |slot: Option<usize>| {
@@ -304,13 +332,15 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(s, bank)| {
-                    Box::new(BankMaxDriver::new(ServerId::new(s), bank.clone(), slot)) as Box<dyn MaxDriver>
+                    Box::new(BankMaxDriver::new(ServerId::new(s), bank.clone(), slot))
+                        as Box<dyn MaxDriver>
                 })
                 .collect();
             AbdClient::new(p, slot, false, drivers)
         };
-        let writers: Vec<ClientId> =
-            (0..k).map(|i| sim.register_client(Box::new(make(Some(i))))).collect();
+        let writers: Vec<ClientId> = (0..k)
+            .map(|i| sim.register_client(Box::new(make(Some(i)))))
+            .collect();
         let reader = sim.register_client(Box::new(make(None)));
         let mut driver = FairDriver::new(23);
 
@@ -322,7 +352,10 @@ mod tests {
         driver.run_until_complete(&mut sim, rop, 4000).unwrap();
         assert_eq!(sim.result_of(rop), Some(HighResponse::ReadValue(102)));
         // Resource consumption is (2f+1)·k = 9.
-        assert_eq!(RunMetrics::capture(&sim).resource_consumption(), (2 * p.f + 1) * k);
+        assert_eq!(
+            RunMetrics::capture(&sim).resource_consumption(),
+            (2 * p.f + 1) * k
+        );
     }
 
     #[test]

@@ -76,7 +76,11 @@ pub struct NativeMaxDriver {
 impl NativeMaxDriver {
     /// Creates a driver for the max-register `object` hosted on `server`.
     pub fn new(server: ServerId, object: ObjectId) -> Self {
-        NativeMaxDriver { server, object, pending: None }
+        NativeMaxDriver {
+            server,
+            object,
+            pending: None,
+        }
     }
 }
 
@@ -172,7 +176,10 @@ impl CasMaxDriver {
     fn probe(&mut self, ctx: &mut Context<'_>) {
         self.pending = Some(ctx.trigger(
             self.object,
-            BaseOp::Cas { expected: Value::INITIAL, new: Value::INITIAL },
+            BaseOp::Cas {
+                expected: Value::INITIAL,
+                new: Value::INITIAL,
+            },
         ));
         self.attempts += 1;
     }
@@ -224,7 +231,10 @@ impl MaxDriver for CasMaxDriver {
                     self.phase = Some(CasPhase::WriteSwap);
                     self.pending = Some(ctx.trigger(
                         self.object,
-                        BaseOp::Cas { expected: current, new: self.target },
+                        BaseOp::Cas {
+                            expected: current,
+                            new: self.target,
+                        },
                     ));
                     self.attempts += 1;
                     None
@@ -290,7 +300,10 @@ impl BankMaxDriver {
     ///
     /// Panics if `own_slot` is out of range or the bank is empty.
     pub fn new(server: ServerId, registers: Vec<ObjectId>, own_slot: Option<usize>) -> Self {
-        assert!(!registers.is_empty(), "a register bank must hold at least one register");
+        assert!(
+            !registers.is_empty(),
+            "a register bank must hold at least one register"
+        );
         if let Some(slot) = own_slot {
             assert!(slot < registers.len(), "own slot {slot} out of range");
         }
@@ -426,10 +439,13 @@ mod tests {
         F: Fn(ServerId, Vec<ObjectId>) -> D,
     {
         let mut t = Topology::new(1);
-        let objs: Vec<ObjectId> =
-            (0..objects_per_server).map(|_| t.add_object(kind, ServerId::new(0))).collect();
+        let objs: Vec<ObjectId> = (0..objects_per_server)
+            .map(|_| t.add_object(kind, ServerId::new(0)))
+            .collect();
         let mut sim = Simulation::new(t, SimConfig::unchecked());
-        let c = sim.register_client(Box::new(DriverHarness { driver: make(ServerId::new(0), objs.clone()) }));
+        let c = sim.register_client(Box::new(DriverHarness {
+            driver: make(ServerId::new(0), objs.clone()),
+        }));
         let mut driver = FairDriver::new(3);
 
         for v in [5u64, 3u64] {
@@ -524,7 +540,10 @@ mod tests {
         let ops: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
         assert_eq!(ops.len(), 2);
         sim.deliver(ops[0]).unwrap();
-        assert!(sim.result_of(r).is_none(), "stale response must not complete the op");
+        assert!(
+            sim.result_of(r).is_none(),
+            "stale response must not complete the op"
+        );
         sim.deliver(ops[1]).unwrap();
         assert!(sim.result_of(r).is_some());
     }
@@ -545,7 +564,11 @@ mod tests {
     fn flavours_and_objects_are_reported() {
         let native = NativeMaxDriver::new(ServerId::new(0), ObjectId::new(0));
         let cas = CasMaxDriver::new(ServerId::new(1), ObjectId::new(1));
-        let bank = BankMaxDriver::new(ServerId::new(2), vec![ObjectId::new(2), ObjectId::new(3)], Some(0));
+        let bank = BankMaxDriver::new(
+            ServerId::new(2),
+            vec![ObjectId::new(2), ObjectId::new(3)],
+            Some(0),
+        );
         assert_eq!(native.flavour(), "native-max");
         assert_eq!(cas.flavour(), "cas-max");
         assert_eq!(bank.flavour(), "register-bank-max");

@@ -18,7 +18,9 @@ use crate::drivers::{BankMaxDriver, CasMaxDriver, MaxDriver, NativeMaxDriver};
 use crate::layout::RegisterLayout;
 use crate::upper_bound::{SharedLayout, SpaceOptimalClient};
 use regemu_bounds::Params;
-use regemu_fpsm::{ClientProtocol, ObjectId, ObjectKind, ServerId, SimConfig, Simulation, Topology};
+use regemu_fpsm::{
+    ClientProtocol, ObjectId, ObjectKind, ServerId, SimConfig, Simulation, Topology,
+};
 use std::sync::Arc;
 
 /// A fully described emulation instance: topology plus protocol factories.
@@ -50,7 +52,10 @@ pub trait Emulation {
     /// Creates a fresh simulation of this instance (enforcing the failure
     /// threshold `f`).
     fn build_simulation(&self) -> Simulation {
-        Simulation::new(self.topology().clone(), SimConfig::with_fault_threshold(self.params().f))
+        Simulation::new(
+            self.topology().clone(),
+            SimConfig::with_fault_threshold(self.params().f),
+        )
     }
 }
 
@@ -77,19 +82,28 @@ impl AbdMaxRegisterEmulation {
     /// Creates the emulation; `read_write_back` selects the atomic variant.
     pub fn new(params: Params, read_write_back: bool) -> Self {
         let quorum_n = 2 * params.f + 1;
-        let quorum_params = Params::new(params.k, params.f, quorum_n).expect("2f+1 is always valid");
+        let quorum_params =
+            Params::new(params.k, params.f, quorum_n).expect("2f+1 is always valid");
         let mut topology = Topology::new(params.n);
         let objects: Vec<ObjectId> = (0..quorum_n)
             .map(|s| topology.add_object(ObjectKind::MaxRegister, ServerId::new(s)))
             .collect();
-        AbdMaxRegisterEmulation { params, quorum_params, topology, objects, read_write_back }
+        AbdMaxRegisterEmulation {
+            params,
+            quorum_params,
+            topology,
+            objects,
+            read_write_back,
+        }
     }
 
     fn drivers(&self) -> Vec<Box<dyn MaxDriver>> {
         self.objects
             .iter()
             .enumerate()
-            .map(|(s, b)| Box::new(NativeMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>)
+            .map(|(s, b)| {
+                Box::new(NativeMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>
+            })
             .collect()
     }
 }
@@ -112,11 +126,21 @@ impl Emulation for AbdMaxRegisterEmulation {
     }
 
     fn writer_protocol(&self, writer_index: usize) -> Box<dyn ClientProtocol> {
-        Box::new(AbdClient::new(self.quorum_params, Some(writer_index), self.read_write_back, self.drivers()))
+        Box::new(AbdClient::new(
+            self.quorum_params,
+            Some(writer_index),
+            self.read_write_back,
+            self.drivers(),
+        ))
     }
 
     fn reader_protocol(&self) -> Box<dyn ClientProtocol> {
-        Box::new(AbdClient::new(self.quorum_params, None, self.read_write_back, self.drivers()))
+        Box::new(AbdClient::new(
+            self.quorum_params,
+            None,
+            self.read_write_back,
+            self.drivers(),
+        ))
     }
 }
 
@@ -140,12 +164,19 @@ impl AbdCasEmulation {
     /// Creates the emulation; `read_write_back` selects the atomic variant.
     pub fn new(params: Params, read_write_back: bool) -> Self {
         let quorum_n = 2 * params.f + 1;
-        let quorum_params = Params::new(params.k, params.f, quorum_n).expect("2f+1 is always valid");
+        let quorum_params =
+            Params::new(params.k, params.f, quorum_n).expect("2f+1 is always valid");
         let mut topology = Topology::new(params.n);
         let objects: Vec<ObjectId> = (0..quorum_n)
             .map(|s| topology.add_object(ObjectKind::Cas, ServerId::new(s)))
             .collect();
-        AbdCasEmulation { params, quorum_params, topology, objects, read_write_back }
+        AbdCasEmulation {
+            params,
+            quorum_params,
+            topology,
+            objects,
+            read_write_back,
+        }
     }
 
     fn drivers(&self) -> Vec<Box<dyn MaxDriver>> {
@@ -175,11 +206,21 @@ impl Emulation for AbdCasEmulation {
     }
 
     fn writer_protocol(&self, writer_index: usize) -> Box<dyn ClientProtocol> {
-        Box::new(AbdClient::new(self.quorum_params, Some(writer_index), self.read_write_back, self.drivers()))
+        Box::new(AbdClient::new(
+            self.quorum_params,
+            Some(writer_index),
+            self.read_write_back,
+            self.drivers(),
+        ))
     }
 
     fn reader_protocol(&self) -> Box<dyn ClientProtocol> {
-        Box::new(AbdClient::new(self.quorum_params, None, self.read_write_back, self.drivers()))
+        Box::new(AbdClient::new(
+            self.quorum_params,
+            None,
+            self.read_write_back,
+            self.drivers(),
+        ))
     }
 }
 
@@ -212,7 +253,12 @@ impl RegisterBankEmulation {
                     .collect()
             })
             .collect();
-        RegisterBankEmulation { params, topology, banks, read_write_back }
+        RegisterBankEmulation {
+            params,
+            topology,
+            banks,
+            read_write_back,
+        }
     }
 
     fn drivers(&self, own_slot: Option<usize>) -> Vec<Box<dyn MaxDriver>> {
@@ -220,7 +266,8 @@ impl RegisterBankEmulation {
             .iter()
             .enumerate()
             .map(|(s, bank)| {
-                Box::new(BankMaxDriver::new(ServerId::new(s), bank.clone(), own_slot)) as Box<dyn MaxDriver>
+                Box::new(BankMaxDriver::new(ServerId::new(s), bank.clone(), own_slot))
+                    as Box<dyn MaxDriver>
             })
             .collect()
     }
@@ -244,7 +291,12 @@ impl Emulation for RegisterBankEmulation {
     }
 
     fn writer_protocol(&self, writer_index: usize) -> Box<dyn ClientProtocol> {
-        Box::new(AbdClient::new(self.params, Some(writer_index), self.read_write_back, self.drivers(Some(writer_index))))
+        Box::new(AbdClient::new(
+            self.params,
+            Some(writer_index),
+            self.read_write_back,
+            self.drivers(Some(writer_index)),
+        ))
     }
 
     fn reader_protocol(&self) -> Box<dyn ClientProtocol> {
@@ -275,7 +327,11 @@ impl SpaceOptimalEmulation {
     pub fn new(params: Params) -> Self {
         let (topology, layout) = RegisterLayout::build(params);
         let shared = SharedLayout::new(layout, &topology);
-        SpaceOptimalEmulation { params, topology, shared }
+        SpaceOptimalEmulation {
+            params,
+            topology,
+            shared,
+        }
     }
 
     /// The register layout used by the construction.
@@ -307,7 +363,10 @@ impl Emulation for SpaceOptimalEmulation {
     }
 
     fn writer_protocol(&self, writer_index: usize) -> Box<dyn ClientProtocol> {
-        Box::new(SpaceOptimalClient::writer(self.shared.clone(), writer_index))
+        Box::new(SpaceOptimalClient::writer(
+            self.shared.clone(),
+            writer_index,
+        ))
     }
 
     fn reader_protocol(&self) -> Box<dyn ClientProtocol> {
@@ -381,12 +440,18 @@ mod tests {
             AbdMaxRegisterEmulation::new(params, false).base_object_count(),
             max_register_bound(2)
         );
-        assert_eq!(AbdCasEmulation::new(params, false).base_object_count(), cas_bound(2));
+        assert_eq!(
+            AbdCasEmulation::new(params, false).base_object_count(),
+            cas_bound(2)
+        );
         assert_eq!(
             SpaceOptimalEmulation::new(params).base_object_count(),
             register_upper_bound(params)
         );
-        assert_eq!(RegisterBankEmulation::new(params, false).base_object_count(), 7 * 4);
+        assert_eq!(
+            RegisterBankEmulation::new(params, false).base_object_count(),
+            7 * 4
+        );
     }
 
     #[test]

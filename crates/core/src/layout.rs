@@ -75,7 +75,11 @@ impl RegisterLayout {
             servers.push(set_servers);
         }
 
-        RegisterLayout { params, sets, servers }
+        RegisterLayout {
+            params,
+            sets,
+            servers,
+        }
     }
 
     /// Convenience constructor: builds a fresh topology with `params.n`
@@ -140,7 +144,9 @@ impl RegisterLayout {
 
     /// Writers assigned to set `i` (0-based writer indices).
     pub fn writers_of_set(&self, i: usize) -> Vec<usize> {
-        (0..self.params.k).filter(|w| self.set_for_writer(*w) == i).collect()
+        (0..self.params.k)
+            .filter(|w| self.set_for_writer(*w) == i)
+            .collect()
     }
 
     /// The write-quorum size for a writer of set `i`: `|R_i| - f`.
@@ -187,10 +193,7 @@ impl RegisterLayout {
                     .unwrap_or_else(|| "·".to_string());
                 out.push_str(&format!("{cell:>6}"));
             }
-            out.push_str(&format!(
-                "   writers {:?}\n",
-                self.writers_of_set(i)
-            ));
+            out.push_str(&format!("   writers {:?}\n", self.writers_of_set(i)));
         }
         out
     }

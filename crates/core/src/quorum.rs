@@ -25,7 +25,11 @@ impl ServerQuorumTracker {
     /// Creates a tracker that is satisfied once `threshold` distinct servers
     /// completed.
     pub fn new(threshold: usize) -> Self {
-        ServerQuorumTracker { threshold, completed: BTreeSet::new(), best: Value::INITIAL }
+        ServerQuorumTracker {
+            threshold,
+            completed: BTreeSet::new(),
+            best: Value::INITIAL,
+        }
     }
 
     /// Records that `server` completed its task, folding `value` (if any)
@@ -69,7 +73,10 @@ pub struct RegisterQuorumTracker {
 impl RegisterQuorumTracker {
     /// Creates a tracker satisfied after `threshold` distinct registers ack.
     pub fn new(threshold: usize) -> Self {
-        RegisterQuorumTracker { threshold, acked: BTreeSet::new() }
+        RegisterQuorumTracker {
+            threshold,
+            acked: BTreeSet::new(),
+        }
     }
 
     /// Records an acknowledgement from `register`.
@@ -121,7 +128,13 @@ impl ScanTracker {
                 outstanding.insert(server, registers.into_iter().collect());
             }
         }
-        ScanTracker { threshold, outstanding, completed, best: Value::INITIAL, values: Vec::new() }
+        ScanTracker {
+            threshold,
+            outstanding,
+            completed,
+            best: Value::INITIAL,
+            values: Vec::new(),
+        }
     }
 
     /// Records a read response of `value` from `register` on `server`.

@@ -45,8 +45,14 @@ impl CollectMaxRegister {
     ///
     /// Panics if `index` is out of range.
     pub fn writer(self: &Arc<Self>, index: usize) -> CollectWriter {
-        assert!(index < self.slots.len(), "writer index {index} out of range");
-        CollectWriter { shared: self.clone(), index }
+        assert!(
+            index < self.slots.len(),
+            "writer index {index} out of range"
+        );
+        CollectWriter {
+            shared: self.clone(),
+            index,
+        }
     }
 
     fn write_slot(&self, slot: usize, value: u64) {

@@ -18,7 +18,9 @@ pub struct FetchMaxRegister {
 impl FetchMaxRegister {
     /// Creates the max-register with the given initial value.
     pub fn new(initial: u64) -> Self {
-        FetchMaxRegister { cell: AtomicU64::new(initial) }
+        FetchMaxRegister {
+            cell: AtomicU64::new(initial),
+        }
     }
 }
 

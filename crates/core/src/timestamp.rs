@@ -21,7 +21,10 @@ pub const MAX_WRITERS: usize = (1 << WRITER_BITS) - 1;
 ///
 /// Panics if `writer >= MAX_WRITERS`.
 pub fn compose(round: u64, writer: usize) -> u64 {
-    assert!(writer < MAX_WRITERS, "writer index {writer} exceeds the timestamp capacity");
+    assert!(
+        writer < MAX_WRITERS,
+        "writer index {writer} exceeds the timestamp capacity"
+    );
     (round << WRITER_BITS) | (writer as u64 + 1)
 }
 

@@ -59,7 +59,11 @@ impl SharedLayout {
             by_server.entry(topology.server_of(b)).or_default().push(b);
         }
         let scan_groups = by_server.into_iter().collect();
-        Arc::new(SharedLayout { params, layout, scan_groups })
+        Arc::new(SharedLayout {
+            params,
+            layout,
+            scan_groups,
+        })
     }
 
     /// The layout parameters.
@@ -83,7 +87,10 @@ impl SharedLayout {
 enum Phase {
     Idle,
     /// Running `collect()` on behalf of `op`.
-    Collecting { op: HighOp, scan: ScanTracker },
+    Collecting {
+        op: HighOp,
+        scan: ScanTracker,
+    },
     /// A write has triggered its low-level writes and waits for
     /// `|R_j| - f` acknowledgements.
     Writing,
@@ -212,7 +219,9 @@ impl SpaceOptimalClient {
     }
 
     fn maybe_finish_collect(&mut self, ctx: &mut Context<'_>) {
-        let Phase::Collecting { op, scan } = &self.phase else { return };
+        let Phase::Collecting { op, scan } = &self.phase else {
+            return;
+        };
         if !scan.satisfied() {
             return;
         }
@@ -369,7 +378,10 @@ mod tests {
             driver.run_until_complete(&mut sim, op, 8000).unwrap();
             let r = sim.invoke(readers[0], HighOp::Read).unwrap();
             driver.run_until_complete(&mut sim, r, 8000).unwrap();
-            assert_eq!(sim.result_of(r), Some(HighResponse::ReadValue(1000 + i as u64)));
+            assert_eq!(
+                sim.result_of(r),
+                Some(HighResponse::ReadValue(1000 + i as u64))
+            );
         }
     }
 
@@ -442,7 +454,10 @@ mod tests {
             let metrics = RunMetrics::capture(&sim);
             // Reads touch every register of the layout, so the consumption is
             // exactly the layout size, which is Theorem 3's formula.
-            assert_eq!(metrics.resource_consumption(), regemu_bounds::register_upper_bound(params));
+            assert_eq!(
+                metrics.resource_consumption(),
+                regemu_bounds::register_upper_bound(params)
+            );
             assert!(metrics.resource_consumption() >= regemu_bounds::register_lower_bound(params));
         }
     }

@@ -249,7 +249,10 @@ mod tests {
     #[test]
     fn fair_driver_completes_a_majority_write() {
         let (mut sim, objs) = build(3, 1);
-        let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+        let c = sim.register_client(Box::new(MajorityWriter {
+            targets: objs,
+            acks: 0,
+        }));
         let w = sim.invoke(c, HighOp::Write(1)).unwrap();
         let mut driver = FairDriver::new(7);
         driver.run_until_complete(&mut sim, w, 100).unwrap();
@@ -260,7 +263,10 @@ mod tests {
     fn driver_is_deterministic_for_a_seed() {
         let run = |seed: u64| {
             let (mut sim, objs) = build(5, 2);
-            let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+            let c = sim.register_client(Box::new(MajorityWriter {
+                targets: objs,
+                acks: 0,
+            }));
             let w = sim.invoke(c, HighOp::Write(1)).unwrap();
             let mut driver = FairDriver::new(seed);
             driver.run_until_complete(&mut sim, w, 100).unwrap();
@@ -272,7 +278,10 @@ mod tests {
     #[test]
     fn crash_plan_crashes_up_to_f_servers_and_write_still_completes() {
         let (mut sim, objs) = build(3, 1);
-        let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+        let c = sim.register_client(Box::new(MajorityWriter {
+            targets: objs,
+            acks: 0,
+        }));
         let w = sim.invoke(c, HighOp::Write(1)).unwrap();
         let plan = CrashPlan::none().crash_at(0, ServerId::new(2));
         let mut driver = FairDriver::new(1).with_crash_plan(plan);
@@ -306,7 +315,10 @@ mod tests {
     #[test]
     fn run_until_quiescent_drains_all_pending_ops() {
         let (mut sim, objs) = build(3, 1);
-        let c = sim.register_client(Box::new(MajorityWriter { targets: objs, acks: 0 }));
+        let c = sim.register_client(Box::new(MajorityWriter {
+            targets: objs,
+            acks: 0,
+        }));
         sim.invoke(c, HighOp::Write(1)).unwrap();
         let mut driver = FairDriver::new(11);
         driver.run_until_quiescent(&mut sim, 100).unwrap();

@@ -91,15 +91,26 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        assert_eq!(SimError::UnknownClient(ClientId::new(2)).to_string(), "unknown client c2");
-        assert!(SimError::ClientBusy(ClientId::new(0)).to_string().contains("in progress"));
-        let e = SimError::FaultBudgetExceeded { f: 1, already_crashed: 1 };
+        assert_eq!(
+            SimError::UnknownClient(ClientId::new(2)).to_string(),
+            "unknown client c2"
+        );
+        assert!(SimError::ClientBusy(ClientId::new(0))
+            .to_string()
+            .contains("in progress"));
+        let e = SimError::FaultBudgetExceeded {
+            f: 1,
+            already_crashed: 1,
+        };
         assert!(e.to_string().contains("failure threshold"));
     }
 
     #[test]
     fn object_error_converts_and_sources() {
-        let oe = ObjectError::UnsupportedOp { kind: ObjectKind::Register, op: BaseOp::ReadMax };
+        let oe = ObjectError::UnsupportedOp {
+            kind: ObjectKind::Register,
+            op: BaseOp::ReadMax,
+        };
         let se: SimError = oe.into();
         assert!(matches!(se, SimError::Object(_)));
         assert!(std::error::Error::source(&se).is_some());

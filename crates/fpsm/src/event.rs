@@ -125,17 +125,43 @@ impl Event {
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Event::Invoke { time, client, high_op, op } => {
+            Event::Invoke {
+                time,
+                client,
+                high_op,
+                op,
+            } => {
                 write!(f, "[{time}] {client} invokes {op} ({high_op})")
             }
-            Event::Return { time, client, high_op, response } => {
+            Event::Return {
+                time,
+                client,
+                high_op,
+                response,
+            } => {
                 write!(f, "[{time}] {client} returns {response} ({high_op})")
             }
-            Event::Trigger { time, client, op_id, object, op, .. } => {
+            Event::Trigger {
+                time,
+                client,
+                op_id,
+                object,
+                op,
+                ..
+            } => {
                 write!(f, "[{time}] {client} triggers {op} on {object} ({op_id})")
             }
-            Event::Respond { time, client, op_id, object, response } => {
-                write!(f, "[{time}] {object} responds {response} to {client} ({op_id})")
+            Event::Respond {
+                time,
+                client,
+                op_id,
+                object,
+                response,
+            } => {
+                write!(
+                    f,
+                    "[{time}] {object} responds {response} to {client} ({op_id})"
+                )
             }
             Event::ServerCrash { time, server } => write!(f, "[{time}] {server} crashes"),
             Event::ClientCrash { time, client } => write!(f, "[{time}] {client} crashes"),
@@ -164,7 +190,10 @@ mod tests {
         assert!(!e.is_high_level());
         assert!(!e.is_crash());
 
-        let c = Event::ServerCrash { time: 9, server: ServerId::new(0) };
+        let c = Event::ServerCrash {
+            time: 9,
+            server: ServerId::new(0),
+        };
         assert_eq!(c.time(), 9);
         assert_eq!(c.client(), None);
         assert!(c.is_crash());

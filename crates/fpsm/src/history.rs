@@ -87,14 +87,24 @@ impl History {
         let mut out: Vec<HighInterval> = Vec::new();
         for e in &self.events {
             match *e {
-                Event::Invoke { time, client, high_op, op } => out.push(HighInterval {
+                Event::Invoke {
+                    time,
+                    client,
+                    high_op,
+                    op,
+                } => out.push(HighInterval {
                     id: high_op,
                     client,
                     op,
                     invoked_at: time,
                     returned: None,
                 }),
-                Event::Return { time, high_op, response, .. } => {
+                Event::Return {
+                    time,
+                    high_op,
+                    response,
+                    ..
+                } => {
                     if let Some(iv) = out.iter_mut().find(|iv| iv.id == high_op) {
                         iv.returned = Some((time, response));
                     }
@@ -205,14 +215,56 @@ mod tests {
     fn mk_history() -> History {
         let mut h = History::new();
         // c0: WRITE(1) [t1..t4] touching b0 (write, responds) and b1 (write, pending)
-        h.push(Event::Invoke { time: 1, client: ClientId::new(0), high_op: HighOpId::new(0), op: HighOp::Write(1) });
-        h.push(Event::Trigger { time: 2, client: ClientId::new(0), high_op: Some(HighOpId::new(0)), op_id: OpId::new(0), object: ObjectId::new(0), op: BaseOp::Write(Value::new(1, 1)) });
-        h.push(Event::Trigger { time: 2, client: ClientId::new(0), high_op: Some(HighOpId::new(0)), op_id: OpId::new(1), object: ObjectId::new(1), op: BaseOp::Write(Value::new(1, 1)) });
-        h.push(Event::Respond { time: 3, client: ClientId::new(0), op_id: OpId::new(0), object: ObjectId::new(0), response: BaseResponse::WriteAck });
-        h.push(Event::Return { time: 4, client: ClientId::new(0), high_op: HighOpId::new(0), response: HighResponse::WriteAck });
+        h.push(Event::Invoke {
+            time: 1,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            op: HighOp::Write(1),
+        });
+        h.push(Event::Trigger {
+            time: 2,
+            client: ClientId::new(0),
+            high_op: Some(HighOpId::new(0)),
+            op_id: OpId::new(0),
+            object: ObjectId::new(0),
+            op: BaseOp::Write(Value::new(1, 1)),
+        });
+        h.push(Event::Trigger {
+            time: 2,
+            client: ClientId::new(0),
+            high_op: Some(HighOpId::new(0)),
+            op_id: OpId::new(1),
+            object: ObjectId::new(1),
+            op: BaseOp::Write(Value::new(1, 1)),
+        });
+        h.push(Event::Respond {
+            time: 3,
+            client: ClientId::new(0),
+            op_id: OpId::new(0),
+            object: ObjectId::new(0),
+            response: BaseResponse::WriteAck,
+        });
+        h.push(Event::Return {
+            time: 4,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            response: HighResponse::WriteAck,
+        });
         // c1: READ() [t5..] pending, triggers read on b0
-        h.push(Event::Invoke { time: 5, client: ClientId::new(1), high_op: HighOpId::new(1), op: HighOp::Read });
-        h.push(Event::Trigger { time: 6, client: ClientId::new(1), high_op: Some(HighOpId::new(1)), op_id: OpId::new(2), object: ObjectId::new(0), op: BaseOp::Read });
+        h.push(Event::Invoke {
+            time: 5,
+            client: ClientId::new(1),
+            high_op: HighOpId::new(1),
+            op: HighOp::Read,
+        });
+        h.push(Event::Trigger {
+            time: 6,
+            client: ClientId::new(1),
+            high_op: Some(HighOpId::new(1)),
+            op_id: OpId::new(2),
+            object: ObjectId::new(0),
+            op: BaseOp::Read,
+        });
         h
     }
 
@@ -250,9 +302,24 @@ mod tests {
 
         // Two overlapping writes are not write-sequential.
         let mut h2 = History::new();
-        h2.push(Event::Invoke { time: 1, client: ClientId::new(0), high_op: HighOpId::new(0), op: HighOp::Write(1) });
-        h2.push(Event::Invoke { time: 2, client: ClientId::new(1), high_op: HighOpId::new(1), op: HighOp::Write(2) });
-        h2.push(Event::Return { time: 3, client: ClientId::new(0), high_op: HighOpId::new(0), response: HighResponse::WriteAck });
+        h2.push(Event::Invoke {
+            time: 1,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            op: HighOp::Write(1),
+        });
+        h2.push(Event::Invoke {
+            time: 2,
+            client: ClientId::new(1),
+            high_op: HighOpId::new(1),
+            op: HighOp::Write(2),
+        });
+        h2.push(Event::Return {
+            time: 3,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            response: HighResponse::WriteAck,
+        });
         assert!(!h2.is_write_sequential());
         assert!(h2.is_write_only());
     }
@@ -263,9 +330,19 @@ mod tests {
         assert_eq!(h.point_contention(), 1);
         let mut h2 = History::new();
         for i in 0..3u64 {
-            h2.push(Event::Invoke { time: i, client: ClientId::new(i as usize), high_op: HighOpId::new(i), op: HighOp::Write(i) });
+            h2.push(Event::Invoke {
+                time: i,
+                client: ClientId::new(i as usize),
+                high_op: HighOpId::new(i),
+                op: HighOp::Write(i),
+            });
         }
-        h2.push(Event::Return { time: 4, client: ClientId::new(0), high_op: HighOpId::new(0), response: HighResponse::WriteAck });
+        h2.push(Event::Return {
+            time: 4,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            response: HighResponse::WriteAck,
+        });
         assert_eq!(h2.point_contention(), 3);
     }
 

@@ -3,7 +3,7 @@
 //! The paper's central quantity is the *resource consumption* of a run: the
 //! number of base objects used (triggered on) by the emulation algorithm in
 //! that run. This module computes it, together with the covering structure
-//! ([`RunMetrics::covered_objects`], `Cov(t)` in the paper's notation), the
+//! ([`RunMetrics::covered`], `Cov(t)` in the paper's notation), the
 //! per-server occupancy used by Theorem 6, and the point contention used by
 //! Theorem 8.
 
@@ -50,11 +50,15 @@ impl RunMetrics {
 
         let mut touched_per_server: BTreeMap<ServerId, usize> = BTreeMap::new();
         for b in &touched {
-            *touched_per_server.entry(sim.topology().server_of(*b)).or_default() += 1;
+            *touched_per_server
+                .entry(sim.topology().server_of(*b))
+                .or_default() += 1;
         }
         let mut covered_per_server: BTreeMap<ServerId, usize> = BTreeMap::new();
         for b in &covered {
-            *covered_per_server.entry(sim.topology().server_of(*b)).or_default() += 1;
+            *covered_per_server
+                .entry(sim.topology().server_of(*b))
+                .or_default() += 1;
         }
 
         let mut triggers = 0u64;
@@ -146,7 +150,10 @@ mod tests {
         let mut t = Topology::new(3);
         let objs = t.add_object_per_server(ObjectKind::Register);
         let mut sim = Simulation::new(t, SimConfig::unchecked());
-        let c = sim.register_client(Box::new(SprayWriter { targets: objs.clone(), acks: 0 }));
+        let c = sim.register_client(Box::new(SprayWriter {
+            targets: objs.clone(),
+            acks: 0,
+        }));
         sim.invoke(c, HighOp::Write(5)).unwrap();
 
         let before = RunMetrics::capture(&sim);

@@ -40,7 +40,11 @@ impl ObjectKind {
     }
 
     /// All object kinds, in the order of Table 1.
-    pub const ALL: [ObjectKind; 3] = [ObjectKind::MaxRegister, ObjectKind::Cas, ObjectKind::Register];
+    pub const ALL: [ObjectKind; 3] = [
+        ObjectKind::MaxRegister,
+        ObjectKind::Cas,
+        ObjectKind::Register,
+    ];
 }
 
 impl fmt::Display for ObjectKind {
@@ -164,7 +168,10 @@ impl BaseObject {
             return Err(ObjectError::Crashed(self.id));
         }
         if !self.kind.supports(op) {
-            return Err(ObjectError::UnsupportedOp { kind: self.kind, op: *op });
+            return Err(ObjectError::UnsupportedOp {
+                kind: self.kind,
+                op: *op,
+            });
         }
         let resp = match op {
             BaseOp::Read => {
@@ -209,14 +216,20 @@ mod tests {
     #[test]
     fn register_read_write_semantics() {
         let mut r = obj(ObjectKind::Register);
-        assert_eq!(r.apply(&BaseOp::Read).unwrap(), BaseResponse::ReadValue(Value::INITIAL));
+        assert_eq!(
+            r.apply(&BaseOp::Read).unwrap(),
+            BaseResponse::ReadValue(Value::INITIAL)
+        );
         let v = Value::new(3, 7);
         assert_eq!(r.apply(&BaseOp::Write(v)).unwrap(), BaseResponse::WriteAck);
         assert_eq!(r.apply(&BaseOp::Read).unwrap(), BaseResponse::ReadValue(v));
         // A register is *not* a max-register: an older write overwrites.
         let older = Value::new(1, 1);
         r.apply(&BaseOp::Write(older)).unwrap();
-        assert_eq!(r.apply(&BaseOp::Read).unwrap(), BaseResponse::ReadValue(older));
+        assert_eq!(
+            r.apply(&BaseOp::Read).unwrap(),
+            BaseResponse::ReadValue(older)
+        );
         assert_eq!(r.applied_writes(), 2);
         assert_eq!(r.applied_reads(), 3);
     }
@@ -244,19 +257,31 @@ mod tests {
         let v2 = Value::new(2, 2);
         // Failed CAS: expected doesn't match.
         assert_eq!(
-            c.apply(&BaseOp::Cas { expected: v1, new: v2 }).unwrap(),
+            c.apply(&BaseOp::Cas {
+                expected: v1,
+                new: v2
+            })
+            .unwrap(),
             BaseResponse::CasOld(Value::INITIAL)
         );
         assert_eq!(c.value(), Value::INITIAL);
         // Successful CAS.
         assert_eq!(
-            c.apply(&BaseOp::Cas { expected: Value::INITIAL, new: v1 }).unwrap(),
+            c.apply(&BaseOp::Cas {
+                expected: Value::INITIAL,
+                new: v1
+            })
+            .unwrap(),
             BaseResponse::CasOld(Value::INITIAL)
         );
         assert_eq!(c.value(), v1);
         // Read-only CAS(v0, v0) idiom from Algorithm 1 returns current value.
         assert_eq!(
-            c.apply(&BaseOp::Cas { expected: Value::INITIAL, new: Value::INITIAL }).unwrap(),
+            c.apply(&BaseOp::Cas {
+                expected: Value::INITIAL,
+                new: Value::INITIAL
+            })
+            .unwrap(),
             BaseResponse::CasOld(v1)
         );
         assert_eq!(c.value(), v1);
@@ -278,7 +303,10 @@ mod tests {
         let mut r = obj(ObjectKind::Register);
         r.crash();
         assert!(r.is_crashed());
-        assert_eq!(r.apply(&BaseOp::Read).unwrap_err(), ObjectError::Crashed(ObjectId::new(0)));
+        assert_eq!(
+            r.apply(&BaseOp::Read).unwrap_err(),
+            ObjectError::Crashed(ObjectId::new(0))
+        );
     }
 
     #[test]
@@ -286,7 +314,10 @@ mod tests {
         use BaseOp::*;
         let w = Write(Value::INITIAL);
         let wm = WriteMax(Value::INITIAL);
-        let cas = Cas { expected: Value::INITIAL, new: Value::INITIAL };
+        let cas = Cas {
+            expected: Value::INITIAL,
+            new: Value::INITIAL,
+        };
         assert!(ObjectKind::Register.supports(&Read));
         assert!(ObjectKind::Register.supports(&w));
         assert!(!ObjectKind::Register.supports(&ReadMax));

@@ -44,12 +44,16 @@ pub struct SimConfig {
 impl SimConfig {
     /// Configuration enforcing the failure threshold `f`.
     pub fn with_fault_threshold(f: usize) -> Self {
-        SimConfig { fault_threshold: Some(f) }
+        SimConfig {
+            fault_threshold: Some(f),
+        }
     }
 
     /// Configuration without a failure-threshold check.
     pub fn unchecked() -> Self {
-        SimConfig { fault_threshold: None }
+        SimConfig {
+            fault_threshold: None,
+        }
     }
 }
 
@@ -187,17 +191,25 @@ impl Simulation {
 
     /// Returns the base object with the given id.
     pub fn object(&self, id: ObjectId) -> Result<&BaseObject, SimError> {
-        self.objects.get(id.index()).ok_or(SimError::UnknownObject(id))
+        self.objects
+            .get(id.index())
+            .ok_or(SimError::UnknownObject(id))
     }
 
     /// Returns `true` if the server has crashed.
     pub fn is_server_crashed(&self, server: ServerId) -> bool {
-        self.server_crashed.get(server.index()).copied().unwrap_or(false)
+        self.server_crashed
+            .get(server.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     /// Returns `true` if the client has crashed.
     pub fn is_client_crashed(&self, client: ClientId) -> bool {
-        self.clients.get(client.index()).map(|c| c.crashed).unwrap_or(false)
+        self.clients
+            .get(client.index())
+            .map(|c| c.crashed)
+            .unwrap_or(false)
     }
 
     /// Number of servers crashed so far.
@@ -283,7 +295,12 @@ impl Simulation {
         let high_op = HighOpId::new(self.next_high_id);
         self.next_high_id += 1;
         self.time += 1;
-        self.history.push(Event::Invoke { time: self.time, client, high_op, op });
+        self.history.push(Event::Invoke {
+            time: self.time,
+            client,
+            high_op,
+            op,
+        });
         self.clients[client.index()].current = Some((high_op, op));
 
         let mut ctx = Context::new(client, self.time, &mut self.next_op_id);
@@ -327,7 +344,11 @@ impl Simulation {
 
         let client_crashed = self.is_client_crashed(pending.client);
         if client_crashed {
-            return Ok(DeliveryOutcome { response, completed_high_op: None, notified_client: false });
+            return Ok(DeliveryOutcome {
+                response,
+                completed_high_op: None,
+                notified_client: false,
+            });
         }
 
         let delivery = Delivery {
@@ -348,7 +369,11 @@ impl Simulation {
         self.clients[client.index()].protocol = protocol;
         let (triggers, completion) = ctx.into_effects();
         let completed = self.apply_effects(client, current_high, triggers, completion);
-        Ok(DeliveryOutcome { response, completed_high_op: completed, notified_client: true })
+        Ok(DeliveryOutcome {
+            response,
+            completed_high_op: completed,
+            notified_client: true,
+        })
     }
 
     /// Discards a pending low-level operation without applying it.
@@ -361,7 +386,9 @@ impl Simulation {
     ///
     /// Fails if the operation is not pending.
     pub fn drop_pending(&mut self, op_id: OpId) -> Result<PendingOp, SimError> {
-        self.pending.remove(&op_id).ok_or(SimError::UnknownOp(op_id))
+        self.pending
+            .remove(&op_id)
+            .ok_or(SimError::UnknownOp(op_id))
     }
 
     /// Crashes a server, crashing every base object mapped to it.
@@ -380,7 +407,10 @@ impl Simulation {
         if let Some(f) = self.config.fault_threshold {
             let crashed = self.crashed_server_count();
             if crashed >= f {
-                return Err(SimError::FaultBudgetExceeded { f, already_crashed: crashed });
+                return Err(SimError::FaultBudgetExceeded {
+                    f,
+                    already_crashed: crashed,
+                });
             }
         }
         self.server_crashed[server.index()] = true;
@@ -388,7 +418,10 @@ impl Simulation {
             self.objects[obj.index()].crash();
         }
         self.time += 1;
-        self.history.push(Event::ServerCrash { time: self.time, server });
+        self.history.push(Event::ServerCrash {
+            time: self.time,
+            server,
+        });
         Ok(())
     }
 
@@ -407,7 +440,10 @@ impl Simulation {
         }
         self.clients[client.index()].crashed = true;
         self.time += 1;
-        self.history.push(Event::ClientCrash { time: self.time, client });
+        self.history.push(Event::ClientCrash {
+            time: self.time,
+            client,
+        });
         Ok(())
     }
 
@@ -463,7 +499,9 @@ impl Simulation {
                 high_op: high_id,
                 response,
             });
-            self.clients[client.index()].completed.push((high_id, op, response));
+            self.clients[client.index()]
+                .completed
+                .push((high_id, op, response));
             Some((high_id, response))
         } else {
             None
@@ -577,9 +615,15 @@ mod tests {
         let (mut sim, b) = simple_sim();
         let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
         sim.invoke(c, HighOp::Write(1)).unwrap();
-        assert_eq!(sim.invoke(c, HighOp::Read).unwrap_err(), SimError::ClientBusy(c));
+        assert_eq!(
+            sim.invoke(c, HighOp::Read).unwrap_err(),
+            SimError::ClientBusy(c)
+        );
         sim.crash_client(c).unwrap();
-        assert_eq!(sim.invoke(c, HighOp::Read).unwrap_err(), SimError::ClientCrashed(c));
+        assert_eq!(
+            sim.invoke(c, HighOp::Read).unwrap_err(),
+            SimError::ClientCrashed(c)
+        );
         assert!(sim.is_client_crashed(c));
         assert!(!sim.is_client_idle(c));
     }
@@ -593,7 +637,10 @@ mod tests {
         sim.crash_server(ServerId::new(0)).unwrap();
         assert!(sim.is_server_crashed(ServerId::new(0)));
         assert!(sim.object(b).unwrap().is_crashed());
-        assert_eq!(sim.deliver(op_id).unwrap_err(), SimError::ServerCrashed(ServerId::new(0)));
+        assert_eq!(
+            sim.deliver(op_id).unwrap_err(),
+            SimError::ServerCrashed(ServerId::new(0))
+        );
         assert_eq!(sim.deliverable_ops().count(), 0);
         assert_eq!(sim.pending_count(), 1);
     }
@@ -607,7 +654,13 @@ mod tests {
         // Re-crashing the same server is a no-op, not a second fault.
         sim.crash_server(ServerId::new(0)).unwrap();
         let err = sim.crash_server(ServerId::new(1)).unwrap_err();
-        assert!(matches!(err, SimError::FaultBudgetExceeded { f: 1, already_crashed: 1 }));
+        assert!(matches!(
+            err,
+            SimError::FaultBudgetExceeded {
+                f: 1,
+                already_crashed: 1
+            }
+        ));
         assert_eq!(sim.crashed_server_count(), 1);
     }
 
@@ -660,7 +713,10 @@ mod tests {
             sim.invoke(ClientId::new(5), HighOp::Read),
             Err(SimError::UnknownClient(_))
         ));
-        assert!(matches!(sim.deliver(OpId::new(99)), Err(SimError::UnknownOp(_))));
+        assert!(matches!(
+            sim.deliver(OpId::new(99)),
+            Err(SimError::UnknownOp(_))
+        ));
         assert!(matches!(
             sim.crash_server(ServerId::new(9)),
             Err(SimError::UnknownServer(_))
@@ -669,6 +725,9 @@ mod tests {
             sim.crash_client(ClientId::new(9)),
             Err(SimError::UnknownClient(_))
         ));
-        assert!(matches!(sim.object(ObjectId::new(42)), Err(SimError::UnknownObject(_))));
+        assert!(matches!(
+            sim.object(ObjectId::new(42)),
+            Err(SimError::UnknownObject(_))
+        ));
     }
 }

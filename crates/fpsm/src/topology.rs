@@ -143,10 +143,7 @@ impl Topology {
 
     /// The maximum per-server occupancy over all servers.
     pub fn max_occupancy(&self) -> usize {
-        self.servers()
-            .map(|s| self.occupancy(s))
-            .max()
-            .unwrap_or(0)
+        self.servers().map(|s| self.occupancy(s)).max().unwrap_or(0)
     }
 
     /// Number of objects of each kind, in the order of [`ObjectKind::ALL`].

@@ -18,7 +18,9 @@ pub struct HighHistory {
 impl HighHistory {
     /// Builds a high-level history from a recorded simulation run.
     pub fn from_run(history: &History) -> Self {
-        HighHistory { ops: history.high_intervals() }
+        HighHistory {
+            ops: history.high_intervals(),
+        }
     }
 
     /// Builds a history directly from intervals (mainly for tests).
@@ -43,7 +45,11 @@ impl HighHistory {
 
     /// All write operations, in invocation order.
     pub fn writes(&self) -> Vec<HighInterval> {
-        self.ops.iter().filter(|o| o.op.is_write()).copied().collect()
+        self.ops
+            .iter()
+            .filter(|o| o.op.is_write())
+            .copied()
+            .collect()
     }
 
     /// All *complete* read operations, in invocation order.
@@ -115,7 +121,12 @@ impl HighHistory {
     }
 
     /// Convenience builder: a complete write interval.
-    pub fn write(client: usize, value: Payload, invoked_at: Time, returned_at: Time) -> HighInterval {
+    pub fn write(
+        client: usize,
+        value: Payload,
+        invoked_at: Time,
+        returned_at: Time,
+    ) -> HighInterval {
         HighInterval {
             id: HighOpId::new(0),
             client: ClientId::new(client),
@@ -126,7 +137,12 @@ impl HighHistory {
     }
 
     /// Convenience builder: a complete read interval returning `value`.
-    pub fn read(client: usize, value: Payload, invoked_at: Time, returned_at: Time) -> HighInterval {
+    pub fn read(
+        client: usize,
+        value: Payload,
+        invoked_at: Time,
+        returned_at: Time,
+    ) -> HighInterval {
         HighInterval {
             id: HighOpId::new(0),
             client: ClientId::new(client),

@@ -38,7 +38,10 @@ pub fn check_linearizable(history: &HighHistory, spec: &SequentialSpec) -> Check
         return Ok(());
     }
 
-    let searcher = Searcher { ops: &ops, spec: *spec };
+    let searcher = Searcher {
+        ops: &ops,
+        spec: *spec,
+    };
     if searcher.search() {
         Ok(())
     } else {
@@ -134,9 +137,10 @@ impl Searcher<'_> {
     /// precedes it in real time has already been linearized — i.e. there is
     /// no unscheduled `p` with `p ≺ ops[i]`.
     fn is_minimal(&self, i: usize, scheduled: &[bool]) -> bool {
-        self.ops.iter().zip(scheduled.iter()).all(|(p, s)| {
-            *s || !p.precedes(&self.ops[i])
-        })
+        self.ops
+            .iter()
+            .zip(scheduled.iter())
+            .all(|(p, s)| *s || !p.precedes(&self.ops[i]))
     }
 }
 

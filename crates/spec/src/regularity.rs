@@ -48,9 +48,7 @@ fn check(history: &HighHistory, spec: &SequentialSpec, condition: Condition) -> 
     }
     let writes = history.sequential_writes();
     for read in history.complete_reads() {
-        if condition == Condition::WsSafety
-            && writes.iter().any(|w| w.concurrent_with(&read))
-        {
+        if condition == Condition::WsSafety && writes.iter().any(|w| w.concurrent_with(&read)) {
             // WS-Safety says nothing about reads concurrent with writes.
             continue;
         }

@@ -39,8 +39,16 @@ pub struct Violation {
 
 impl Violation {
     /// Creates a violation report.
-    pub fn new(condition: Condition, offending: Option<HighInterval>, explanation: impl Into<String>) -> Self {
-        Violation { condition, offending, explanation: explanation.into() }
+    pub fn new(
+        condition: Condition,
+        offending: Option<HighInterval>,
+        explanation: impl Into<String>,
+    ) -> Self {
+        Violation {
+            condition,
+            offending,
+            explanation: explanation.into(),
+        }
     }
 }
 
@@ -67,7 +75,11 @@ mod tests {
     #[test]
     fn violation_display_mentions_condition_and_culprit() {
         let read = HighHistory::read(2, 7, 0, 1);
-        let v = Violation::new(Condition::WsSafety, Some(read), "read returned a stale value");
+        let v = Violation::new(
+            Condition::WsSafety,
+            Some(read),
+            "read returned a stale value",
+        );
         let msg = v.to_string();
         assert!(msg.contains("WS-Safety"));
         assert!(msg.contains("stale"));

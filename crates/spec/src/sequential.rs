@@ -33,12 +33,18 @@ impl SequentialSpec {
     /// The specification of a multi-writer read/write register with initial
     /// value 0.
     pub fn register() -> Self {
-        SequentialSpec { semantics: Semantics::LastWrite, initial: 0 }
+        SequentialSpec {
+            semantics: Semantics::LastWrite,
+            initial: 0,
+        }
     }
 
     /// The specification of a multi-writer max-register with initial value 0.
     pub fn max_register() -> Self {
-        SequentialSpec { semantics: Semantics::Max, initial: 0 }
+        SequentialSpec {
+            semantics: Semantics::Max,
+            initial: 0,
+        }
     }
 
     /// Folds a write of `value` into the current state.
@@ -110,7 +116,10 @@ mod tests {
 
     #[test]
     fn nonzero_initial_value() {
-        let spec = SequentialSpec { semantics: Semantics::Max, initial: 10 };
+        let spec = SequentialSpec {
+            semantics: Semantics::Max,
+            initial: 10,
+        };
         assert_eq!(spec.state_after([3, 4]), 10);
         assert_eq!(spec.state_after([11]), 11);
     }

@@ -24,9 +24,21 @@ fn arbitrary_history(max_ops: usize) -> impl Strategy<Value = HighHistory> {
         let mut h = HighHistory::default();
         for (client, is_write, value, start, len) in ops {
             if is_write {
-                h.push_complete(client, HighOp::Write(value), HighResponse::WriteAck, start, start + len);
+                h.push_complete(
+                    client,
+                    HighOp::Write(value),
+                    HighResponse::WriteAck,
+                    start,
+                    start + len,
+                );
             } else {
-                h.push_complete(client, HighOp::Read, HighResponse::ReadValue(value), start, start + len);
+                h.push_complete(
+                    client,
+                    HighOp::Read,
+                    HighResponse::ReadValue(value),
+                    start,
+                    start + len,
+                );
             }
         }
         h
@@ -36,22 +48,39 @@ fn arbitrary_history(max_ops: usize) -> impl Strategy<Value = HighHistory> {
 /// A schedule produced by executing sequential operations against the actual
 /// sequential specification — correct by construction.
 fn sequential_history(semantics: Semantics) -> impl Strategy<Value = HighHistory> {
-    proptest::collection::vec((0usize..3, proptest::bool::ANY, 1u64..6), 1..12).prop_map(move |ops| {
-        let spec = SequentialSpec { semantics, initial: 0 };
-        let mut h = HighHistory::default();
-        let mut state = 0;
-        let mut time = 0;
-        for (client, is_write, value) in ops {
-            time += 2;
-            if is_write {
-                state = spec.apply_write(state, value);
-                h.push_complete(client, HighOp::Write(value), HighResponse::WriteAck, time, time + 1);
-            } else {
-                h.push_complete(client, HighOp::Read, HighResponse::ReadValue(state), time, time + 1);
+    proptest::collection::vec((0usize..3, proptest::bool::ANY, 1u64..6), 1..12).prop_map(
+        move |ops| {
+            let spec = SequentialSpec {
+                semantics,
+                initial: 0,
+            };
+            let mut h = HighHistory::default();
+            let mut state = 0;
+            let mut time = 0;
+            for (client, is_write, value) in ops {
+                time += 2;
+                if is_write {
+                    state = spec.apply_write(state, value);
+                    h.push_complete(
+                        client,
+                        HighOp::Write(value),
+                        HighResponse::WriteAck,
+                        time,
+                        time + 1,
+                    );
+                } else {
+                    h.push_complete(
+                        client,
+                        HighOp::Read,
+                        HighResponse::ReadValue(state),
+                        time,
+                        time + 1,
+                    );
+                }
             }
-        }
-        h
-    })
+            h
+        },
+    )
 }
 
 proptest! {

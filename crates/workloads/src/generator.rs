@@ -89,13 +89,19 @@ impl Workload {
                 let _ = round;
             }
         }
-        Workload { ops, readers: usize::from(read_after_each) }
+        Workload {
+            ops,
+            readers: usize::from(read_after_each),
+        }
     }
 
     /// A read-heavy workload: one writer update followed by `reads_per_write`
     /// reads spread over `readers` reader clients.
     pub fn read_heavy(k: usize, writes: usize, reads_per_write: usize, readers: usize) -> Self {
-        assert!(readers > 0, "a read-heavy workload needs at least one reader");
+        assert!(
+            readers > 0,
+            "a read-heavy workload needs at least one reader"
+        );
         let mut ops = Vec::new();
         let mut value = 0;
         for i in 0..writes {
@@ -119,7 +125,13 @@ impl Workload {
     /// A randomized mixed workload: `total` operations, each a write with
     /// probability `write_ratio` (issued by a uniformly random writer) or a
     /// read otherwise; operations are issued sequentially.
-    pub fn random_mixed(k: usize, readers: usize, total: usize, write_ratio: f64, seed: u64) -> Self {
+    pub fn random_mixed(
+        k: usize,
+        readers: usize,
+        total: usize,
+        write_ratio: f64,
+        seed: u64,
+    ) -> Self {
         assert!(readers > 0, "a mixed workload needs at least one reader");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ops = Vec::new();

@@ -9,7 +9,9 @@ use crate::generator::{Issuer, Workload};
 use regemu_bounds::Params;
 use regemu_core::Emulation;
 use regemu_fpsm::{ClientId, CrashPlan, FairDriver, HighOpId, RunMetrics, SimError, Simulation};
-use regemu_spec::{check_linearizable, check_ws_regular, check_ws_safe, HighHistory, SequentialSpec, Violation};
+use regemu_spec::{
+    check_linearizable, check_ws_regular, check_ws_safe, HighHistory, SequentialSpec, Violation,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -58,7 +60,10 @@ impl Default for RunConfig {
 impl RunConfig {
     /// A configuration with the given scheduler seed.
     pub fn with_seed(seed: u64) -> Self {
-        RunConfig { seed, ..Default::default() }
+        RunConfig {
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Sets the crash plan.
@@ -176,7 +181,12 @@ fn finish(
 ) -> Result<RunReport, SimError> {
     let metrics = RunMetrics::capture(sim);
     let history = HighHistory::from_run(sim.history());
-    let completed_ops = history.ops().iter().filter(|o| o.is_complete()).count().max(completed_sequential);
+    let completed_ops = history
+        .ops()
+        .iter()
+        .filter(|o| o.is_complete())
+        .count()
+        .max(completed_sequential);
     let spec = SequentialSpec::register();
     let check_violation = match config.check {
         ConsistencyCheck::None => None,
@@ -216,7 +226,12 @@ mod tests {
                 &RunConfig::with_seed(11).check(ConsistencyCheck::WsRegular),
             )
             .unwrap();
-            assert!(report.is_consistent(), "{}: {:?}", report.emulation, report.check_violation);
+            assert!(
+                report.is_consistent(),
+                "{}: {:?}",
+                report.emulation,
+                report.check_violation
+            );
             assert_eq!(report.completed_ops, workload.len());
             assert!(report.metrics.resource_consumption() <= report.provisioned_objects);
         }
@@ -231,10 +246,17 @@ mod tests {
             let report = run_workload(
                 emulation.as_ref(),
                 &workload,
-                &RunConfig::with_seed(3).crash_plan(plan.clone()).check(ConsistencyCheck::WsRegular),
+                &RunConfig::with_seed(3)
+                    .crash_plan(plan.clone())
+                    .check(ConsistencyCheck::WsRegular),
             )
             .unwrap();
-            assert!(report.is_consistent(), "{}: {:?}", report.emulation, report.check_violation);
+            assert!(
+                report.is_consistent(),
+                "{}: {:?}",
+                report.emulation,
+                report.check_violation
+            );
         }
     }
 
@@ -246,7 +268,9 @@ mod tests {
         let report = run_workload(
             &emulation,
             &workload,
-            &RunConfig::with_seed(19).check(ConsistencyCheck::WsRegular).drain(),
+            &RunConfig::with_seed(19)
+                .check(ConsistencyCheck::WsRegular)
+                .drain(),
         )
         .unwrap();
         assert!(report.is_consistent(), "{:?}", report.check_violation);
@@ -296,7 +320,13 @@ mod tests {
         // The writers only touch their own register sets plus whatever the
         // collect reads, which is the full layout: consumption equals the
         // provisioned count (= Theorem 3 formula).
-        assert_eq!(report.metrics.resource_consumption(), report.provisioned_objects);
-        assert_eq!(report.provisioned_objects, regemu_bounds::register_upper_bound(p));
+        assert_eq!(
+            report.metrics.resource_consumption(),
+            report.provisioned_objects
+        );
+        assert_eq!(
+            report.provisioned_objects,
+            regemu_bounds::register_upper_bound(p)
+        );
     }
 }

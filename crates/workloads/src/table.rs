@@ -30,7 +30,8 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: ToString,
     {
-        self.rows.push(cells.into_iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.into_iter().map(|c| c.to_string()).collect());
     }
 
     /// Number of data rows.
@@ -105,10 +106,17 @@ pub fn standard_sweep() -> Vec<Params> {
 /// A small sweep (fast enough for CI-style smoke tests of the experiment
 /// binaries).
 pub fn small_sweep() -> Vec<Params> {
-    [(1, 1, 3), (2, 1, 3), (2, 1, 4), (3, 1, 5), (2, 2, 5), (5, 2, 6)]
-        .into_iter()
-        .map(|(k, f, n)| Params::new(k, f, n).unwrap())
-        .collect()
+    [
+        (1, 1, 3),
+        (2, 1, 3),
+        (2, 1, 4),
+        (3, 1, 5),
+        (2, 2, 5),
+        (5, 2, 6),
+    ]
+    .into_iter()
+    .map(|(k, f, n)| Params::new(k, f, n).unwrap())
+    .collect()
 }
 
 #[cfg(test)]

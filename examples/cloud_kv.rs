@@ -44,7 +44,13 @@ impl<'a> KvCell<'a> {
             writers.insert(*key, ws);
             readers.insert(*key, r);
         }
-        KvCell { emulation, sims, writers, readers, driver: FairDriver::new(seed) }
+        KvCell {
+            emulation,
+            sims,
+            writers,
+            readers,
+            driver: FairDriver::new(seed),
+        }
     }
 
     fn put(&mut self, key: &'static str, tenant: usize, value: u64) -> Result<(), SimError> {

@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 failures += 1;
             }
         }
-        println!("  {:<18} {} / 10 seeds consistent", emulation.name(), 10 - failures);
+        println!(
+            "  {:<18} {} / 10 seeds consistent",
+            emulation.name(),
+            10 - failures
+        );
         assert_eq!(failures, 0);
     }
 
@@ -46,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             &workload,
             &RunConfig::with_seed(seed).check(ConsistencyCheck::Atomic),
         )?;
-        assert!(report.is_consistent(), "seed {seed}: {:?}", report.check_violation);
+        assert!(
+            report.is_consistent(),
+            "seed {seed}: {:?}",
+            report.check_violation
+        );
         println!("  seed {seed}: linearizable ✔");
     }
 

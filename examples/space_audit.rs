@@ -27,7 +27,14 @@ fn audit(emulation: &dyn Emulation) -> Result<(), Box<dyn std::error::Error>> {
             emulation.name(),
             report.protected
         ),
-        &["write #", "covered", "newly covered", "i*f", "resources", "contention"],
+        &[
+            "write #",
+            "covered",
+            "newly covered",
+            "i*f",
+            "resources",
+            "contention",
+        ],
     );
     for it in &report.iterations {
         table.push_row([

@@ -1,0 +1,142 @@
+//! Minimal stand-in for `rand` 0.8 used by the offline build (see
+//! `shims/README.md`). Implements exactly the API surface the workspace uses:
+//! `rngs::StdRng` + `SeedableRng::seed_from_u64`, `Rng::{gen_range, gen_bool}`
+//! and `seq::SliceRandom::choose`. `StdRng` is a SplitMix64 generator —
+//! deterministic per seed, which the simulator's reproducibility tests rely
+//! on (the real `StdRng` gives the same guarantee, with a different stream).
+
+/// A low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// An RNG that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    fn gen_range<R: distributions::uniform::UniformRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (panics unless `0 ≤ p ≤ 1`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        // 53 uniform mantissa bits, exactly as rand's `gen_bool`.
+        ((self.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator (SplitMix64) standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood) — full-period, passes BigCrush.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+pub mod distributions {
+    //! Distribution helpers backing [`Rng::gen_range`](crate::Rng::gen_range).
+    pub mod uniform {
+        //! Uniform sampling over ranges.
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// A range that can be sampled uniformly; implemented for
+        /// `Range`/`RangeInclusive` over the primitive integer types.
+        pub trait UniformRange {
+            /// The sampled value type.
+            type Output;
+            /// Draws one uniform sample from the range.
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty),*) => {$(
+                impl UniformRange for Range<$t> {
+                    type Output = $t;
+                    fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                        assert!(self.start < self.end, "gen_range: empty range");
+                        let span = (self.end as u128).wrapping_sub(self.start as u128);
+                        self.start + (rng.next_u64() as u128 % span) as $t
+                    }
+                }
+                impl UniformRange for RangeInclusive<$t> {
+                    type Output = $t;
+                    fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "gen_range: empty range");
+                        let span = (hi as u128) - (lo as u128) + 1;
+                        lo + (rng.next_u64() as u128 % span) as $t
+                    }
+                }
+            )*};
+        }
+
+        impl_uniform_int!(u8, u16, u32, u64, usize);
+    }
+}
+
+pub mod seq {
+    //! Sequence-related extension traits.
+    use super::Rng;
+
+    /// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Returns a uniformly chosen element, or `None` if the slice is empty.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Minimal stand-in for `rand_chacha` 0.3 (offline build shim, see
+//! `shims/README.md`). `ChaCha8Rng` here is *not* the ChaCha stream cipher —
+//! it is a deterministic counter-based generator exposing the same trait
+//! surface (`RngCore` + `SeedableRng`), which is all the workspace needs from
+//! a seedable, reproducible RNG.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable generator standing in for `rand_chacha::ChaCha8Rng`.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    state: u64,
+    counter: u64,
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.counter = self.counter.wrapping_add(1);
+        let mut z = self.state ^ self.counter.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        ChaCha8Rng { state: seed, counter: 0 }
+    }
+}

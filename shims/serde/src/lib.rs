@@ -1,0 +1,19 @@
+//! Minimal stand-in for `serde` used by the offline build (see
+//! `shims/README.md`). Provides the `Serialize`/`Deserialize` trait names and
+//! re-exports the no-op derive macros so `#[derive(Serialize, Deserialize)]`
+//! compiles unchanged against this shim or the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The derive is a no-op, so a
+/// blanket impl makes every type satisfy `T: Serialize` bounds — matching
+/// what the derive promises, since the traits carry no methods here.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize`, blanket-implemented for the
+/// same reason as [`Serialize`].
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

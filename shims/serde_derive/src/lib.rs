@@ -1,0 +1,18 @@
+//! No-op stand-in for `serde_derive`: accepts the same derive invocations
+//! (including `#[serde(...)]` helper attributes) and emits no code. The
+//! workspace derives `Serialize`/`Deserialize` for forward compatibility but
+//! does not serialize anything in-tree yet.
+
+use proc_macro::TokenStream;
+
+/// Derive `serde::Serialize` (no-op: emits no impl).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive `serde::Deserialize` (no-op: emits no impl).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

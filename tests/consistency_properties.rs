@@ -128,7 +128,13 @@ fn ws_regularity_agrees_with_linearizability_on_single_read_schedules() {
                 let mut h = HighHistory::default();
                 h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 2);
                 h.push_complete(1, HighOp::Write(2), HighResponse::WriteAck, 4, 6);
-                h.push_complete(2, HighOp::Read, HighResponse::ReadValue(value), read_start, read_end);
+                h.push_complete(
+                    2,
+                    HighOp::Read,
+                    HighResponse::ReadValue(value),
+                    read_start,
+                    read_end,
+                );
                 let regular = check_ws_regular(&h, &spec).is_ok();
                 let linearizable = check_linearizable(&h, &spec).is_ok();
                 // Atomicity implies WS-Regularity; on single-read schedules

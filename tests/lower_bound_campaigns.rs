@@ -103,7 +103,9 @@ fn adversary_cannot_grow_coverage_of_rmw_based_emulations() {
         Box::new(AbdMaxRegisterEmulation::new(params, false)) as Box<dyn Emulation>,
         Box::new(AbdCasEmulation::new(params, false)) as Box<dyn Emulation>,
     ] {
-        let report = LowerBoundCampaign::new(emulation.as_ref()).run(emulation.as_ref()).unwrap();
+        let report = LowerBoundCampaign::new(emulation.as_ref())
+            .run(emulation.as_ref())
+            .unwrap();
         assert!(
             report.final_resource_consumption <= 2 * params.f + 1,
             "{}",

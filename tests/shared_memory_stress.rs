@@ -2,8 +2,8 @@
 //! implementations (Appendix B / Theorem 2), including a linearizability
 //! check of real concurrent executions of Algorithm 1.
 
-use regemu::prelude::*;
 use regemu::core::CollectWriter;
+use regemu::prelude::*;
 use regemu_fpsm::history::HighInterval;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -16,7 +16,9 @@ struct Recorder {
 
 impl Recorder {
     fn new() -> Arc<Self> {
-        Arc::new(Recorder { clock: AtomicU64::new(1) })
+        Arc::new(Recorder {
+            clock: AtomicU64::new(1),
+        })
     }
 
     fn now(&self) -> u64 {
@@ -65,9 +67,9 @@ where
                         HighResponse::WriteAck
                     }));
                 } else {
-                    intervals.push(recorder.record(t, HighOp::Read, || {
-                        HighResponse::ReadValue(read(t))
-                    }));
+                    intervals.push(
+                        recorder.record(t, HighOp::Read, || HighResponse::ReadValue(read(t))),
+                    );
                 }
             }
             intervals
@@ -165,6 +167,9 @@ fn theorem_2_register_count_matches_the_bound_for_various_k() {
     for k in [1usize, 2, 5, 16, 64] {
         let reg = CollectMaxRegister::new(k, 0);
         assert_eq!(reg.register_count(), k);
-        assert_eq!(reg.register_count(), regemu::bounds::max_register_from_registers_lower_bound(k));
+        assert_eq!(
+            reg.register_count(),
+            regemu::bounds::max_register_from_registers_lower_bound(k)
+        );
     }
 }

@@ -28,7 +28,11 @@ fn max_register_and_cas_emulations_use_2f_plus_1_objects() {
     for params in small_sweep() {
         let abd_max = AbdMaxRegisterEmulation::new(params, false);
         let abd_cas = AbdCasEmulation::new(params, false);
-        assert_eq!(measure(&abd_max, 1), max_register_bound(params.f), "{params}");
+        assert_eq!(
+            measure(&abd_max, 1),
+            max_register_bound(params.f),
+            "{params}"
+        );
         assert_eq!(measure(&abd_cas, 2), cas_bound(params.f), "{params}");
     }
 }
@@ -99,7 +103,9 @@ fn all_emulations_tolerate_exactly_f_crashes() {
         let report = run_workload(
             emulation.as_ref(),
             &workload,
-            &RunConfig::with_seed(5).crash_plan(plan).check(ConsistencyCheck::WsRegular),
+            &RunConfig::with_seed(5)
+                .crash_plan(plan)
+                .check(ConsistencyCheck::WsRegular),
         )
         .expect("an f-tolerant emulation must survive f crashes");
         assert!(report.is_consistent(), "{}", emulation.name());
