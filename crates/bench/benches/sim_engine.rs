@@ -3,10 +3,14 @@
 //! substrate are visible independently of the emulation algorithms.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use regemu_bounds::Params;
+use regemu_core::SpaceOptimalEmulation;
 use regemu_fpsm::prelude::*;
+use regemu_workloads::{run_workload, ConsistencyCheck, RunConfig, Workload};
 
 /// A client that keeps one read outstanding against each register and
-/// completes after a fixed number of acknowledgements.
+/// completes once every acknowledgement arrived. `remaining` is reset from
+/// `targets` on each invocation; initialize it to 0.
 struct FanoutClient {
     targets: Vec<ObjectId>,
     remaining: usize,
@@ -14,6 +18,7 @@ struct FanoutClient {
 
 impl ClientProtocol for FanoutClient {
     fn on_invoke(&mut self, _op: HighOp, ctx: &mut Context<'_>) {
+        self.remaining = self.targets.len();
         for b in &self.targets {
             ctx.trigger(*b, BaseOp::Read);
         }
@@ -46,7 +51,7 @@ fn bench_invoke_deliver_cycle(c: &mut Criterion) {
                         let targets: Vec<ObjectId> = sim.topology().objects().collect();
                         let client = sim.register_client(Box::new(FanoutClient {
                             targets,
-                            remaining: servers,
+                            remaining: 0,
                         }));
                         (sim, client)
                     },
@@ -79,7 +84,7 @@ fn bench_fair_driver_quiescence(c: &mut Criterion) {
                         let targets: Vec<ObjectId> = sim.topology().objects().collect();
                         let client = sim.register_client(Box::new(FanoutClient {
                             targets,
-                            remaining: servers,
+                            remaining: 0,
                         }));
                         sim.invoke(client, HighOp::Read).unwrap();
                         (sim, FairDriver::new(7))
@@ -95,9 +100,91 @@ fn bench_fair_driver_quiescence(c: &mut Criterion) {
     group.finish();
 }
 
+/// Many rounds of trigger + deliver through the same simulation: stresses the
+/// pending-operation store (insert/remove/iterate) and `result_of` with an
+/// ever-growing number of completed operations.
+fn bench_pending_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine/pending_churn");
+    for rounds in [64usize, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(rounds),
+            &rounds,
+            |b, &rounds| {
+                b.iter_batched(
+                    || {
+                        let mut sim = build(9);
+                        let targets: Vec<ObjectId> = sim.topology().objects().collect();
+                        let client = sim.register_client(Box::new(FanoutClient {
+                            targets,
+                            remaining: 0,
+                        }));
+                        (sim, client)
+                    },
+                    |(mut sim, client)| {
+                        for _ in 0..rounds {
+                            let op = sim.invoke(client, HighOp::Read).unwrap();
+                            let pending: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+                            for op_id in pending {
+                                sim.deliver(op_id).unwrap();
+                            }
+                            assert!(sim.result_of(op).is_some());
+                        }
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Capturing `RunMetrics` at the end of a long run: stresses the history
+/// digests (touched/written sets, point contention, trigger/respond counts).
+fn bench_metrics_capture(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine/metrics_capture");
+    for rounds in [64usize, 256] {
+        let mut sim = build(9);
+        let targets: Vec<ObjectId> = sim.topology().objects().collect();
+        let client = sim.register_client(Box::new(FanoutClient {
+            targets,
+            remaining: 0,
+        }));
+        for _ in 0..rounds {
+            sim.invoke(client, HighOp::Read).unwrap();
+            let pending: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+            for op_id in pending {
+                sim.deliver(op_id).unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &sim, |b, sim| {
+            b.iter(|| RunMetrics::capture(sim));
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end workload run against the space-optimal emulation: the composite
+/// path every experiment binary and the sweep harness go through.
+fn bench_end_to_end_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine/end_to_end_workload");
+    for ops in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, &ops| {
+            let params = Params::new(3, 1, 5).unwrap();
+            let emulation = SpaceOptimalEmulation::new(params);
+            let workload = Workload::random_mixed(3, 2, ops, 0.5, 42);
+            let config = RunConfig::with_seed(7).check(ConsistencyCheck::None);
+            b.iter(|| run_workload(&emulation, &workload, &config).unwrap());
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_invoke_deliver_cycle,
-    bench_fair_driver_quiescence
+    bench_fair_driver_quiescence,
+    bench_pending_churn,
+    bench_metrics_capture,
+    bench_end_to_end_workload
 );
 criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! `sweep_grid` — run a `(k, f, n) × emulation × workload × seed` sweep in
+//! parallel and serialize the aggregated report.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin sweep_grid -- [OPTIONS]
+//!
+//! OPTIONS:
+//!   --quick           24-case grid (CI smoke) instead of the 96-case default
+//!   --threads N       worker threads (default: one per CPU core)
+//!   --seeds a,b,...   override the scheduler seeds
+//!   --crash-f         crash f servers during every case
+//!   --json PATH       write the report as JSON (- for stdout)
+//!   --csv PATH        write the report as CSV (- for stdout)
+//! ```
+//!
+//! The report is deterministic: identical options produce byte-identical
+//! JSON/CSV for any `--threads` value.
+
+use regemu_workloads::{run_sweep, SweepConfig};
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sweep_grid: {msg}");
+    eprintln!("usage: sweep_grid [--quick] [--threads N] [--seeds a,b,..] [--crash-f] [--json PATH] [--csv PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    // Collect flags first, then build the config, so option meaning does not
+    // depend on argument order (e.g. `--seeds 1,2 --quick` keeps the seeds).
+    let mut quick = false;
+    let mut crash_f = false;
+    let mut threads: Option<usize> = None;
+    let mut seeds: Option<Vec<u64>> = None;
+    let mut json_out: Option<String> = None;
+    let mut csv_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--threads needs a value"));
+                threads = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid thread count {v:?}"))),
+                );
+            }
+            "--seeds" => {
+                let v = args.next().unwrap_or_else(|| fail("--seeds needs a value"));
+                let parsed: Vec<u64> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("invalid seed {s:?}")))
+                    })
+                    .collect();
+                if parsed.is_empty() {
+                    fail("--seeds needs at least one seed");
+                }
+                seeds = Some(parsed);
+            }
+            "--crash-f" => crash_f = true,
+            "--json" => json_out = Some(args.next().unwrap_or_else(|| fail("--json needs a path"))),
+            "--csv" => csv_out = Some(args.next().unwrap_or_else(|| fail("--csv needs a path"))),
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+
+    let mut config = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::standard()
+    };
+    if let Some(threads) = threads {
+        config.threads = threads;
+    }
+    if let Some(seeds) = seeds {
+        config.seeds = seeds;
+    }
+    config.crash_f = config.crash_f || crash_f;
+
+    let cases = config.case_count();
+    let started = Instant::now();
+    let report = run_sweep(&config);
+    let elapsed = started.elapsed();
+
+    let consistent = report.results().iter().filter(|r| r.consistent).count();
+    eprintln!(
+        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} seeds): {consistent}/{cases} consistent",
+        config.grid.len(),
+        config.emulations.len(),
+        config.workloads.len(),
+        config.seeds.len(),
+    );
+    for failure in report.failures() {
+        eprintln!(
+            "  FAIL case {} {} {} {} seed {}: {}",
+            failure.case.index,
+            failure.case.emulation,
+            failure.case.params,
+            failure.case.workload,
+            failure.case.seed,
+            failure
+                .error
+                .as_deref()
+                .or(failure.violation.as_deref())
+                .unwrap_or("inconsistent"),
+        );
+    }
+
+    let write = |target: &str, payload: &str, what: &str| {
+        if target == "-" {
+            print!("{payload}");
+        } else if let Err(e) = std::fs::write(target, payload) {
+            eprintln!("sweep_grid: cannot write {what} to {target}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote {what} to {target}");
+        }
+    };
+    if let Some(path) = &json_out {
+        write(path, &report.to_json(), "JSON");
+    }
+    if let Some(path) = &csv_out {
+        write(path, &report.to_csv(), "CSV");
+    }
+    if json_out.is_none() && csv_out.is_none() {
+        // No sink requested: summarize per emulation on stdout.
+        for kind in &config.emulations {
+            let rows: Vec<_> = report
+                .results()
+                .iter()
+                .filter(|r| r.case.emulation == *kind)
+                .collect();
+            let max_consumption = rows
+                .iter()
+                .map(|r| r.resource_consumption)
+                .max()
+                .unwrap_or(0);
+            let completed: usize = rows.iter().map(|r| r.completed_ops).sum();
+            println!(
+                "{:>18}: {} cases, {} ops completed, max consumption {}",
+                kind.name(),
+                rows.len(),
+                completed,
+                max_consumption,
+            );
+        }
+    }
+
+    if !report.all_consistent() {
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,15 @@
 //! | Theorem 7 | [`experiments::theorem7_bounded_storage`] | `theorem7_bounded_storage` |
 //! | Theorem 8 | [`experiments::theorem8_contention`] | `theorem8_contention` |
 //! | §5 time/space trade-off | [`experiments::cas_time_complexity`] | `cas_time_complexity` |
+//!
+//! Beyond the per-artifact binaries, `sweep_grid` runs the parallel
+//! deterministic sweep harness ([`regemu_workloads::sweep`]) over a whole
+//! `(k, f, n) × emulation × workload × seed` grid and serializes the
+//! aggregated report to JSON/CSV — see the README's "Performance" section
+//! for the quickstart. The Criterion benches under `benches/` track the
+//! simulator's hot paths (`sim_engine`), the emulation protocols
+//! (`emulation_ops`), and the shared-memory and adversary layers; run them
+//! with `cargo bench -p regemu-bench`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -71,6 +71,9 @@ pub struct FairDriver {
     crash_plan: CrashPlan,
     blocked: BTreeSet<OpId>,
     steps: u64,
+    /// Reused candidate buffer so [`FairDriver::step`] does not allocate on
+    /// every delivery.
+    candidates: Vec<OpId>,
 }
 
 impl FairDriver {
@@ -81,6 +84,7 @@ impl FairDriver {
             crash_plan: CrashPlan::none(),
             blocked: BTreeSet::new(),
             steps: 0,
+            candidates: Vec::new(),
         }
     }
 
@@ -135,12 +139,14 @@ impl FairDriver {
     /// e.g. scheduled crashes exceeding the fault threshold).
     pub fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
         self.inject_due_crashes(sim)?;
-        let candidates: Vec<OpId> = sim
-            .deliverable_ops()
-            .map(|p| p.op_id)
-            .filter(|id| !self.blocked.contains(id))
-            .collect();
-        let Some(&chosen) = candidates.choose(&mut self.rng) else {
+        self.candidates.clear();
+        let blocked = &self.blocked;
+        self.candidates.extend(
+            sim.deliverable_ops()
+                .map(|p| p.op_id)
+                .filter(|id| !blocked.contains(id)),
+        );
+        let Some(&chosen) = self.candidates.choose(&mut self.rng) else {
             return Ok(false);
         };
         sim.deliver(chosen)?;

@@ -11,7 +11,7 @@ use crate::event::Event;
 use crate::ids::{ClientId, HighOpId, ObjectId, OpId, Time};
 use crate::op::{HighOp, HighResponse};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A completed or pending high-level operation extracted from a history.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,10 +50,63 @@ impl HighInterval {
     }
 }
 
+/// A growable bitset over dense indices (object ids are indices), used for
+/// the touched/written digests: marking is a word-indexed store — no tree
+/// rebalancing or node allocation on the simulator's per-trigger hot path.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct IndexBitSet {
+    words: Vec<u64>,
+}
+
+impl IndexBitSet {
+    fn insert(&mut self, index: usize) {
+        let word = index / 64;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (index % 64);
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, bits)| {
+            let mut bits = *bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + bit)
+            })
+        })
+    }
+}
+
 /// Append-only record of every action taken in a run.
+///
+/// Alongside the raw event log, `History` maintains *incremental digests* —
+/// the high-level intervals, the touched/written object sets, running
+/// trigger/respond counters and the point contention — updated in O(1)
+/// amortized time per [`History::push`]. The query methods below therefore
+/// never re-scan the event log, which keeps
+/// [`crate::metrics::RunMetrics::capture`] cheap even at the end of
+/// million-step runs. (The exception is [`History::pending_low_level`],
+/// a debugging aid that still scans on demand so the hot path does not pay
+/// for a churning id set.)
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct History {
     events: Vec<Event>,
+    intervals: Vec<HighInterval>,
+    /// Position of each high-level operation in `intervals` (first wins when
+    /// an id is invoked twice, matching the previous scan-based extraction).
+    interval_index: BTreeMap<HighOpId, usize>,
+    touched: IndexBitSet,
+    written: IndexBitSet,
+    trigger_count: u64,
+    respond_count: u64,
+    /// Clients with a high-level operation currently in progress.
+    open_clients: BTreeSet<ClientId>,
+    max_contention: usize,
 }
 
 impl History {
@@ -62,8 +115,50 @@ impl History {
         Self::default()
     }
 
-    /// Appends an event.
+    /// Appends an event and updates the digests.
     pub fn push(&mut self, event: Event) {
+        match event {
+            Event::Invoke {
+                time,
+                client,
+                high_op,
+                op,
+            } => {
+                let idx = self.intervals.len();
+                self.intervals.push(HighInterval {
+                    id: high_op,
+                    client,
+                    op,
+                    invoked_at: time,
+                    returned: None,
+                });
+                self.interval_index.entry(high_op).or_insert(idx);
+                self.open_clients.insert(client);
+                self.max_contention = self.max_contention.max(self.open_clients.len());
+            }
+            Event::Return {
+                time,
+                client,
+                high_op,
+                response,
+            } => {
+                if let Some(&idx) = self.interval_index.get(&high_op) {
+                    self.intervals[idx].returned = Some((time, response));
+                }
+                self.open_clients.remove(&client);
+            }
+            Event::Trigger { object, op, .. } => {
+                self.trigger_count += 1;
+                self.touched.insert(object.index());
+                if op.is_write() {
+                    self.written.insert(object.index());
+                }
+            }
+            Event::Respond { .. } => {
+                self.respond_count += 1;
+            }
+            Event::ServerCrash { .. } | Event::ClientCrash { .. } => {}
+        }
         self.events.push(event);
     }
 
@@ -82,65 +177,49 @@ impl History {
         self.events.is_empty()
     }
 
+    /// All high-level operation intervals, in invocation order, borrowed from
+    /// the incrementally-maintained digest.
+    pub fn intervals(&self) -> &[HighInterval] {
+        &self.intervals
+    }
+
     /// Extracts all high-level operation intervals, in invocation order.
+    ///
+    /// Prefer [`History::intervals`] when a borrow suffices; this method is
+    /// kept for callers that need an owned copy.
     pub fn high_intervals(&self) -> Vec<HighInterval> {
-        let mut out: Vec<HighInterval> = Vec::new();
-        for e in &self.events {
-            match *e {
-                Event::Invoke {
-                    time,
-                    client,
-                    high_op,
-                    op,
-                } => out.push(HighInterval {
-                    id: high_op,
-                    client,
-                    op,
-                    invoked_at: time,
-                    returned: None,
-                }),
-                Event::Return {
-                    time,
-                    high_op,
-                    response,
-                    ..
-                } => {
-                    if let Some(iv) = out.iter_mut().find(|iv| iv.id == high_op) {
-                        iv.returned = Some((time, response));
-                    }
-                }
-                _ => {}
-            }
-        }
-        out
+        self.intervals.clone()
     }
 
     /// The set of base objects on which at least one low-level operation was
     /// triggered — the *resource consumption* of the run (Section 2).
     pub fn touched_objects(&self) -> BTreeSet<ObjectId> {
-        self.events
-            .iter()
-            .filter_map(|e| match e {
-                Event::Trigger { object, .. } => Some(*object),
-                _ => None,
-            })
-            .collect()
+        self.touched.iter().map(ObjectId::new).collect()
     }
 
     /// The set of base objects on which at least one low-level *write-class*
     /// operation was triggered.
     pub fn written_objects(&self) -> BTreeSet<ObjectId> {
-        self.events
-            .iter()
-            .filter_map(|e| match e {
-                Event::Trigger { object, op, .. } if op.is_write() => Some(*object),
-                _ => None,
-            })
-            .collect()
+        self.written.iter().map(ObjectId::new).collect()
+    }
+
+    /// Number of low-level operations triggered so far.
+    pub fn trigger_count(&self) -> u64 {
+        self.trigger_count
+    }
+
+    /// Number of low-level operations that responded so far.
+    pub fn respond_count(&self) -> u64 {
+        self.respond_count
     }
 
     /// Identifiers of low-level operations that were triggered but have not
     /// responded in this history (pending operations).
+    ///
+    /// Computed on demand by scanning the event log (O(events)): the live
+    /// pending set is tracked by [`crate::sim::Simulation`] itself, so the
+    /// recording hot path does not maintain a second, churning id set just
+    /// for this query.
     pub fn pending_low_level(&self) -> BTreeSet<OpId> {
         let mut pending = BTreeSet::new();
         for e in &self.events {
@@ -160,9 +239,9 @@ impl History {
     /// Returns `true` if no two high-level *writes* are concurrent — the
     /// run is *write-sequential* (Section 2).
     pub fn is_write_sequential(&self) -> bool {
-        let writes: Vec<HighInterval> = self
-            .high_intervals()
-            .into_iter()
+        let writes: Vec<&HighInterval> = self
+            .intervals
+            .iter()
             .filter(|iv| iv.op.is_write())
             .collect();
         for (i, a) in writes.iter().enumerate() {
@@ -177,27 +256,13 @@ impl History {
 
     /// Returns `true` if the run is write-only (no high-level reads invoked).
     pub fn is_write_only(&self) -> bool {
-        self.high_intervals().iter().all(|iv| iv.op.is_write())
+        self.intervals.iter().all(|iv| iv.op.is_write())
     }
 
     /// Maximum number of clients with an incomplete high-level operation at
     /// any single point of the run — the *point contention* (Appendix C).
     pub fn point_contention(&self) -> usize {
-        let mut current: BTreeSet<ClientId> = BTreeSet::new();
-        let mut max = 0usize;
-        for e in &self.events {
-            match e {
-                Event::Invoke { client, .. } => {
-                    current.insert(*client);
-                    max = max.max(current.len());
-                }
-                Event::Return { client, .. } => {
-                    current.remove(client);
-                }
-                _ => {}
-            }
-        }
-        max
+        self.max_contention
     }
 
     /// The largest time stamp recorded, i.e. the length of the run in steps.

@@ -38,6 +38,10 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Computes the metrics of the run executed by `sim` so far.
+    ///
+    /// All history-derived quantities come from [`crate::history::History`]'s
+    /// incremental digests, so a capture costs O(objects + pending) — it never
+    /// re-scans the event log.
     pub fn capture(sim: &Simulation) -> Self {
         let history = sim.history();
         let touched = history.touched_objects();
@@ -61,16 +65,6 @@ impl RunMetrics {
                 .or_default() += 1;
         }
 
-        let mut triggers = 0u64;
-        let mut responses = 0u64;
-        for e in history.events() {
-            match e {
-                crate::event::Event::Trigger { .. } => triggers += 1,
-                crate::event::Event::Respond { .. } => responses += 1,
-                _ => {}
-            }
-        }
-
         RunMetrics {
             touched,
             written,
@@ -78,8 +72,8 @@ impl RunMetrics {
             touched_per_server,
             covered_per_server,
             point_contention: history.point_contention(),
-            low_level_triggers: triggers,
-            low_level_responses: responses,
+            low_level_triggers: history.trigger_count(),
+            low_level_responses: history.respond_count(),
         }
     }
 

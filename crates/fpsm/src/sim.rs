@@ -29,7 +29,7 @@ use crate::ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
 use crate::object::BaseObject;
 use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
 use crate::topology::Topology;
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Static configuration of a simulation.
 #[derive(Clone, Copy, Debug)]
@@ -104,6 +104,71 @@ pub struct DeliveryOutcome {
     pub notified_client: bool,
 }
 
+/// Dense, `OpId`-ordered store of the pending low-level operations.
+///
+/// Op ids are allocated monotonically (ids are indices), so the slab is a
+/// sliding window over the id space: deque slot `i` holds the operation with
+/// id `base + i`. Insertion is a `push_back`, lookup and removal are O(1)
+/// index arithmetic, and slots drained at either end are popped so the
+/// memory footprint stays proportional to the live id *span* (oldest pending
+/// to newest), not to the number of ids ever allocated. Iteration visits
+/// operations in ascending id order — the same order the previous
+/// `BTreeMap<OpId, PendingOp>` representation produced, which keeps seeded
+/// drivers byte-identical.
+#[derive(Debug, Default)]
+struct PendingSlab {
+    /// Op id corresponding to deque slot 0.
+    base: u64,
+    slots: VecDeque<Option<PendingOp>>,
+    live: usize,
+}
+
+impl PendingSlab {
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn get(&self, op_id: OpId) -> Option<&PendingOp> {
+        let idx = op_id.index().checked_sub(self.base)?;
+        self.slots.get(idx as usize)?.as_ref()
+    }
+
+    fn insert(&mut self, op: PendingOp) {
+        let id = op.op_id.index();
+        if self.slots.is_empty() {
+            self.base = id;
+        }
+        debug_assert!(
+            id >= self.base + self.slots.len() as u64,
+            "op ids must be inserted in allocation order"
+        );
+        while self.base + (self.slots.len() as u64) < id {
+            self.slots.push_back(None);
+        }
+        self.slots.push_back(Some(op));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, op_id: OpId) -> Option<PendingOp> {
+        let idx = op_id.index().checked_sub(self.base)? as usize;
+        let op = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        while let Some(None) = self.slots.back() {
+            self.slots.pop_back();
+        }
+        Some(op)
+    }
+
+    /// Iterates over the pending operations in ascending id order.
+    fn iter(&self) -> impl Iterator<Item = &PendingOp> {
+        self.slots.iter().flatten()
+    }
+}
+
 /// State of a single client inside the simulation.
 struct ClientSlot {
     protocol: Box<dyn ClientProtocol>,
@@ -121,11 +186,14 @@ pub struct Simulation {
     objects: Vec<BaseObject>,
     server_crashed: Vec<bool>,
     clients: Vec<ClientSlot>,
-    pending: BTreeMap<OpId, PendingOp>,
+    pending: PendingSlab,
+    /// Response of each high-level operation, indexed by `HighOpId` (ids are
+    /// allocated densely, so the arena is append-only: a slot is pushed at
+    /// invocation and filled in at return).
+    high_results: Vec<Option<HighResponse>>,
     history: History,
     time: Time,
     next_op_id: u64,
-    next_high_id: u64,
 }
 
 impl Simulation {
@@ -142,11 +210,11 @@ impl Simulation {
             objects,
             server_crashed,
             clients: Vec::new(),
-            pending: BTreeMap::new(),
+            pending: PendingSlab::default(),
+            high_results: Vec::new(),
             history: History::new(),
             time: 0,
             next_op_id: 0,
-            next_high_id: 0,
         }
     }
 
@@ -232,13 +300,12 @@ impl Simulation {
     }
 
     /// Returns the response of a completed high-level operation, if it has
-    /// completed.
+    /// completed. O(1): responses live in a dense arena indexed by the id.
     pub fn result_of(&self, high_op: HighOpId) -> Option<HighResponse> {
-        self.clients
-            .iter()
-            .flat_map(|c| c.completed.iter())
-            .find(|(id, _, _)| *id == high_op)
-            .map(|(_, _, resp)| *resp)
+        self.high_results
+            .get(high_op.index() as usize)
+            .copied()
+            .flatten()
     }
 
     /// All completed high-level operations of `client`, in completion order.
@@ -249,9 +316,9 @@ impl Simulation {
             .unwrap_or(&[])
     }
 
-    /// Iterator over all pending low-level operations.
+    /// Iterator over all pending low-level operations, in ascending id order.
     pub fn pending_ops(&self) -> impl Iterator<Item = &PendingOp> {
-        self.pending.values()
+        self.pending.iter()
     }
 
     /// Number of pending low-level operations.
@@ -261,14 +328,14 @@ impl Simulation {
 
     /// The pending operation with the given id, if any.
     pub fn pending_op(&self, op_id: OpId) -> Option<&PendingOp> {
-        self.pending.get(&op_id)
+        self.pending.get(op_id)
     }
 
     /// Pending operations that can still be delivered (their server has not
     /// crashed).
     pub fn deliverable_ops(&self) -> impl Iterator<Item = &PendingOp> {
         self.pending
-            .values()
+            .iter()
             .filter(move |p| !self.is_server_crashed(p.server))
     }
 
@@ -292,8 +359,8 @@ impl Simulation {
             return Err(SimError::ClientBusy(client));
         }
 
-        let high_op = HighOpId::new(self.next_high_id);
-        self.next_high_id += 1;
+        let high_op = HighOpId::new(self.high_results.len() as u64);
+        self.high_results.push(None);
         self.time += 1;
         self.history.push(Event::Invoke {
             time: self.time,
@@ -326,13 +393,13 @@ impl Simulation {
     ///
     /// Fails if the operation is not pending or its server has crashed.
     pub fn deliver(&mut self, op_id: OpId) -> Result<DeliveryOutcome, SimError> {
-        let pending = *self.pending.get(&op_id).ok_or(SimError::UnknownOp(op_id))?;
+        let pending = *self.pending.get(op_id).ok_or(SimError::UnknownOp(op_id))?;
         if self.is_server_crashed(pending.server) {
             return Err(SimError::ServerCrashed(pending.server));
         }
         // Apply to the object: this is the operation's linearization point.
         let response = self.objects[pending.object.index()].apply(&pending.op)?;
-        self.pending.remove(&op_id);
+        self.pending.remove(op_id);
         self.time += 1;
         self.history.push(Event::Respond {
             time: self.time,
@@ -386,9 +453,7 @@ impl Simulation {
     ///
     /// Fails if the operation is not pending.
     pub fn drop_pending(&mut self, op_id: OpId) -> Result<PendingOp, SimError> {
-        self.pending
-            .remove(&op_id)
-            .ok_or(SimError::UnknownOp(op_id))
+        self.pending.remove(op_id).ok_or(SimError::UnknownOp(op_id))
     }
 
     /// Crashes a server, crashing every base object mapped to it.
@@ -474,18 +539,15 @@ impl Simulation {
                 object,
                 op,
             });
-            self.pending.insert(
+            self.pending.insert(PendingOp {
                 op_id,
-                PendingOp {
-                    op_id,
-                    client,
-                    high_op,
-                    object,
-                    server,
-                    op,
-                    triggered_at: self.time,
-                },
-            );
+                client,
+                high_op,
+                object,
+                server,
+                op,
+                triggered_at: self.time,
+            });
         }
         if let Some(response) = completion {
             let (high_id, op) = self.clients[client.index()]
@@ -502,6 +564,7 @@ impl Simulation {
             self.clients[client.index()]
                 .completed
                 .push((high_id, op, response));
+            self.high_results[high_id.index() as usize] = Some(response);
             Some((high_id, response))
         } else {
             None
@@ -704,6 +767,77 @@ mod tests {
         assert_eq!(sim.pending_count(), 0);
         assert!(sim.is_client_idle(c));
         assert_eq!(sim.completed_ops(c).len(), 1);
+    }
+
+    #[test]
+    fn pending_slab_keeps_id_order_and_reclaims_drained_slots() {
+        let mk = |id: u64| PendingOp {
+            op_id: OpId::new(id),
+            client: ClientId::new(0),
+            high_op: None,
+            object: ObjectId::new(0),
+            server: ServerId::new(0),
+            op: BaseOp::Read,
+            triggered_at: id,
+        };
+        let mut slab = PendingSlab::default();
+        for id in 0..8 {
+            slab.insert(mk(id));
+        }
+        assert_eq!(slab.len(), 8);
+        // Iteration is ascending-id, like the BTreeMap it replaced.
+        let ids: Vec<u64> = slab.iter().map(|p| p.op_id.index()).collect();
+        assert_eq!(ids, (0..8).collect::<Vec<_>>());
+
+        // Remove a middle element: lookups and order are unaffected.
+        assert!(slab.remove(OpId::new(3)).is_some());
+        assert!(slab.get(OpId::new(3)).is_none());
+        assert!(slab.remove(OpId::new(3)).is_none());
+        let ids: Vec<u64> = slab.iter().map(|p| p.op_id.index()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 4, 5, 6, 7]);
+
+        // Drain the front: the window slides and the deque shrinks.
+        for id in [0, 1, 2, 4] {
+            slab.remove(OpId::new(id));
+        }
+        assert_eq!(slab.base, 5);
+        assert_eq!(slab.slots.len(), 3);
+        assert_eq!(slab.len(), 3);
+
+        // Drain everything, then insert a much later id: the window restarts
+        // at that id instead of padding the gap.
+        for id in 5..8 {
+            slab.remove(OpId::new(id));
+        }
+        assert_eq!(slab.len(), 0);
+        assert!(slab.slots.is_empty());
+        slab.insert(mk(1000));
+        assert_eq!(slab.base, 1000);
+        assert_eq!(slab.slots.len(), 1);
+        assert!(slab.get(OpId::new(1000)).is_some());
+        assert!(slab.get(OpId::new(999)).is_none());
+        assert!(slab.get(OpId::new(0)).is_none());
+    }
+
+    #[test]
+    fn result_arena_tracks_every_high_op() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        let mut ids = Vec::new();
+        for i in 0..10 {
+            let w = sim.invoke(c, HighOp::Write(i)).unwrap();
+            let op_id = sim.pending_ops().next().unwrap().op_id;
+            sim.deliver(op_id).unwrap();
+            ids.push(w);
+        }
+        for w in &ids {
+            assert_eq!(sim.result_of(*w), Some(HighResponse::WriteAck));
+        }
+        // Ids stay dense and an in-flight op has no result yet.
+        let r = sim.invoke(c, HighOp::Read).unwrap();
+        assert_eq!(r, HighOpId::new(10));
+        assert_eq!(sim.result_of(r), None);
+        assert_eq!(sim.result_of(HighOpId::new(99)), None);
     }
 
     #[test]

@@ -9,8 +9,31 @@
 //! * [`runner::run_workload`] — execute a workload against an emulation
 //!   under a seeded fair scheduler with optional crash plan, measure the
 //!   space consumption and check a consistency condition;
+//! * [`sweep::run_sweep`] — fan a `(k, f, n) × emulation × workload × seed`
+//!   grid out across worker threads and aggregate the measurements into a
+//!   deterministic [`sweep::SweepReport`] (JSON/CSV serializable);
 //! * [`table`] — parameter sweeps and plain-text table rendering used by the
 //!   experiment binaries in `regemu-bench`.
+//!
+//! ## The runner contract
+//!
+//! [`runner::run_workload`] is the single execution path every experiment,
+//! sweep case and bench goes through. Given an emulation, a workload and a
+//! [`runner::RunConfig`], it guarantees:
+//!
+//! 1. **Seeded scheduling** — all nondeterminism (delivery order, workload
+//!    mix) flows from `RunConfig::seed`; the same inputs replay the same
+//!    run, event for event.
+//! 2. **Sequential clients** — each client's high-level operations are
+//!    issued one at a time (waiting for the previous one when the workload
+//!    marks an op `sequential`), as the model requires.
+//! 3. **Optional crash injection** — the [`regemu_fpsm::CrashPlan`] crashes
+//!    servers at fixed logical times, within the emulation's fault budget.
+//! 4. **Measurement** — the returned [`runner::RunReport`] carries the
+//!    [`regemu_fpsm::RunMetrics`] (resource consumption, coverage, point
+//!    contention, trigger/response counts) and the high-level schedule.
+//! 5. **Checking** — when a [`runner::ConsistencyCheck`] is selected, the
+//!    schedule is verified and any violation is reported, not panicked on.
 //!
 //! ## Example
 //!
@@ -32,15 +55,22 @@
 
 pub mod generator;
 pub mod runner;
+pub mod sweep;
 pub mod table;
 
 pub use generator::{Issuer, Workload, WorkloadOp};
 pub use runner::{run_workload, ConsistencyCheck, RunConfig, RunReport};
+pub use sweep::{
+    run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
+};
 pub use table::{small_sweep, standard_sweep, TextTable};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::generator::{Issuer, Workload};
     pub use crate::runner::{run_workload, ConsistencyCheck, RunConfig, RunReport};
+    pub use crate::sweep::{
+        run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
+    };
     pub use crate::table::{small_sweep, standard_sweep, TextTable};
 }

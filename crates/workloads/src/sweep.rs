@@ -1,0 +1,661 @@
+//! Parallel, deterministic parameter sweeps.
+//!
+//! A sweep fans a `(k, f, n) × emulation × workload × seed` grid out across
+//! `std::thread` workers and aggregates the per-case measurements into a
+//! [`SweepReport`]. Every case is *fully independent*: the worker builds its
+//! own emulation instance, workload and seeded driver, so the report is a
+//! pure function of the [`SweepConfig`] — running with 1 worker or 64
+//! produces byte-identical [`SweepReport::to_json`] / [`SweepReport::to_csv`]
+//! output. Workers pull cases from a shared atomic cursor (work stealing),
+//! and results land in a slot vector indexed by case number, so scheduling
+//! order never leaks into the output.
+//!
+//! ```
+//! use regemu_workloads::sweep::{run_sweep, SweepConfig};
+//!
+//! let mut config = SweepConfig::quick();
+//! config.threads = 2;
+//! let report = run_sweep(&config);
+//! assert_eq!(report.len(), config.case_count());
+//! assert!(report.all_consistent());
+//! ```
+
+use crate::generator::Workload;
+use crate::runner::{run_workload, ConsistencyCheck, RunConfig};
+use crate::table::small_sweep;
+use regemu_bounds::Params;
+use regemu_core::{
+    AbdCasEmulation, AbdMaxRegisterEmulation, Emulation, RegisterBankEmulation,
+    SpaceOptimalEmulation,
+};
+use regemu_fpsm::{CrashPlan, ServerId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Which emulation construction a sweep case runs.
+///
+/// A `Box<dyn Emulation>` is not `Send`, so sweeps describe the construction
+/// by kind and each worker thread builds its own instance — which also keeps
+/// every case hermetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmulationKind {
+    /// Multi-writer ABD over one max-register per server (Table 1, row 1).
+    AbdMaxRegister,
+    /// Multi-writer ABD over one CAS object per server (Table 1, row 2).
+    AbdCas,
+    /// The paper's space-optimal register construction (Algorithm 2).
+    SpaceOptimal,
+    /// ABD over per-server banks of plain registers (the naive baseline).
+    RegisterBank,
+}
+
+impl EmulationKind {
+    /// Every kind, in Table 1 order.
+    pub const ALL: [EmulationKind; 4] = [
+        EmulationKind::AbdMaxRegister,
+        EmulationKind::AbdCas,
+        EmulationKind::SpaceOptimal,
+        EmulationKind::RegisterBank,
+    ];
+
+    /// Builds a fresh instance of this construction for `params`.
+    pub fn build(self, params: Params) -> Box<dyn Emulation> {
+        match self {
+            EmulationKind::AbdMaxRegister => Box::new(AbdMaxRegisterEmulation::new(params, false)),
+            EmulationKind::AbdCas => Box::new(AbdCasEmulation::new(params, false)),
+            EmulationKind::SpaceOptimal => Box::new(SpaceOptimalEmulation::new(params)),
+            EmulationKind::RegisterBank => Box::new(RegisterBankEmulation::new(params, false)),
+        }
+    }
+
+    /// Stable short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmulationKind::AbdMaxRegister => "abd-max-register",
+            EmulationKind::AbdCas => "abd-cas",
+            EmulationKind::SpaceOptimal => "space-optimal",
+            EmulationKind::RegisterBank => "register-bank",
+        }
+    }
+}
+
+impl fmt::Display for EmulationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A workload shape, instantiated per case with the case's `k` and seed.
+///
+/// Specs avoid floats so labels and JSON stay byte-stable across platforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// [`Workload::write_sequential`]: `rounds` writes per writer, one at a
+    /// time, optionally followed by a read each.
+    WriteSequential {
+        /// Writes per writer.
+        rounds: usize,
+        /// Issue a read after every write.
+        read_after_each: bool,
+    },
+    /// [`Workload::read_heavy`]: each write followed by a burst of reads.
+    ReadHeavy {
+        /// Number of writes.
+        writes: usize,
+        /// Reads issued after each write.
+        reads_per_write: usize,
+        /// Distinct reader clients the reads rotate over.
+        readers: usize,
+    },
+    /// [`Workload::random_mixed`]: `total` operations, each a write with
+    /// probability `write_percent`/100. The generator is seeded with the
+    /// case seed, so different seeds give different (but reproducible)
+    /// operation sequences.
+    RandomMixed {
+        /// Distinct reader clients.
+        readers: usize,
+        /// Total operations.
+        total: usize,
+        /// Probability of a write, in percent (0–100).
+        write_percent: u8,
+    },
+    /// [`Workload::concurrent_read_write`]: every write overlaps a read.
+    ConcurrentReadWrite {
+        /// Rounds of one write per writer.
+        rounds: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Builds the concrete workload for a case with `k` writers and `seed`.
+    pub fn instantiate(&self, k: usize, seed: u64) -> Workload {
+        match *self {
+            WorkloadSpec::WriteSequential {
+                rounds,
+                read_after_each,
+            } => Workload::write_sequential(k, rounds, read_after_each),
+            WorkloadSpec::ReadHeavy {
+                writes,
+                reads_per_write,
+                readers,
+            } => Workload::read_heavy(k, writes, reads_per_write, readers),
+            WorkloadSpec::RandomMixed {
+                readers,
+                total,
+                write_percent,
+            } => Workload::random_mixed(k, readers, total, f64::from(write_percent) / 100.0, seed),
+            WorkloadSpec::ConcurrentReadWrite { rounds } => {
+                Workload::concurrent_read_write(k, rounds)
+            }
+        }
+    }
+
+    /// Stable short label used in reports.
+    pub fn label(&self) -> String {
+        match *self {
+            WorkloadSpec::WriteSequential {
+                rounds,
+                read_after_each,
+            } => format!(
+                "write-seq/r{rounds}{}",
+                if read_after_each { "+read" } else { "" }
+            ),
+            WorkloadSpec::ReadHeavy {
+                writes,
+                reads_per_write,
+                readers,
+            } => format!("read-heavy/w{writes}x{reads_per_write}c{readers}"),
+            WorkloadSpec::RandomMixed {
+                readers,
+                total,
+                write_percent,
+            } => format!("mixed/{total}ops-{write_percent}pct-c{readers}"),
+            WorkloadSpec::ConcurrentReadWrite { rounds } => format!("concurrent/r{rounds}"),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// Declarative description of a sweep: the full cross product of
+/// `grid × emulations × workloads × seeds` is run, each point as one
+/// independent, deterministic case.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Parameter points `(k, f, n)` to sweep.
+    pub grid: Vec<Params>,
+    /// Constructions to run at each point.
+    pub emulations: Vec<EmulationKind>,
+    /// Workload shapes to run for each construction.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Scheduler seeds; each seed is a separate case.
+    pub seeds: Vec<u64>,
+    /// Consistency condition verified after every run.
+    pub check: ConsistencyCheck,
+    /// When `true`, each case crashes `f` servers (the highest-numbered
+    /// ones, at logical times 5, 10, …) — exercising exactly the fault
+    /// budget the construction must tolerate.
+    pub crash_f: bool,
+    /// Per-operation step budget before a case is reported as stuck.
+    pub max_steps_per_op: u64,
+    /// Worker threads; `0` means one per available CPU core.
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    /// A small but representative default: the CI-sized `(k, f, n)` grid ×
+    /// all four constructions × a write-sequential and a mixed workload ×
+    /// two seeds (96 cases).
+    pub fn standard() -> Self {
+        SweepConfig {
+            grid: small_sweep(),
+            emulations: EmulationKind::ALL.to_vec(),
+            workloads: vec![
+                WorkloadSpec::WriteSequential {
+                    rounds: 2,
+                    read_after_each: true,
+                },
+                WorkloadSpec::RandomMixed {
+                    readers: 2,
+                    total: 12,
+                    write_percent: 50,
+                },
+            ],
+            seeds: vec![1, 2],
+            check: ConsistencyCheck::WsRegular,
+            crash_f: false,
+            max_steps_per_op: 100_000,
+            threads: 0,
+        }
+    }
+
+    /// A tiny grid (24 cases) that still crosses every construction with
+    /// every workload shape — used by tests and the CI smoke run.
+    pub fn quick() -> Self {
+        SweepConfig {
+            grid: [(1, 1, 3), (2, 1, 4), (2, 2, 5)]
+                .into_iter()
+                .map(|(k, f, n)| Params::new(k, f, n).expect("valid quick-grid point"))
+                .collect(),
+            emulations: EmulationKind::ALL.to_vec(),
+            workloads: vec![
+                WorkloadSpec::WriteSequential {
+                    rounds: 1,
+                    read_after_each: true,
+                },
+                WorkloadSpec::RandomMixed {
+                    readers: 1,
+                    total: 6,
+                    write_percent: 50,
+                },
+            ],
+            seeds: vec![7],
+            check: ConsistencyCheck::WsRegular,
+            crash_f: false,
+            max_steps_per_op: 100_000,
+            threads: 0,
+        }
+    }
+
+    /// Number of cases the cross product expands to.
+    pub fn case_count(&self) -> usize {
+        self.grid.len() * self.emulations.len() * self.workloads.len() * self.seeds.len()
+    }
+
+    /// Expands the cross product into concrete cases, in a stable order
+    /// (grid-major, then emulation, workload, seed).
+    pub fn cases(&self) -> Vec<SweepCase> {
+        let mut cases = Vec::with_capacity(self.case_count());
+        for &params in &self.grid {
+            for &emulation in &self.emulations {
+                for workload in &self.workloads {
+                    for &seed in &self.seeds {
+                        cases.push(SweepCase {
+                            index: cases.len(),
+                            params,
+                            emulation,
+                            workload: *workload,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cases
+    }
+
+    fn worker_count(&self, cases: usize) -> usize {
+        let available = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        available.min(cases).max(1)
+    }
+}
+
+/// One point of the expanded sweep grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepCase {
+    /// Position in [`SweepConfig::cases`] order; results are reported in
+    /// this order regardless of which worker ran the case.
+    pub index: usize,
+    /// Parameter point.
+    pub params: Params,
+    /// Construction under test.
+    pub emulation: EmulationKind,
+    /// Workload shape.
+    pub workload: WorkloadSpec,
+    /// Scheduler (and workload-generator) seed.
+    pub seed: u64,
+}
+
+/// The measured outcome of one sweep case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseResult {
+    /// The case that was run.
+    pub case: SweepCase,
+    /// Base objects the construction provisioned.
+    pub provisioned_objects: usize,
+    /// Resource consumption of the run (`|touched|`).
+    pub resource_consumption: usize,
+    /// Base objects left covered by a pending write at the end of the run.
+    pub covered: usize,
+    /// Point contention of the run.
+    pub point_contention: usize,
+    /// Low-level operations triggered.
+    pub low_level_triggers: u64,
+    /// Low-level operations that responded.
+    pub low_level_responses: u64,
+    /// High-level operations that completed.
+    pub completed_ops: usize,
+    /// `true` when the configured consistency check passed.
+    pub consistent: bool,
+    /// Violation description when the check failed.
+    pub violation: Option<String>,
+    /// Engine error when the run itself failed (e.g. stuck past the step
+    /// budget); the rest of the row is zeroed in that case.
+    pub error: Option<String>,
+}
+
+fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
+    let emulation = case.emulation.build(case.params);
+    let workload = case.workload.instantiate(case.params.k, case.seed);
+    let mut crash_plan = CrashPlan::none();
+    if config.crash_f {
+        for i in 0..case.params.f {
+            // Crash the highest-numbered servers so quorum-critical low ids
+            // survive; times 5, 10, … land inside the run.
+            let server = ServerId::new(case.params.n - 1 - i);
+            crash_plan = crash_plan.crash_at(5 * (i as u64 + 1), server);
+        }
+    }
+    let run_config = RunConfig {
+        seed: case.seed,
+        crash_plan,
+        max_steps_per_op: config.max_steps_per_op,
+        check: config.check,
+        drain: false,
+    };
+    match run_workload(emulation.as_ref(), &workload, &run_config) {
+        Ok(report) => CaseResult {
+            case: *case,
+            provisioned_objects: report.provisioned_objects,
+            resource_consumption: report.metrics.resource_consumption(),
+            covered: report.metrics.covered_count(),
+            point_contention: report.metrics.point_contention,
+            low_level_triggers: report.metrics.low_level_triggers,
+            low_level_responses: report.metrics.low_level_responses,
+            completed_ops: report.completed_ops,
+            consistent: report.is_consistent(),
+            violation: report.check_violation.as_ref().map(ToString::to_string),
+            error: None,
+        },
+        Err(e) => CaseResult {
+            case: *case,
+            provisioned_objects: emulation.base_object_count(),
+            resource_consumption: 0,
+            covered: 0,
+            point_contention: 0,
+            low_level_triggers: 0,
+            low_level_responses: 0,
+            completed_ops: 0,
+            consistent: false,
+            violation: None,
+            error: Some(e.to_string()),
+        },
+    }
+}
+
+/// Aggregated results of a sweep, in case order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepReport {
+    results: Vec<CaseResult>,
+}
+
+impl SweepReport {
+    /// The per-case results, in [`SweepConfig::cases`] order.
+    pub fn results(&self) -> &[CaseResult] {
+        &self.results
+    }
+
+    /// Number of cases.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Returns `true` when the sweep ran no cases.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// Returns `true` when every case ran to completion and passed its
+    /// consistency check.
+    pub fn all_consistent(&self) -> bool {
+        self.results.iter().all(|r| r.consistent)
+    }
+
+    /// Cases whose consistency check failed or whose run errored.
+    pub fn failures(&self) -> impl Iterator<Item = &CaseResult> {
+        self.results.iter().filter(|r| !r.consistent)
+    }
+
+    /// Serializes the report as a deterministic JSON document: an object
+    /// with a `cases` array (one object per case, fields in a fixed order)
+    /// and summary counts. Hand-rolled so the offline serde shim suffices;
+    /// byte-identical for identical configs regardless of worker count.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"cases\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let c = &r.case;
+            out.push_str(&format!(
+                "    {{\"index\": {}, \"emulation\": \"{}\", \"k\": {}, \"f\": {}, \"n\": {}, \
+                 \"workload\": \"{}\", \"seed\": {}, \"provisioned\": {}, \"consumption\": {}, \
+                 \"covered\": {}, \"contention\": {}, \"triggers\": {}, \"responses\": {}, \
+                 \"completed\": {}, \"consistent\": {}, \"violation\": {}, \"error\": {}}}{}\n",
+                c.index,
+                c.emulation.name(),
+                c.params.k,
+                c.params.f,
+                c.params.n,
+                json_escape(&c.workload.label()),
+                c.seed,
+                r.provisioned_objects,
+                r.resource_consumption,
+                r.covered,
+                r.point_contention,
+                r.low_level_triggers,
+                r.low_level_responses,
+                r.completed_ops,
+                r.consistent,
+                json_opt_string(r.violation.as_deref()),
+                json_opt_string(r.error.as_deref()),
+                if i + 1 < self.results.len() { "," } else { "" },
+            ));
+        }
+        let consistent = self.results.iter().filter(|r| r.consistent).count();
+        out.push_str(&format!(
+            "  ],\n  \"case_count\": {},\n  \"consistent_count\": {}\n}}\n",
+            self.results.len(),
+            consistent,
+        ));
+        out
+    }
+
+    /// Serializes the report as CSV with a fixed header, one row per case.
+    /// Deterministic for identical configs regardless of worker count.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,emulation,k,f,n,workload,seed,provisioned,consumption,covered,contention,\
+             triggers,responses,completed,consistent,violation,error\n",
+        );
+        for r in &self.results {
+            let c = &r.case;
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                c.index,
+                c.emulation.name(),
+                c.params.k,
+                c.params.f,
+                c.params.n,
+                csv_field(&c.workload.label()),
+                c.seed,
+                r.provisioned_objects,
+                r.resource_consumption,
+                r.covered,
+                r.point_contention,
+                r.low_level_triggers,
+                r.low_level_responses,
+                r.completed_ops,
+                r.consistent,
+                csv_field(r.violation.as_deref().unwrap_or("")),
+                csv_field(r.error.as_deref().unwrap_or("")),
+            ));
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt_string(s: Option<&str>) -> String {
+    match s {
+        Some(s) => format!("\"{}\"", json_escape(s)),
+        None => "null".to_string(),
+    }
+}
+
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Runs every case of `config` across a pool of worker threads and collects
+/// the results in case order.
+///
+/// Workers claim cases from a shared atomic cursor; each case is hermetic
+/// (its own emulation instance, workload and seeded driver), so the returned
+/// report — and its JSON/CSV serializations — are identical for any worker
+/// count, including 1.
+pub fn run_sweep(config: &SweepConfig) -> SweepReport {
+    let cases = config.cases();
+    let workers = config.worker_count(cases.len());
+    let slots: Mutex<Vec<Option<CaseResult>>> = Mutex::new(vec![None; cases.len()]);
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(case) = cases.get(i) else {
+                    break;
+                };
+                let result = run_case(case, config);
+                slots.lock().expect("sweep result lock")[i] = Some(result);
+            });
+        }
+    });
+
+    let results: Vec<CaseResult> = slots
+        .into_inner()
+        .expect("sweep result lock")
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("sweep case {i} produced no result")))
+        .collect();
+    SweepReport { results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_is_consistent_and_fully_reported() {
+        let mut config = SweepConfig::quick();
+        config.threads = 1;
+        let report = run_sweep(&config);
+        assert_eq!(report.len(), config.case_count());
+        assert_eq!(report.len(), 24);
+        assert!(report.all_consistent(), "{:?}", report.failures().next());
+        for (i, r) in report.results().iter().enumerate() {
+            assert_eq!(r.case.index, i);
+            assert!(r.error.is_none());
+            assert!(r.resource_consumption <= r.provisioned_objects);
+            assert!(r.completed_ops > 0);
+        }
+    }
+
+    #[test]
+    fn reports_are_identical_across_worker_counts() {
+        let mut config = SweepConfig::quick();
+        config.threads = 1;
+        let single = run_sweep(&config);
+        config.threads = 4;
+        let multi = run_sweep(&config);
+        assert_eq!(single, multi);
+        assert_eq!(single.to_json(), multi.to_json());
+        assert_eq!(single.to_csv(), multi.to_csv());
+    }
+
+    #[test]
+    fn crash_f_cases_survive_and_stay_consistent() {
+        let mut config = SweepConfig::quick();
+        config.crash_f = true;
+        config.threads = 2;
+        let report = run_sweep(&config);
+        assert!(report.all_consistent(), "{:?}", report.failures().next());
+    }
+
+    #[test]
+    fn json_and_csv_have_one_record_per_case() {
+        let mut config = SweepConfig::quick();
+        config.threads = 2;
+        let report = run_sweep(&config);
+        let json = report.to_json();
+        assert_eq!(json.matches("\"index\":").count(), report.len());
+        assert!(json.contains("\"case_count\": 24"));
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), report.len() + 1);
+        assert!(csv.starts_with("index,emulation,k,f,n,workload"));
+    }
+
+    #[test]
+    fn escaping_helpers_handle_special_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_opt_string(None), "null");
+        assert_eq!(json_opt_string(Some("x")), "\"x\"");
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn workload_specs_instantiate_with_case_parameters() {
+        let spec = WorkloadSpec::RandomMixed {
+            readers: 2,
+            total: 10,
+            write_percent: 50,
+        };
+        let a = spec.instantiate(3, 7);
+        let b = spec.instantiate(3, 7);
+        let c = spec.instantiate(3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds must give different mixes");
+        assert_eq!(a.len(), 10);
+        assert_eq!(spec.label(), "mixed/10ops-50pct-c2");
+        assert_eq!(
+            WorkloadSpec::WriteSequential {
+                rounds: 2,
+                read_after_each: true
+            }
+            .label(),
+            "write-seq/r2+read"
+        );
+    }
+}

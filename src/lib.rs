@@ -41,6 +41,9 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+#[doc = include_str!("../docs/MODEL.md")]
+pub mod model {}
+
 pub use regemu_adversary as adversary;
 pub use regemu_bounds as bounds;
 pub use regemu_core as core;

@@ -7,6 +7,19 @@ use regemu::core::all_emulations;
 use regemu::prelude::*;
 
 #[test]
+fn quick_sweep_through_the_facade_is_deterministic_and_consistent() {
+    let mut config = SweepConfig::quick();
+    config.threads = 2;
+    let parallel = run_sweep(&config);
+    config.threads = 1;
+    let serial = run_sweep(&config);
+    assert_eq!(parallel.len(), config.case_count());
+    assert!(parallel.all_consistent());
+    assert_eq!(parallel.to_json(), serial.to_json());
+    assert_eq!(parallel.to_csv(), serial.to_csv());
+}
+
+#[test]
 fn every_emulation_round_trips_under_a_fair_driver() {
     let params = Params::new(2, 1, 4).expect("k=2, f=1, n=4 is a valid parameter point");
 
