@@ -17,7 +17,10 @@
 //!   coverage growth, per-server occupancy (Theorem 6), and point-contention
 //!   evidence (Theorem 8);
 //! * [`partition::demonstrate_partition`] — the executable partitioning
-//!   argument behind Theorem 5 (`n ≥ 2f + 1`).
+//!   argument behind Theorem 5 (`n ≥ 2f + 1`);
+//! * [`strategy`] — the adversary's block/unblock moves packaged as
+//!   [`regemu_fpsm::BlockStrategy`] implementations, pluggable into any
+//!   [`regemu_fpsm::AdversarialScheduler`]-driven run or sweep.
 //!
 //! ## Example
 //!
@@ -42,12 +45,14 @@ pub mod adi;
 pub mod campaign;
 pub mod covering;
 pub mod partition;
+pub mod strategy;
 
 pub use ablation::{demonstrate_quorum_ablation, AblationOutcome};
 pub use adi::{AdversaryIteration, IterationOutcome};
 pub use campaign::{CampaignReport, IterationReport, LowerBoundCampaign};
 pub use covering::CoveringTracker;
 pub use partition::{demonstrate_partition, PartitionOutcome, QuorumEmulation};
+pub use strategy::{CoverWrites, SilenceServers};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
@@ -55,4 +60,5 @@ pub mod prelude {
     pub use crate::campaign::{CampaignReport, LowerBoundCampaign};
     pub use crate::covering::CoveringTracker;
     pub use crate::partition::demonstrate_partition;
+    pub use crate::strategy::{CoverWrites, SilenceServers};
 }

@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use regemu_bounds::Params;
-use regemu_core::SpaceOptimalEmulation;
+use regemu_core::EmulationKind;
 use regemu_fpsm::prelude::*;
-use regemu_workloads::{run_workload, ConsistencyCheck, RunConfig, Workload};
+use regemu_workloads::{ConsistencyCheck, Issuer, Scenario, Workload, WorkloadOp, WorkloadSpec};
 
 /// A client that keeps one read outstanding against each register and
 /// completes once every acknowledgement arrived. `remaining` is reset from
@@ -163,18 +163,66 @@ fn bench_metrics_capture(c: &mut Criterion) {
     group.finish();
 }
 
-/// End-to-end workload run against the space-optimal emulation: the composite
-/// path every experiment binary and the sweep harness go through.
+/// End-to-end scenario run against the space-optimal emulation: the
+/// composite path every experiment binary and the sweep harness go through.
 fn bench_end_to_end_workload(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_engine/end_to_end_workload");
     for ops in [50usize, 200] {
         group.bench_with_input(BenchmarkId::from_parameter(ops), &ops, |b, &ops| {
             let params = Params::new(3, 1, 5).unwrap();
-            let emulation = SpaceOptimalEmulation::new(params);
-            let workload = Workload::random_mixed(3, 2, ops, 0.5, 42);
-            let config = RunConfig::with_seed(7).check(ConsistencyCheck::None);
-            b.iter(|| run_workload(&emulation, &workload, &config).unwrap());
+            let scenario = Scenario::new(params)
+                .emulation(EmulationKind::SpaceOptimal)
+                .workload(WorkloadSpec::RandomMixed {
+                    readers: 2,
+                    total: ops,
+                    write_percent: 50,
+                })
+                .check(ConsistencyCheck::None)
+                .seed(7);
+            b.iter(|| scenario.run().unwrap());
         });
+    }
+    group.finish();
+}
+
+/// Many clients with overlapping (non-sequential) operations: stresses the
+/// runner's in-flight bookkeeping. Before the `Scenario` engine this was a
+/// linear `retain` over a `Vec` of outstanding ops per issued operation
+/// (O(clients²) per round); the engine now goes through the simulation's
+/// per-client state, O(1) per issue.
+fn bench_outstanding_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_engine/outstanding_ops");
+    for writers in [16usize, 64] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(writers),
+            &writers,
+            |b, &writers| {
+                let params = Params::new(writers, 1, 3).unwrap();
+                // Rounds of one concurrent write per writer, with a
+                // sequential read as a round barrier.
+                let mut steps = Vec::new();
+                for _ in 0..4 {
+                    for w in 0..writers {
+                        steps.push(WorkloadOp {
+                            issuer: Issuer::Writer(w),
+                            op: HighOp::Write(w as u64 + 1),
+                            sequential: false,
+                        });
+                    }
+                    steps.push(WorkloadOp {
+                        issuer: Issuer::Reader(0),
+                        op: HighOp::Read,
+                        sequential: true,
+                    });
+                }
+                let scenario = Scenario::new(params)
+                    .emulation(EmulationKind::AbdMaxRegister)
+                    .workload_steps(Workload::from_steps(steps))
+                    .check(ConsistencyCheck::None)
+                    .seed(11);
+                b.iter(|| scenario.run().unwrap());
+            },
+        );
     }
     group.finish();
 }
@@ -185,6 +233,7 @@ criterion_group!(
     bench_fair_driver_quiescence,
     bench_pending_churn,
     bench_metrics_capture,
-    bench_end_to_end_workload
+    bench_end_to_end_workload,
+    bench_outstanding_ops
 );
 criterion_main!(benches);

@@ -1,27 +1,34 @@
-//! `sweep_grid` — run a `(k, f, n) × emulation × workload × seed` sweep in
-//! parallel and serialize the aggregated report.
+//! `sweep_grid` — run a `(k, f, n) × emulation × workload × scheduler ×
+//! crash-plan × seed` sweep in parallel and serialize the aggregated report.
 //!
 //! ```text
 //! cargo run --release -p regemu-bench --bin sweep_grid -- [OPTIONS]
 //!
 //! OPTIONS:
-//!   --quick           24-case grid (CI smoke) instead of the 96-case default
-//!   --threads N       worker threads (default: one per CPU core)
-//!   --seeds a,b,...   override the scheduler seeds
-//!   --crash-f         crash f servers during every case
-//!   --json PATH       write the report as JSON (- for stdout)
-//!   --csv PATH        write the report as CSV (- for stdout)
+//!   --quick             24-case grid (CI smoke) instead of the 96-case default
+//!   --threads N         worker threads (default: one per CPU core)
+//!   --seeds a,b,...     override the scheduler seeds
+//!   --schedulers a,b    scheduler axis (fair, round-robin, adversary-cover,
+//!                       adversary-silence; or `all`)
+//!   --crash-plans a,b   crash-plan axis (none, crash-f; or `all`)
+//!   --crash-f           shorthand for `--crash-plans crash-f`
+//!   --json PATH         write the report as JSON (- for stdout)
+//!   --csv PATH          write the report as CSV (- for stdout)
 //! ```
 //!
 //! The report is deterministic: identical options produce byte-identical
 //! JSON/CSV for any `--threads` value.
 
-use regemu_workloads::{run_sweep, SweepConfig};
+use regemu_workloads::{run_sweep, CrashPlanSpec, SchedulerSpec, SweepConfig};
 use std::time::Instant;
 
 fn fail(msg: &str) -> ! {
     eprintln!("sweep_grid: {msg}");
-    eprintln!("usage: sweep_grid [--quick] [--threads N] [--seeds a,b,..] [--crash-f] [--json PATH] [--csv PATH]");
+    eprintln!(
+        "usage: sweep_grid [--quick] [--threads N] [--seeds a,b,..] \
+         [--schedulers a,b,..] [--crash-plans a,b,..] [--crash-f] \
+         [--json PATH] [--csv PATH]"
+    );
     std::process::exit(2);
 }
 
@@ -32,6 +39,8 @@ fn main() {
     let mut crash_f = false;
     let mut threads: Option<usize> = None;
     let mut seeds: Option<Vec<u64>> = None;
+    let mut schedulers: Option<Vec<SchedulerSpec>> = None;
+    let mut crash_plans: Option<Vec<CrashPlanSpec>> = None;
     let mut json_out: Option<String> = None;
     let mut csv_out: Option<String> = None;
 
@@ -63,6 +72,44 @@ fn main() {
                 }
                 seeds = Some(parsed);
             }
+            "--schedulers" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--schedulers needs a value"));
+                let parsed: Vec<SchedulerSpec> = if v.trim() == "all" {
+                    SchedulerSpec::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|s| {
+                            SchedulerSpec::from_name(s.trim())
+                                .unwrap_or_else(|| fail(&format!("unknown scheduler {s:?}")))
+                        })
+                        .collect()
+                };
+                if parsed.is_empty() {
+                    fail("--schedulers needs at least one scheduler");
+                }
+                schedulers = Some(parsed);
+            }
+            "--crash-plans" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--crash-plans needs a value"));
+                let parsed: Vec<CrashPlanSpec> = if v.trim() == "all" {
+                    CrashPlanSpec::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|s| {
+                            CrashPlanSpec::from_name(s.trim())
+                                .unwrap_or_else(|| fail(&format!("unknown crash plan {s:?}")))
+                        })
+                        .collect()
+                };
+                if parsed.is_empty() {
+                    fail("--crash-plans needs at least one crash plan");
+                }
+                crash_plans = Some(parsed);
+            }
             "--crash-f" => crash_f = true,
             "--json" => json_out = Some(args.next().unwrap_or_else(|| fail("--json needs a path"))),
             "--csv" => csv_out = Some(args.next().unwrap_or_else(|| fail("--csv needs a path"))),
@@ -81,7 +128,15 @@ fn main() {
     if let Some(seeds) = seeds {
         config.seeds = seeds;
     }
-    config.crash_f = config.crash_f || crash_f;
+    if let Some(schedulers) = schedulers {
+        config.schedulers = schedulers;
+    }
+    match (crash_plans, crash_f) {
+        (Some(_), true) => fail("--crash-f conflicts with --crash-plans; pass one of them"),
+        (Some(crash_plans), false) => config.crash_plans = crash_plans,
+        (None, true) => config.crash_plans = vec![CrashPlanSpec::CrashF],
+        (None, false) => {}
+    }
 
     let cases = config.case_count();
     let started = Instant::now();
@@ -90,19 +145,23 @@ fn main() {
 
     let consistent = report.results().iter().filter(|r| r.consistent).count();
     eprintln!(
-        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} seeds): {consistent}/{cases} consistent",
+        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} schedulers x {} crash plans x {} seeds): {consistent}/{cases} consistent",
         config.grid.len(),
         config.emulations.len(),
         config.workloads.len(),
+        config.schedulers.len(),
+        config.crash_plans.len(),
         config.seeds.len(),
     );
     for failure in report.failures() {
         eprintln!(
-            "  FAIL case {} {} {} {} seed {}: {}",
+            "  FAIL case {} {} {} {} {} {} seed {}: {}",
             failure.case.index,
             failure.case.emulation,
             failure.case.params,
             failure.case.workload,
+            failure.case.scheduler,
+            failure.case.crashes,
             failure.case.seed,
             failure
                 .error

@@ -37,28 +37,30 @@ pub mod experiments {
         register_lower_bound, register_upper_bound, servers_needed_with_bounded_storage, Params,
     };
     use regemu_core::{
-        AbdCasEmulation, AbdMaxRegisterEmulation, CasMaxRegister, CollectMaxRegister, Emulation,
-        RegisterLayout, SharedMaxRegister, SpaceOptimalEmulation,
+        AbdMaxRegisterEmulation, CasMaxRegister, CollectMaxRegister, EmulationKind, RegisterLayout,
+        SharedMaxRegister, SpaceOptimalEmulation,
     };
-    use regemu_workloads::{run_workload, ConsistencyCheck, RunConfig, TextTable, Workload};
+    use regemu_workloads::{ConsistencyCheck, Scenario, TextTable, WorkloadSpec};
     use std::sync::Arc;
 
-    /// Measures the resource consumption of `emulation` on a write-sequential
-    /// workload (one write per writer, one read after each), verifying
-    /// WS-Regularity along the way.
-    pub fn measured_consumption(emulation: &dyn Emulation, seed: u64) -> usize {
-        let params = emulation.params();
-        let workload = Workload::write_sequential(params.k, 1, true);
-        let report = run_workload(
-            emulation,
-            &workload,
-            &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular),
-        )
-        .expect("experiment workload must complete");
+    /// Measures the resource consumption of the `kind` construction on a
+    /// write-sequential workload (one write per writer, one read after
+    /// each), verifying WS-Regularity along the way.
+    pub fn measured_consumption(kind: EmulationKind, params: Params, seed: u64) -> usize {
+        let report = Scenario::new(params)
+            .emulation(kind)
+            .workload(WorkloadSpec::WriteSequential {
+                rounds: 1,
+                read_after_each: true,
+            })
+            .check(ConsistencyCheck::WsRegular)
+            .seed(seed)
+            .run()
+            .expect("experiment workload must complete");
         assert!(
             report.is_consistent(),
             "{} at {} violated WS-Regularity",
-            emulation.name(),
+            kind,
             params
         );
         report.metrics.resource_consumption()
@@ -79,20 +81,17 @@ pub mod experiments {
         );
         for p in sweep {
             let p = *p;
-            let abd_max = AbdMaxRegisterEmulation::new(p, false);
-            let abd_cas = AbdCasEmulation::new(p, false);
-            let space_optimal = SpaceOptimalEmulation::new(p);
             table.push_row([
                 p.k.to_string(),
                 p.f.to_string(),
                 p.n.to_string(),
                 max_register_bound(p.f).to_string(),
-                measured_consumption(&abd_max, 1).to_string(),
+                measured_consumption(EmulationKind::AbdMaxRegister, p, 1).to_string(),
                 cas_bound(p.f).to_string(),
-                measured_consumption(&abd_cas, 2).to_string(),
+                measured_consumption(EmulationKind::AbdCas, p, 2).to_string(),
                 register_lower_bound(p).to_string(),
                 register_upper_bound(p).to_string(),
-                measured_consumption(&space_optimal, 3).to_string(),
+                measured_consumption(EmulationKind::SpaceOptimal, p, 3).to_string(),
             ]);
         }
         table

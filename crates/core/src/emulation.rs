@@ -21,7 +21,100 @@ use regemu_bounds::Params;
 use regemu_fpsm::{
     ClientProtocol, ObjectId, ObjectKind, ServerId, SimConfig, Simulation, Topology,
 };
+use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
+
+/// The canonical registry of emulation constructions, by kind.
+///
+/// An [`EmulationKind`] is the *description* of a construction — `Copy`,
+/// serializable and cheap to pass around — while [`EmulationKind::build`]
+/// produces the runnable [`Emulation`] instance for a parameter point.
+/// Scenario descriptions, sweeps, the experiment binaries and the examples
+/// all select constructions through this enum, so adding a construction here
+/// makes it available to every experiment surface at once.
+///
+/// A `Box<dyn Emulation>` is not `Send`, so parallel harnesses describe the
+/// construction by kind and each worker builds its own instance — which also
+/// keeps every case hermetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmulationKind {
+    /// Multi-writer ABD over one max-register per server (Table 1, row 1).
+    AbdMaxRegister,
+    /// Multi-writer ABD over one CAS object per server (Table 1, row 2).
+    AbdCas,
+    /// The paper's space-optimal register construction (Algorithm 2).
+    SpaceOptimal,
+    /// ABD over per-server banks of plain registers (the naive baseline).
+    RegisterBank,
+    /// [`EmulationKind::AbdMaxRegister`] with read write-back (atomic).
+    AbdMaxRegisterAtomic,
+    /// [`EmulationKind::AbdCas`] with read write-back (atomic).
+    AbdCasAtomic,
+    /// [`EmulationKind::RegisterBank`] with read write-back for writers.
+    RegisterBankAtomic,
+}
+
+impl EmulationKind {
+    /// The WS-Regular constructions compared throughout the evaluation, in
+    /// Table 1 order — the default sweep axis.
+    pub const ALL: [EmulationKind; 4] = [
+        EmulationKind::AbdMaxRegister,
+        EmulationKind::AbdCas,
+        EmulationKind::SpaceOptimal,
+        EmulationKind::RegisterBank,
+    ];
+
+    /// The atomic (read write-back) ABD variants.
+    pub const ATOMIC: [EmulationKind; 3] = [
+        EmulationKind::AbdMaxRegisterAtomic,
+        EmulationKind::AbdCasAtomic,
+        EmulationKind::RegisterBankAtomic,
+    ];
+
+    /// Builds a fresh instance of this construction for `params`.
+    pub fn build(self, params: Params) -> Box<dyn Emulation> {
+        match self {
+            EmulationKind::AbdMaxRegister => Box::new(AbdMaxRegisterEmulation::new(params, false)),
+            EmulationKind::AbdCas => Box::new(AbdCasEmulation::new(params, false)),
+            EmulationKind::SpaceOptimal => Box::new(SpaceOptimalEmulation::new(params)),
+            EmulationKind::RegisterBank => Box::new(RegisterBankEmulation::new(params, false)),
+            EmulationKind::AbdMaxRegisterAtomic => {
+                Box::new(AbdMaxRegisterEmulation::new(params, true))
+            }
+            EmulationKind::AbdCasAtomic => Box::new(AbdCasEmulation::new(params, true)),
+            EmulationKind::RegisterBankAtomic => Box::new(RegisterBankEmulation::new(params, true)),
+        }
+    }
+
+    /// Stable short name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmulationKind::AbdMaxRegister => "abd-max-register",
+            EmulationKind::AbdCas => "abd-cas",
+            EmulationKind::SpaceOptimal => "space-optimal",
+            EmulationKind::RegisterBank => "register-bank",
+            EmulationKind::AbdMaxRegisterAtomic => "abd-max-register-atomic",
+            EmulationKind::AbdCasAtomic => "abd-cas-atomic",
+            EmulationKind::RegisterBankAtomic => "register-bank-atomic",
+        }
+    }
+
+    /// The inverse of [`EmulationKind::name`], for CLI flags and config
+    /// files.
+    pub fn from_name(name: &str) -> Option<Self> {
+        EmulationKind::ALL
+            .into_iter()
+            .chain(EmulationKind::ATOMIC)
+            .find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for EmulationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// A fully described emulation instance: topology plus protocol factories.
 pub trait Emulation {
@@ -477,6 +570,29 @@ mod tests {
         for emulation in emulations {
             smoke_test(emulation.as_ref());
         }
+    }
+
+    #[test]
+    fn emulation_kind_registry_is_consistent() {
+        let params = p(2, 1, 4);
+        for kind in EmulationKind::ALL.into_iter().chain(EmulationKind::ATOMIC) {
+            let emulation = kind.build(params);
+            assert_eq!(EmulationKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+            assert_eq!(emulation.params(), params);
+            smoke_test(emulation.as_ref());
+        }
+        assert_eq!(EmulationKind::from_name("nope"), None);
+        // `ALL` matches `all_emulations` name-for-name, in Table 1 order.
+        let by_kind: Vec<_> = EmulationKind::ALL
+            .into_iter()
+            .map(|k| k.build(params).name().to_string())
+            .collect();
+        let by_factory: Vec<_> = all_emulations(params)
+            .iter()
+            .map(|e| e.name().to_string())
+            .collect();
+        assert_eq!(by_kind, by_factory);
     }
 
     #[test]

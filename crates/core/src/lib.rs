@@ -63,7 +63,7 @@ pub use abd::AbdClient;
 pub use drivers::{BankMaxDriver, CasMaxDriver, MaxDriver, MaxOutcome, NativeMaxDriver};
 pub use emulation::{
     all_emulations, register_based_emulations, AbdCasEmulation, AbdMaxRegisterEmulation, Emulation,
-    RegisterBankEmulation, SpaceOptimalEmulation,
+    EmulationKind, RegisterBankEmulation, SpaceOptimalEmulation,
 };
 pub use layout::RegisterLayout;
 pub use shared_memory::{
@@ -76,8 +76,8 @@ pub mod prelude {
     pub use crate::abd::AbdClient;
     pub use crate::drivers::{BankMaxDriver, CasMaxDriver, MaxDriver, NativeMaxDriver};
     pub use crate::emulation::{
-        all_emulations, AbdCasEmulation, AbdMaxRegisterEmulation, Emulation, RegisterBankEmulation,
-        SpaceOptimalEmulation,
+        all_emulations, AbdCasEmulation, AbdMaxRegisterEmulation, Emulation, EmulationKind,
+        RegisterBankEmulation, SpaceOptimalEmulation,
     };
     pub use crate::layout::RegisterLayout;
     pub use crate::shared_memory::{

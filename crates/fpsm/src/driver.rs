@@ -46,7 +46,7 @@ impl CrashPlan {
 
     /// Returns the servers whose crash time has been reached and removes them
     /// from the plan.
-    fn due(&mut self, now: Time) -> Vec<ServerId> {
+    pub(crate) fn due(&mut self, now: Time) -> Vec<ServerId> {
         let (due, rest): (Vec<_>, Vec<_>) = self.entries.iter().partition(|(t, _)| *t <= now);
         self.entries = rest;
         due.into_iter().map(|(_, s)| s).collect()

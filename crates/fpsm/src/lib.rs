@@ -17,7 +17,10 @@
 //!   (invoke / deliver / drop / crash) so that *any* environment behaviour,
 //!   including the paper's lower-bound adversary, can be expressed as a
 //!   driver;
-//! * [`driver::FairDriver`] — seeded fair scheduling and crash plans;
+//! * [`scheduler::Scheduler`] — the pluggable run-driver interface, with
+//!   [`driver::FairDriver`] (seeded fair scheduling and crash plans),
+//!   [`scheduler::RoundRobinScheduler`] and the strategy-driven
+//!   [`scheduler::AdversarialScheduler`] as implementations;
 //! * [`history::History`] and [`metrics::RunMetrics`] — the recorded run and
 //!   its space-consumption metrics (resource consumption, covered registers,
 //!   per-server occupancy, point contention).
@@ -52,6 +55,7 @@ pub mod ids;
 pub mod metrics;
 pub mod object;
 pub mod op;
+pub mod scheduler;
 pub mod sim;
 pub mod topology;
 pub mod value;
@@ -65,6 +69,7 @@ pub use ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
 pub use metrics::RunMetrics;
 pub use object::{BaseObject, ObjectError, ObjectKind};
 pub use op::{BaseOp, BaseResponse, HighOp, HighResponse};
+pub use scheduler::{AdversarialScheduler, BlockStrategy, RoundRobinScheduler, Scheduler};
 pub use sim::{DeliveryOutcome, PendingOp, SimConfig, Simulation};
 pub use topology::Topology;
 pub use value::{Payload, Value};
@@ -79,6 +84,9 @@ pub mod prelude {
     pub use crate::metrics::RunMetrics;
     pub use crate::object::ObjectKind;
     pub use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
+    pub use crate::scheduler::{
+        AdversarialScheduler, BlockStrategy, RoundRobinScheduler, Scheduler,
+    };
     pub use crate::sim::{SimConfig, Simulation};
     pub use crate::topology::Topology;
     pub use crate::value::{Payload, Value};

@@ -1,0 +1,491 @@
+//! Pluggable schedulers: the common interface every run driver implements.
+//!
+//! The [`crate::sim::Simulation`] engine is passive — *something* must decide
+//! which enabled action happens next. That something is a [`Scheduler`]. The
+//! trait captures exactly the contract the experiment layers rely on, so fair
+//! drivers, deterministic round-robins and adversarial block/unblock
+//! strategies are interchangeable everywhere a run is driven (scenarios,
+//! sweeps, examples, benches).
+//!
+//! Three implementations ship with the workspace:
+//!
+//! * [`crate::driver::FairDriver`] — seeded pseudo-random fair scheduling
+//!   (the default; realizes the paper's fair runs);
+//! * [`RoundRobinScheduler`] — deterministic client-rotation scheduling, the
+//!   worst case for protocols that rely on randomized luck;
+//! * [`AdversarialScheduler`] — fair scheduling restricted by a pluggable
+//!   [`BlockStrategy`]; the `regemu-adversary` crate provides strategies that
+//!   withhold responses the way the lower-bound adversary `Ad_i` does.
+
+use crate::driver::{CrashPlan, FairDriver};
+use crate::error::SimError;
+use crate::ids::{HighOpId, OpId};
+use crate::sim::{PendingOp, Simulation};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A run driver: decides which deliverable pending operation happens next.
+///
+/// # Contract
+///
+/// Implementations must uphold three properties the experiment harness
+/// assumes:
+///
+/// 1. **Determinism** — a scheduler is constructed from a seed; the same
+///    seed over the same simulation must produce the same delivery sequence
+///    (and therefore a byte-identical [`crate::history::History`]).
+/// 2. **One delivery per step** — [`Scheduler::step`] performs at most one
+///    [`Simulation::deliver`] call and returns `Ok(false)` *only* when no
+///    operation it is willing to deliver remains (quiescence, or everything
+///    withheld). It must not spin.
+/// 3. **Error propagation** — engine errors are returned, never swallowed:
+///    a `false` is "nothing to do", an `Err` is "the run is broken".
+///
+/// [`Scheduler::run_until_complete`] and [`Scheduler::run_until_quiescent`]
+/// have default implementations in terms of `step` that every implementation
+/// inherits, so the contract above is all a new scheduler must provide.
+///
+/// ```
+/// use regemu_fpsm::prelude::*;
+/// use regemu_fpsm::{Scheduler, RoundRobinScheduler};
+///
+/// // A protocol that writes one register and completes on the ack.
+/// struct OneShot(ObjectId);
+/// impl ClientProtocol for OneShot {
+///     fn on_invoke(&mut self, op: HighOp, ctx: &mut Context<'_>) {
+///         if let HighOp::Write(v) = op {
+///             ctx.trigger(self.0, BaseOp::Write(Value::new(1, v)));
+///         }
+///     }
+///     fn on_response(&mut self, _d: Delivery, ctx: &mut Context<'_>) {
+///         ctx.complete(HighResponse::WriteAck);
+///     }
+/// }
+///
+/// let mut topology = Topology::new(1);
+/// let obj = topology.add_object(ObjectKind::Register, ServerId::new(0));
+/// let mut sim = Simulation::new(topology, SimConfig::unchecked());
+/// let client = sim.register_client(Box::new(OneShot(obj)));
+/// let op = sim.invoke(client, HighOp::Write(7))?;
+///
+/// // Any scheduler drives the same passive engine through the same API.
+/// let mut scheduler: Box<dyn Scheduler> = Box::new(RoundRobinScheduler::new(0));
+/// scheduler.run_until_complete(&mut sim, op, 1_000)?;
+/// assert_eq!(sim.result_of(op), Some(HighResponse::WriteAck));
+/// scheduler.run_until_quiescent(&mut sim, 1_000)?;
+/// assert_eq!(sim.pending_count(), 0);
+/// # Ok::<(), regemu_fpsm::SimError>(())
+/// ```
+pub trait Scheduler {
+    /// Delivers one pending operation of the scheduler's choosing.
+    ///
+    /// Returns `Ok(true)` if an operation was delivered and `Ok(false)` if
+    /// no operation this scheduler is willing to deliver remains.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (e.g. a crash plan exceeding the fault
+    /// threshold).
+    fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError>;
+
+    /// Short name used in reports and labels.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+
+    /// Delivers operations until the high-level operation `target` completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stuck`] if the operation has not completed after
+    /// `max_steps` deliveries or no deliverable operation remains.
+    fn run_until_complete(
+        &mut self,
+        sim: &mut Simulation,
+        target: HighOpId,
+        max_steps: u64,
+    ) -> Result<(), SimError> {
+        let mut executed = 0;
+        while sim.result_of(target).is_none() {
+            if executed >= max_steps || !self.step(sim)? {
+                return Err(SimError::Stuck {
+                    steps: executed,
+                    waiting_for: format!("high-level operation {target} to complete"),
+                });
+            }
+            executed += 1;
+        }
+        Ok(())
+    }
+
+    /// Delivers operations until no operation this scheduler is willing to
+    /// deliver remains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Stuck`] if quiescence is not reached within
+    /// `max_steps` deliveries.
+    fn run_until_quiescent(
+        &mut self,
+        sim: &mut Simulation,
+        max_steps: u64,
+    ) -> Result<(), SimError> {
+        let mut executed = 0;
+        while self.step(sim)? {
+            executed += 1;
+            if executed >= max_steps {
+                return Err(SimError::Stuck {
+                    steps: executed,
+                    waiting_for: "quiescence".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Scheduler for FairDriver {
+    fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
+        FairDriver::step(self, sim)
+    }
+
+    fn name(&self) -> &'static str {
+        "fair"
+    }
+}
+
+/// A deterministic round-robin scheduler.
+///
+/// Each step delivers the oldest pending operation of the next client in a
+/// fixed rotation (clients with nothing deliverable are skipped). Compared to
+/// [`FairDriver`] it is fair in the strongest sense — every client is served
+/// within one rotation — while being completely predictable, which makes it
+/// the scheduler of choice for step-debugging a protocol. The seed only
+/// offsets the rotation's starting point.
+#[derive(Debug)]
+pub struct RoundRobinScheduler {
+    crash_plan: CrashPlan,
+    next_client: u64,
+    steps: u64,
+}
+
+impl RoundRobinScheduler {
+    /// Creates a round-robin scheduler; `seed` offsets the rotation start.
+    pub fn new(seed: u64) -> Self {
+        RoundRobinScheduler {
+            crash_plan: CrashPlan::none(),
+            next_client: seed,
+            steps: 0,
+        }
+    }
+
+    /// Attaches a crash plan to the scheduler.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Number of delivery steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+impl Scheduler for RoundRobinScheduler {
+    fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
+        for server in self.crash_plan.due(sim.time()) {
+            sim.crash_server(server)?;
+        }
+        let clients = sim.client_count() as u64;
+        if clients == 0 {
+            return Ok(false);
+        }
+        let start = self.next_client % clients;
+        // Pick the deliverable op whose client is closest after the cursor
+        // (wrapping), oldest op id first within a client.
+        let chosen = sim
+            .deliverable_ops()
+            .map(|p| {
+                let distance = (p.client.index() as u64 + clients - start) % clients;
+                (distance, p.op_id, p.client)
+            })
+            .min();
+        let Some((_, op_id, client)) = chosen else {
+            return Ok(false);
+        };
+        sim.deliver(op_id)?;
+        self.next_client = client.index() as u64 + 1;
+        self.steps += 1;
+        Ok(true)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// A scheduling restriction: decides which pending operations are withheld.
+///
+/// Implementations model the paper's adversarial environments — an operation
+/// for which [`BlockStrategy::blocks`] returns `true` is simply never chosen
+/// by the [`AdversarialScheduler`] while the strategy keeps blocking it (the
+/// strategy is consulted fresh on every step, so strategies may unblock at
+/// any time). Blocking is *allowed* to starve operations forever; that is the
+/// point — an `f`-tolerant emulation must make progress anyway as long as the
+/// blocked operations touch at most `f` servers.
+pub trait BlockStrategy: std::fmt::Debug {
+    /// Returns `true` when `op` must be withheld at this step.
+    fn blocks(&mut self, sim: &Simulation, op: &PendingOp) -> bool;
+
+    /// Short name used in reports and labels.
+    fn name(&self) -> &'static str {
+        "block-strategy"
+    }
+}
+
+/// Fair scheduling restricted by a [`BlockStrategy`].
+///
+/// Each step delivers a uniformly random deliverable operation among the ones
+/// the strategy does not block — the same seeded stream as [`FairDriver`],
+/// carved down by the strategy. With a strategy that never blocks it is
+/// byte-for-byte a `FairDriver`.
+#[derive(Debug)]
+pub struct AdversarialScheduler {
+    rng: StdRng,
+    crash_plan: CrashPlan,
+    strategy: Box<dyn BlockStrategy>,
+    steps: u64,
+    candidates: Vec<OpId>,
+}
+
+impl AdversarialScheduler {
+    /// Creates an adversarial scheduler with the given seed and strategy.
+    pub fn new(seed: u64, strategy: Box<dyn BlockStrategy>) -> Self {
+        AdversarialScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            crash_plan: CrashPlan::none(),
+            strategy,
+            steps: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Attaches a crash plan to the scheduler.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Number of delivery steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The strategy driving the block decisions.
+    pub fn strategy(&self) -> &dyn BlockStrategy {
+        self.strategy.as_ref()
+    }
+}
+
+impl Scheduler for AdversarialScheduler {
+    fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
+        for server in self.crash_plan.due(sim.time()) {
+            sim.crash_server(server)?;
+        }
+        let strategy = &mut self.strategy;
+        let candidates = &mut self.candidates;
+        candidates.clear();
+        candidates.extend(
+            sim.deliverable_ops()
+                .filter(|p| !strategy.blocks(sim, p))
+                .map(|p| p.op_id),
+        );
+        let Some(&chosen) = candidates.choose(&mut self.rng) else {
+            return Ok(false);
+        };
+        sim.deliver(chosen)?;
+        self.steps += 1;
+        Ok(true)
+    }
+
+    /// The strategy's name: an adversarial scheduler *is* its block
+    /// strategy, so reports group by strategy rather than by the generic
+    /// wrapper.
+    fn name(&self) -> &'static str {
+        self.strategy.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{ClientProtocol, Context, Delivery};
+    use crate::ids::{ObjectId, ServerId};
+    use crate::object::ObjectKind;
+    use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
+    use crate::sim::SimConfig;
+    use crate::topology::Topology;
+    use crate::value::Value;
+
+    /// Writes to all targets and completes once a majority of acks arrived.
+    struct MajorityWriter {
+        targets: Vec<ObjectId>,
+        acks: usize,
+    }
+
+    impl ClientProtocol for MajorityWriter {
+        fn on_invoke(&mut self, op: HighOp, ctx: &mut Context<'_>) {
+            if let HighOp::Write(v) = op {
+                self.acks = 0;
+                for b in &self.targets {
+                    ctx.trigger(*b, BaseOp::Write(Value::new(1, v)));
+                }
+            }
+        }
+
+        fn on_response(&mut self, delivery: Delivery, ctx: &mut Context<'_>) {
+            if delivery.response == BaseResponse::WriteAck {
+                self.acks += 1;
+                if self.acks == self.targets.len() / 2 + 1 && !ctx.has_completed() {
+                    ctx.complete(HighResponse::WriteAck);
+                }
+            }
+        }
+    }
+
+    fn build(n: usize, f: usize) -> (Simulation, Vec<ObjectId>) {
+        let mut t = Topology::new(n);
+        let objs = t.add_object_per_server(ObjectKind::Register);
+        (Simulation::new(t, SimConfig::with_fault_threshold(f)), objs)
+    }
+
+    fn spawn_write(sim: &mut Simulation, objs: Vec<ObjectId>) -> crate::ids::HighOpId {
+        let c = sim.register_client(Box::new(MajorityWriter {
+            targets: objs,
+            acks: 0,
+        }));
+        sim.invoke(c, HighOp::Write(1)).unwrap()
+    }
+
+    #[test]
+    fn round_robin_completes_and_is_deterministic() {
+        let run = |seed: u64| {
+            let (mut sim, objs) = build(5, 2);
+            let w = spawn_write(&mut sim, objs);
+            let mut sched = RoundRobinScheduler::new(seed);
+            sched.run_until_complete(&mut sim, w, 100).unwrap();
+            sched.run_until_quiescent(&mut sim, 100).unwrap();
+            assert_eq!(sim.pending_count(), 0);
+            sim.history().events().to_vec()
+        };
+        assert_eq!(run(3), run(3));
+    }
+
+    #[test]
+    fn round_robin_rotates_over_clients() {
+        let (mut sim, objs) = build(3, 1);
+        let a = sim.register_client(Box::new(MajorityWriter {
+            targets: objs.clone(),
+            acks: 0,
+        }));
+        let b = sim.register_client(Box::new(MajorityWriter {
+            targets: objs,
+            acks: 0,
+        }));
+        sim.invoke(a, HighOp::Write(1)).unwrap();
+        sim.invoke(b, HighOp::Write(2)).unwrap();
+        let mut sched = RoundRobinScheduler::new(0);
+        // Starting at client 0 the rotation must alternate a, b, a, b, …
+        let mut order = Vec::new();
+        for _ in 0..4 {
+            let before: Vec<_> = sim.pending_ops().map(|p| (p.op_id, p.client)).collect();
+            assert!(Scheduler::step(&mut sched, &mut sim).unwrap());
+            let after: Vec<_> = sim.pending_ops().map(|p| p.op_id).collect();
+            let delivered = before
+                .iter()
+                .find(|(id, _)| !after.contains(id))
+                .expect("one op delivered");
+            order.push(delivered.1.index());
+        }
+        assert_eq!(order, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_honors_crash_plans() {
+        let (mut sim, objs) = build(3, 1);
+        let w = spawn_write(&mut sim, objs);
+        let plan = CrashPlan::none().crash_at(0, ServerId::new(2));
+        let mut sched = RoundRobinScheduler::new(0).with_crash_plan(plan);
+        sched.run_until_complete(&mut sim, w, 100).unwrap();
+        assert!(sim.is_server_crashed(ServerId::new(2)));
+    }
+
+    /// Blocks everything on a fixed server.
+    #[derive(Debug)]
+    struct Silence(ServerId);
+    impl BlockStrategy for Silence {
+        fn blocks(&mut self, _sim: &Simulation, op: &PendingOp) -> bool {
+            op.server == self.0
+        }
+    }
+
+    #[test]
+    fn adversarial_scheduler_never_delivers_blocked_ops() {
+        let (mut sim, objs) = build(3, 1);
+        let w = spawn_write(&mut sim, objs);
+        let silenced = ServerId::new(2);
+        let mut sched = AdversarialScheduler::new(9, Box::new(Silence(silenced)));
+        sched.run_until_complete(&mut sim, w, 100).unwrap();
+        // Quiescence under the adversary: only the blocked op remains.
+        sched.run_until_quiescent(&mut sim, 100).unwrap();
+        assert_eq!(sim.pending_count(), 1);
+        assert_eq!(sim.pending_ops().next().unwrap().server, silenced);
+        assert_eq!(sched.strategy().name(), "block-strategy");
+    }
+
+    /// Never blocks anything.
+    #[derive(Debug)]
+    struct NoBlock;
+    impl BlockStrategy for NoBlock {
+        fn blocks(&mut self, _sim: &Simulation, _op: &PendingOp) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn adversarial_scheduler_with_noop_strategy_matches_fair_driver() {
+        let run = |adversarial: bool| {
+            let (mut sim, objs) = build(5, 2);
+            let w = spawn_write(&mut sim, objs);
+            if adversarial {
+                let mut s = AdversarialScheduler::new(42, Box::new(NoBlock));
+                s.run_until_complete(&mut sim, w, 100).unwrap();
+                s.run_until_quiescent(&mut sim, 100).unwrap();
+            } else {
+                let mut s = FairDriver::new(42);
+                s.run_until_complete(&mut sim, w, 100).unwrap();
+                s.run_until_quiescent(&mut sim, 100).unwrap();
+            }
+            sim.history().events().to_vec()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fair_driver_behaves_identically_through_the_trait() {
+        let run = |dynamic: bool| {
+            let (mut sim, objs) = build(5, 2);
+            let w = spawn_write(&mut sim, objs);
+            if dynamic {
+                let mut s: Box<dyn Scheduler> = Box::new(FairDriver::new(7));
+                s.run_until_complete(&mut sim, w, 100).unwrap();
+            } else {
+                let mut s = FairDriver::new(7);
+                s.run_until_complete(&mut sim, w, 100).unwrap();
+            }
+            sim.history().events().to_vec()
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

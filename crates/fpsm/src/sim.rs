@@ -191,6 +191,8 @@ pub struct Simulation {
     /// allocated densely, so the arena is append-only: a slot is pushed at
     /// invocation and filled in at return).
     high_results: Vec<Option<HighResponse>>,
+    /// Running count of filled `high_results` slots.
+    completed_high: usize,
     history: History,
     time: Time,
     next_op_id: u64,
@@ -212,6 +214,7 @@ impl Simulation {
             clients: Vec::new(),
             pending: PendingSlab::default(),
             high_results: Vec::new(),
+            completed_high: 0,
             history: History::new(),
             time: 0,
             next_op_id: 0,
@@ -337,6 +340,29 @@ impl Simulation {
         self.pending
             .iter()
             .filter(move |p| !self.is_server_crashed(p.server))
+    }
+
+    /// An owned snapshot of the pending low-level operations, in ascending id
+    /// order.
+    ///
+    /// O(pending): the live pending set is materialized directly from the
+    /// simulation's slab. Checkers and drivers that need "what is in flight
+    /// right now" should call this instead of re-deriving the set from the
+    /// event log via [`crate::history::History::pending_low_level`], which is
+    /// O(events).
+    pub fn pending_snapshot(&self) -> Vec<PendingOp> {
+        self.pending.iter().copied().collect()
+    }
+
+    /// Number of high-level operations invoked so far (completed or not).
+    pub fn invoked_high_count(&self) -> usize {
+        self.high_results.len()
+    }
+
+    /// Number of high-level operations that have completed so far. O(1):
+    /// maintained incrementally, never derived by scanning.
+    pub fn completed_high_count(&self) -> usize {
+        self.completed_high
     }
 
     // ----- transitions -----------------------------------------------------
@@ -565,6 +591,7 @@ impl Simulation {
                 .completed
                 .push((high_id, op, response));
             self.high_results[high_id.index() as usize] = Some(response);
+            self.completed_high += 1;
             Some((high_id, response))
         } else {
             None
@@ -838,6 +865,44 @@ mod tests {
         assert_eq!(r, HighOpId::new(10));
         assert_eq!(sim.result_of(r), None);
         assert_eq!(sim.result_of(HighOpId::new(99)), None);
+    }
+
+    #[test]
+    fn pending_snapshot_matches_the_history_derived_set() {
+        let mut t = Topology::new(3);
+        let objs = t.add_object_per_server(ObjectKind::Register);
+        let mut sim = Simulation::new(t, SimConfig::unchecked());
+        for (i, obj) in objs.iter().enumerate() {
+            let c = sim.register_client(Box::new(SingleRegisterClient { target: *obj }));
+            sim.invoke(c, HighOp::Write(i as u64)).unwrap();
+        }
+        // Deliver one, leaving two pending.
+        let first = sim.pending_ops().next().unwrap().op_id;
+        sim.deliver(first).unwrap();
+
+        let snapshot = sim.pending_snapshot();
+        assert_eq!(snapshot.len(), sim.pending_count());
+        // Ascending id order, and exactly the set the O(events) scan finds.
+        let ids: Vec<_> = snapshot.iter().map(|p| p.op_id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        let from_history: Vec<_> = sim.history().pending_low_level().into_iter().collect();
+        assert_eq!(ids, from_history);
+    }
+
+    #[test]
+    fn completion_counters_track_invoked_and_completed_ops() {
+        let (mut sim, b) = simple_sim();
+        let c = sim.register_client(Box::new(SingleRegisterClient { target: b }));
+        assert_eq!(sim.invoked_high_count(), 0);
+        assert_eq!(sim.completed_high_count(), 0);
+        sim.invoke(c, HighOp::Write(1)).unwrap();
+        assert_eq!(sim.invoked_high_count(), 1);
+        assert_eq!(sim.completed_high_count(), 0);
+        let op = sim.pending_ops().next().unwrap().op_id;
+        sim.deliver(op).unwrap();
+        assert_eq!(sim.completed_high_count(), 1);
     }
 
     #[test]

@@ -39,6 +39,21 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// A workload from explicit operation steps (used verbatim by the
+    /// runner). The reader-client count is derived from the highest reader
+    /// index the steps reference.
+    pub fn from_steps(ops: Vec<WorkloadOp>) -> Self {
+        let readers = ops
+            .iter()
+            .filter_map(|o| match o.issuer {
+                Issuer::Reader(i) => Some(i + 1),
+                Issuer::Writer(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        Workload { ops, readers }
+    }
+
     /// The operations, in issue order.
     pub fn ops(&self) -> &[WorkloadOp] {
         &self.ops

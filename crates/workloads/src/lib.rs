@@ -1,35 +1,41 @@
-//! # regemu-workloads — workload generation and experiment running
+//! # regemu-workloads — scenarios, workload generation and sweeps
 //!
 //! Glue between the emulation algorithms (`regemu-core`), the fault-prone
 //! shared-memory simulator (`regemu-fpsm`), the consistency checkers
 //! (`regemu-spec`) and the adversary (`regemu-adversary`):
 //!
+//! * [`scenario::Scenario`] — **the** entry point: one typed value that
+//!   fully determines a run (emulation × workload × scheduler × crashes ×
+//!   check × seed), built into an incrementally drivable
+//!   [`scenario::ScenarioRun`];
 //! * [`generator::Workload`] — deterministic workload generators
-//!   (write-sequential, read-heavy, random mixed, concurrent);
-//! * [`runner::run_workload`] — execute a workload against an emulation
-//!   under a seeded fair scheduler with optional crash plan, measure the
-//!   space consumption and check a consistency condition;
-//! * [`sweep::run_sweep`] — fan a `(k, f, n) × emulation × workload × seed`
-//!   grid out across worker threads and aggregate the measurements into a
-//!   deterministic [`sweep::SweepReport`] (JSON/CSV serializable);
+//!   (write-sequential, read-heavy, random mixed, concurrent, explicit);
+//! * [`sweep::run_sweep`] — fan a `(k, f, n) × emulation × workload ×
+//!   scheduler × crash-plan × seed` grid out across worker threads and
+//!   aggregate the measurements into a deterministic [`sweep::SweepReport`]
+//!   (JSON/CSV serializable);
 //! * [`table`] — parameter sweeps and plain-text table rendering used by the
 //!   experiment binaries in `regemu-bench`.
 //!
-//! ## The runner contract
+//! ## The scenario contract
 //!
-//! [`runner::run_workload`] is the single execution path every experiment,
-//! sweep case and bench goes through. Given an emulation, a workload and a
-//! [`runner::RunConfig`], it guarantees:
+//! [`scenario::Scenario`] is the single execution path every experiment,
+//! sweep case and bench goes through (the deprecated [`runner::run_workload`]
+//! is a thin shim over the same engine). Given a scenario value, the run it
+//! builds guarantees:
 //!
 //! 1. **Seeded scheduling** — all nondeterminism (delivery order, workload
-//!    mix) flows from `RunConfig::seed`; the same inputs replay the same
-//!    run, event for event.
+//!    mix) flows from the scenario seed; the same scenario replays the same
+//!    run, event for event, under any [`regemu_fpsm::Scheduler`].
 //! 2. **Sequential clients** — each client's high-level operations are
 //!    issued one at a time (waiting for the previous one when the workload
-//!    marks an op `sequential`), as the model requires.
-//! 3. **Optional crash injection** — the [`regemu_fpsm::CrashPlan`] crashes
-//!    servers at fixed logical times, within the emulation's fault budget.
-//! 4. **Measurement** — the returned [`runner::RunReport`] carries the
+//!    marks an op `sequential`), as the model requires. In-flight operations
+//!    are tracked through the simulation's per-client state, O(1) per query.
+//! 3. **Crash injection** — a [`scenario::CrashPlanSpec`] (or explicit
+//!    [`regemu_fpsm::CrashPlan`]) crashes servers at fixed logical times,
+//!    within the emulation's fault budget; [`scenario::ScenarioRun`] also
+//!    allows crashing mid-run.
+//! 4. **Measurement** — the resulting [`runner::RunReport`] carries the
 //!    [`regemu_fpsm::RunMetrics`] (resource consumption, coverage, point
 //!    contention, trigger/response counts) and the high-level schedule.
 //! 5. **Checking** — when a [`runner::ConsistencyCheck`] is selected, the
@@ -39,14 +45,16 @@
 //!
 //! ```
 //! use regemu_workloads::prelude::*;
-//! use regemu_core::{Emulation, SpaceOptimalEmulation};
+//! use regemu_core::EmulationKind;
 //! use regemu_bounds::Params;
 //!
-//! let emulation = SpaceOptimalEmulation::new(Params::new(2, 1, 4)?);
-//! let workload = Workload::write_sequential(2, 1, true);
-//! let report = run_workload(&emulation, &workload, &RunConfig::with_seed(7))?;
+//! let report = Scenario::new(Params::new(2, 1, 4)?)
+//!     .emulation(EmulationKind::SpaceOptimal)
+//!     .workload(WorkloadSpec::WriteSequential { rounds: 1, read_after_each: true })
+//!     .scheduler(SchedulerSpec::Fair)
+//!     .seed(7)
+//!     .run()?;
 //! assert!(report.is_consistent());
-//! assert_eq!(report.metrics.resource_consumption(), emulation.base_object_count());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -55,11 +63,15 @@
 
 pub mod generator;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 pub mod table;
 
 pub use generator::{Issuer, Workload, WorkloadOp};
-pub use runner::{run_workload, ConsistencyCheck, RunConfig, RunReport};
+#[allow(deprecated)]
+pub use runner::run_workload;
+pub use runner::{ConsistencyCheck, RunConfig, RunReport};
+pub use scenario::{drive, CrashPlanSpec, Scenario, ScenarioRun, SchedulerSpec};
 pub use sweep::{
     run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
 };
@@ -67,8 +79,11 @@ pub use table::{small_sweep, standard_sweep, TextTable};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
-    pub use crate::generator::{Issuer, Workload};
-    pub use crate::runner::{run_workload, ConsistencyCheck, RunConfig, RunReport};
+    pub use crate::generator::{Issuer, Workload, WorkloadOp};
+    #[allow(deprecated)]
+    pub use crate::runner::run_workload;
+    pub use crate::runner::{ConsistencyCheck, RunConfig, RunReport};
+    pub use crate::scenario::{drive, CrashPlanSpec, Scenario, ScenarioRun, SchedulerSpec};
     pub use crate::sweep::{
         run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
     };

@@ -1,19 +1,18 @@
 //! Experiment runner: execute a workload against an emulation and measure it.
 //!
-//! [`run_workload`] drives an [`Emulation`] with a [`Workload`] under a
-//! seeded fair scheduler (optionally with a crash plan), records the run,
-//! measures its space consumption and — if requested — checks the resulting
-//! schedule against a consistency condition.
+//! The run pipeline lives in [`crate::scenario`] — a [`crate::Scenario`] is
+//! the one typed value that fully determines a run (emulation, workload,
+//! scheduler, crashes, check, seed). This module keeps the pieces that are
+//! shared with it ([`ConsistencyCheck`], [`RunReport`]) plus the deprecated
+//! [`run_workload`] entry point, which is now a thin shim over the same
+//! engine.
 
-use crate::generator::{Issuer, Workload};
+use crate::generator::Workload;
 use regemu_bounds::Params;
 use regemu_core::Emulation;
-use regemu_fpsm::{ClientId, CrashPlan, FairDriver, HighOpId, RunMetrics, SimError, Simulation};
-use regemu_spec::{
-    check_linearizable, check_ws_regular, check_ws_safe, HighHistory, SequentialSpec, Violation,
-};
+use regemu_fpsm::{CrashPlan, FairDriver, RunMetrics, SimError};
+use regemu_spec::{HighHistory, Violation};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Which consistency condition to verify after the run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -90,6 +89,8 @@ impl RunConfig {
 pub struct RunReport {
     /// Name of the emulation that was exercised.
     pub emulation: String,
+    /// Name of the scheduler that drove the run.
+    pub scheduler: String,
     /// Its `(k, f, n)` parameters.
     pub params: Params,
     /// Number of base objects the emulation provisioned.
@@ -114,98 +115,42 @@ impl RunReport {
 
 /// Runs `workload` against `emulation` under `config`.
 ///
+/// Kept for one release as a thin shim over the [`crate::scenario`] engine:
+/// a [`crate::Scenario`] value (or [`crate::scenario::drive`] for custom
+/// emulation instances and schedulers) expresses everything this entry point
+/// did, plus pluggable schedulers and incremental stepping. The produced
+/// histories are byte-identical to the pre-`Scenario` runner for the same
+/// seeds — pinned by the golden-trace suite.
+///
 /// # Errors
 ///
 /// Returns a [`SimError`] if some operation cannot complete within the step
 /// budget (e.g. because the crash plan exceeds what the emulation tolerates).
+#[deprecated(
+    since = "0.2.0",
+    note = "compose a `Scenario` (or use `scenario::drive` for a custom emulation \
+            instance or scheduler) instead"
+)]
 pub fn run_workload(
     emulation: &dyn Emulation,
     workload: &Workload,
     config: &RunConfig,
 ) -> Result<RunReport, SimError> {
-    let params = emulation.params();
-    let mut sim = emulation.build_simulation();
-    let mut driver = FairDriver::new(config.seed).with_crash_plan(config.crash_plan.clone());
-
-    // Register one client per writer identity and per reader slot, lazily.
-    let mut writer_clients: HashMap<usize, ClientId> = HashMap::new();
-    let mut reader_clients: HashMap<usize, ClientId> = HashMap::new();
-    let mut completed: usize = 0;
-    let mut outstanding: Vec<(ClientId, HighOpId)> = Vec::new();
-
-    for step in workload.ops() {
-        let client = match step.issuer {
-            Issuer::Writer(i) => *writer_clients
-                .entry(i % params.k)
-                .or_insert_with(|| sim.register_client(emulation.writer_protocol(i % params.k))),
-            Issuer::Reader(i) => *reader_clients
-                .entry(i)
-                .or_insert_with(|| sim.register_client(emulation.reader_protocol())),
-        };
-        // A client's schedule must be sequential: wait for its previous
-        // operation if it is still running.
-        if !sim.is_client_idle(client) {
-            if let Some((_, pending)) = outstanding.iter().find(|(c, _)| *c == client).copied() {
-                driver.run_until_complete(&mut sim, pending, config.max_steps_per_op)?;
-            }
-        }
-        outstanding.retain(|(_, op)| sim.result_of(*op).is_none());
-
-        let high_op = sim.invoke(client, step.op)?;
-        if step.sequential {
-            driver.run_until_complete(&mut sim, high_op, config.max_steps_per_op)?;
-            completed += 1;
-        } else {
-            outstanding.push((client, high_op));
-        }
-    }
-
-    // Finish whatever is still in flight.
-    for (_, high_op) in outstanding.drain(..) {
-        driver.run_until_complete(&mut sim, high_op, config.max_steps_per_op)?;
-        completed += 1;
-    }
-    if config.drain {
-        driver.run_until_quiescent(&mut sim, config.max_steps_per_op)?;
-    }
-
-    finish(emulation, params, &sim, completed, config)
+    let mut scheduler = FairDriver::new(config.seed).with_crash_plan(config.crash_plan.clone());
+    crate::scenario::drive(
+        emulation,
+        workload,
+        &mut scheduler,
+        config.check,
+        config.max_steps_per_op,
+        config.drain,
+    )
 }
 
-fn finish(
-    emulation: &dyn Emulation,
-    params: Params,
-    sim: &Simulation,
-    completed_sequential: usize,
-    config: &RunConfig,
-) -> Result<RunReport, SimError> {
-    let metrics = RunMetrics::capture(sim);
-    let history = HighHistory::from_run(sim.history());
-    let completed_ops = history
-        .ops()
-        .iter()
-        .filter(|o| o.is_complete())
-        .count()
-        .max(completed_sequential);
-    let spec = SequentialSpec::register();
-    let check_violation = match config.check {
-        ConsistencyCheck::None => None,
-        ConsistencyCheck::WsSafe => check_ws_safe(&history, &spec).err(),
-        ConsistencyCheck::WsRegular => check_ws_regular(&history, &spec).err(),
-        ConsistencyCheck::Atomic => check_linearizable(&history, &spec).err(),
-    };
-    Ok(RunReport {
-        emulation: emulation.name().to_string(),
-        params,
-        provisioned_objects: emulation.base_object_count(),
-        metrics,
-        completed_ops,
-        check_violation,
-        history,
-    })
-}
-
+// The deprecated shim keeps its original test suite: these tests prove the
+// shim still behaves exactly like the old entry point.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use regemu_core::{all_emulations, AbdMaxRegisterEmulation, SpaceOptimalEmulation};

@@ -1,9 +1,10 @@
 //! Parallel, deterministic parameter sweeps.
 //!
-//! A sweep fans a `(k, f, n) × emulation × workload × seed` grid out across
-//! `std::thread` workers and aggregates the per-case measurements into a
-//! [`SweepReport`]. Every case is *fully independent*: the worker builds its
-//! own emulation instance, workload and seeded driver, so the report is a
+//! A sweep fans a `(k, f, n) × emulation × workload × scheduler ×
+//! crash-plan × seed` grid out across `std::thread` workers and aggregates
+//! the per-case measurements into a [`SweepReport`]. Every case is one
+//! [`crate::Scenario`] — *fully independent*: the worker builds its own
+//! emulation instance, workload and seeded scheduler, so the report is a
 //! pure function of the [`SweepConfig`] — running with 1 worker or 64
 //! produces byte-identical [`SweepReport::to_json`] / [`SweepReport::to_csv`]
 //! output. Workers pull cases from a shared atomic cursor (work stealing),
@@ -21,71 +22,16 @@
 //! ```
 
 use crate::generator::Workload;
-use crate::runner::{run_workload, ConsistencyCheck, RunConfig};
+use crate::runner::ConsistencyCheck;
+use crate::scenario::{CrashPlanSpec, Scenario, SchedulerSpec};
 use crate::table::small_sweep;
 use regemu_bounds::Params;
-use regemu_core::{
-    AbdCasEmulation, AbdMaxRegisterEmulation, Emulation, RegisterBankEmulation,
-    SpaceOptimalEmulation,
-};
-use regemu_fpsm::{CrashPlan, ServerId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Which emulation construction a sweep case runs.
-///
-/// A `Box<dyn Emulation>` is not `Send`, so sweeps describe the construction
-/// by kind and each worker thread builds its own instance — which also keeps
-/// every case hermetic.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
-pub enum EmulationKind {
-    /// Multi-writer ABD over one max-register per server (Table 1, row 1).
-    AbdMaxRegister,
-    /// Multi-writer ABD over one CAS object per server (Table 1, row 2).
-    AbdCas,
-    /// The paper's space-optimal register construction (Algorithm 2).
-    SpaceOptimal,
-    /// ABD over per-server banks of plain registers (the naive baseline).
-    RegisterBank,
-}
-
-impl EmulationKind {
-    /// Every kind, in Table 1 order.
-    pub const ALL: [EmulationKind; 4] = [
-        EmulationKind::AbdMaxRegister,
-        EmulationKind::AbdCas,
-        EmulationKind::SpaceOptimal,
-        EmulationKind::RegisterBank,
-    ];
-
-    /// Builds a fresh instance of this construction for `params`.
-    pub fn build(self, params: Params) -> Box<dyn Emulation> {
-        match self {
-            EmulationKind::AbdMaxRegister => Box::new(AbdMaxRegisterEmulation::new(params, false)),
-            EmulationKind::AbdCas => Box::new(AbdCasEmulation::new(params, false)),
-            EmulationKind::SpaceOptimal => Box::new(SpaceOptimalEmulation::new(params)),
-            EmulationKind::RegisterBank => Box::new(RegisterBankEmulation::new(params, false)),
-        }
-    }
-
-    /// Stable short name used in reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            EmulationKind::AbdMaxRegister => "abd-max-register",
-            EmulationKind::AbdCas => "abd-cas",
-            EmulationKind::SpaceOptimal => "space-optimal",
-            EmulationKind::RegisterBank => "register-bank",
-        }
-    }
-}
-
-impl fmt::Display for EmulationKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
-    }
-}
+pub use regemu_core::EmulationKind;
 
 /// A workload shape, instantiated per case with the case's `k` and seed.
 ///
@@ -184,8 +130,8 @@ impl fmt::Display for WorkloadSpec {
 }
 
 /// Declarative description of a sweep: the full cross product of
-/// `grid × emulations × workloads × seeds` is run, each point as one
-/// independent, deterministic case.
+/// `grid × emulations × workloads × schedulers × crash_plans × seeds` is
+/// run, each point as one independent, deterministic [`Scenario`].
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
     /// Parameter points `(k, f, n)` to sweep.
@@ -194,14 +140,14 @@ pub struct SweepConfig {
     pub emulations: Vec<EmulationKind>,
     /// Workload shapes to run for each construction.
     pub workloads: Vec<WorkloadSpec>,
+    /// Schedulers driving the runs; each is a separate case.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Crash plans injected into the runs; each is a separate case.
+    pub crash_plans: Vec<CrashPlanSpec>,
     /// Scheduler seeds; each seed is a separate case.
     pub seeds: Vec<u64>,
     /// Consistency condition verified after every run.
     pub check: ConsistencyCheck,
-    /// When `true`, each case crashes `f` servers (the highest-numbered
-    /// ones, at logical times 5, 10, …) — exercising exactly the fault
-    /// budget the construction must tolerate.
-    pub crash_f: bool,
     /// Per-operation step budget before a case is reported as stuck.
     pub max_steps_per_op: u64,
     /// Worker threads; `0` means one per available CPU core.
@@ -211,7 +157,7 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// A small but representative default: the CI-sized `(k, f, n)` grid ×
     /// all four constructions × a write-sequential and a mixed workload ×
-    /// two seeds (96 cases).
+    /// two seeds under the fair scheduler, failure-free (96 cases).
     pub fn standard() -> Self {
         SweepConfig {
             grid: small_sweep(),
@@ -227,9 +173,10 @@ impl SweepConfig {
                     write_percent: 50,
                 },
             ],
+            schedulers: vec![SchedulerSpec::Fair],
+            crash_plans: vec![CrashPlanSpec::None],
             seeds: vec![1, 2],
             check: ConsistencyCheck::WsRegular,
-            crash_f: false,
             max_steps_per_op: 100_000,
             threads: 0,
         }
@@ -255,9 +202,10 @@ impl SweepConfig {
                     write_percent: 50,
                 },
             ],
+            schedulers: vec![SchedulerSpec::Fair],
+            crash_plans: vec![CrashPlanSpec::None],
             seeds: vec![7],
             check: ConsistencyCheck::WsRegular,
-            crash_f: false,
             max_steps_per_op: 100_000,
             threads: 0,
         }
@@ -265,24 +213,35 @@ impl SweepConfig {
 
     /// Number of cases the cross product expands to.
     pub fn case_count(&self) -> usize {
-        self.grid.len() * self.emulations.len() * self.workloads.len() * self.seeds.len()
+        self.grid.len()
+            * self.emulations.len()
+            * self.workloads.len()
+            * self.schedulers.len()
+            * self.crash_plans.len()
+            * self.seeds.len()
     }
 
     /// Expands the cross product into concrete cases, in a stable order
-    /// (grid-major, then emulation, workload, seed).
+    /// (grid-major, then emulation, workload, scheduler, crash plan, seed).
     pub fn cases(&self) -> Vec<SweepCase> {
         let mut cases = Vec::with_capacity(self.case_count());
         for &params in &self.grid {
             for &emulation in &self.emulations {
                 for workload in &self.workloads {
-                    for &seed in &self.seeds {
-                        cases.push(SweepCase {
-                            index: cases.len(),
-                            params,
-                            emulation,
-                            workload: *workload,
-                            seed,
-                        });
+                    for &scheduler in &self.schedulers {
+                        for &crashes in &self.crash_plans {
+                            for &seed in &self.seeds {
+                                cases.push(SweepCase {
+                                    index: cases.len(),
+                                    params,
+                                    emulation,
+                                    workload: *workload,
+                                    scheduler,
+                                    crashes,
+                                    seed,
+                                });
+                            }
+                        }
                     }
                 }
             }
@@ -314,8 +273,26 @@ pub struct SweepCase {
     pub emulation: EmulationKind,
     /// Workload shape.
     pub workload: WorkloadSpec,
+    /// Scheduler driving the run.
+    pub scheduler: SchedulerSpec,
+    /// Crash plan injected into the run.
+    pub crashes: CrashPlanSpec,
     /// Scheduler (and workload-generator) seed.
     pub seed: u64,
+}
+
+impl SweepCase {
+    /// The [`Scenario`] this case describes; running it is the case.
+    pub fn scenario(&self, check: ConsistencyCheck, max_steps_per_op: u64) -> Scenario {
+        Scenario::new(self.params)
+            .emulation(self.emulation)
+            .workload(self.workload)
+            .scheduler(self.scheduler)
+            .crashes(self.crashes)
+            .check(check)
+            .seed(self.seed)
+            .max_steps_per_op(max_steps_per_op)
+    }
 }
 
 /// The measured outcome of one sweep case.
@@ -347,25 +324,8 @@ pub struct CaseResult {
 }
 
 fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
-    let emulation = case.emulation.build(case.params);
-    let workload = case.workload.instantiate(case.params.k, case.seed);
-    let mut crash_plan = CrashPlan::none();
-    if config.crash_f {
-        for i in 0..case.params.f {
-            // Crash the highest-numbered servers so quorum-critical low ids
-            // survive; times 5, 10, … land inside the run.
-            let server = ServerId::new(case.params.n - 1 - i);
-            crash_plan = crash_plan.crash_at(5 * (i as u64 + 1), server);
-        }
-    }
-    let run_config = RunConfig {
-        seed: case.seed,
-        crash_plan,
-        max_steps_per_op: config.max_steps_per_op,
-        check: config.check,
-        drain: false,
-    };
-    match run_workload(emulation.as_ref(), &workload, &run_config) {
+    let scenario = case.scenario(config.check, config.max_steps_per_op);
+    match scenario.run() {
         Ok(report) => CaseResult {
             case: *case,
             provisioned_objects: report.provisioned_objects,
@@ -381,7 +341,7 @@ fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
         },
         Err(e) => CaseResult {
             case: *case,
-            provisioned_objects: emulation.base_object_count(),
+            provisioned_objects: case.emulation.build(case.params).base_object_count(),
             resource_consumption: 0,
             covered: 0,
             point_contention: 0,
@@ -438,7 +398,8 @@ impl SweepReport {
             let c = &r.case;
             out.push_str(&format!(
                 "    {{\"index\": {}, \"emulation\": \"{}\", \"k\": {}, \"f\": {}, \"n\": {}, \
-                 \"workload\": \"{}\", \"seed\": {}, \"provisioned\": {}, \"consumption\": {}, \
+                 \"workload\": \"{}\", \"scheduler\": \"{}\", \"crashes\": \"{}\", \"seed\": {}, \
+                 \"provisioned\": {}, \"consumption\": {}, \
                  \"covered\": {}, \"contention\": {}, \"triggers\": {}, \"responses\": {}, \
                  \"completed\": {}, \"consistent\": {}, \"violation\": {}, \"error\": {}}}{}\n",
                 c.index,
@@ -447,6 +408,8 @@ impl SweepReport {
                 c.params.f,
                 c.params.n,
                 json_escape(&c.workload.label()),
+                c.scheduler.name(),
+                c.crashes.name(),
                 c.seed,
                 r.provisioned_objects,
                 r.resource_consumption,
@@ -474,19 +437,21 @@ impl SweepReport {
     /// Deterministic for identical configs regardless of worker count.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,emulation,k,f,n,workload,seed,provisioned,consumption,covered,contention,\
-             triggers,responses,completed,consistent,violation,error\n",
+            "index,emulation,k,f,n,workload,scheduler,crashes,seed,provisioned,consumption,\
+             covered,contention,triggers,responses,completed,consistent,violation,error\n",
         );
         for r in &self.results {
             let c = &r.case;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.index,
                 c.emulation.name(),
                 c.params.k,
                 c.params.f,
                 c.params.n,
                 csv_field(&c.workload.label()),
+                c.scheduler.name(),
+                c.crashes.name(),
                 c.seed,
                 r.provisioned_objects,
                 r.resource_consumption,
@@ -604,11 +569,33 @@ mod tests {
     }
 
     #[test]
-    fn crash_f_cases_survive_and_stay_consistent() {
+    fn scheduler_axis_sweeps_deterministically_across_worker_counts() {
         let mut config = SweepConfig::quick();
-        config.crash_f = true;
+        config.grid.truncate(2);
+        config.workloads.truncate(1);
+        config.schedulers = SchedulerSpec::ALL.to_vec();
+        config.threads = 1;
+        let single = run_sweep(&config);
+        assert_eq!(single.len(), config.case_count());
+        assert_eq!(single.len(), 2 * 4 * 1 * 4 * 1 * 1);
+        assert!(single.all_consistent(), "{:?}", single.failures().next());
+        config.threads = 4;
+        let multi = run_sweep(&config);
+        assert_eq!(single.to_json(), multi.to_json());
+        assert_eq!(single.to_csv(), multi.to_csv());
+        // Every scheduler actually appears in the serialized report.
+        for s in SchedulerSpec::ALL {
+            assert!(single.to_csv().contains(s.name()), "{} missing", s.name());
+        }
+    }
+
+    #[test]
+    fn crash_plan_axis_cases_survive_and_stay_consistent() {
+        let mut config = SweepConfig::quick();
+        config.crash_plans = CrashPlanSpec::ALL.to_vec();
         config.threads = 2;
         let report = run_sweep(&config);
+        assert_eq!(report.len(), 48);
         assert!(report.all_consistent(), "{:?}", report.failures().next());
     }
 
@@ -620,9 +607,11 @@ mod tests {
         let json = report.to_json();
         assert_eq!(json.matches("\"index\":").count(), report.len());
         assert!(json.contains("\"case_count\": 24"));
+        assert!(json.contains("\"scheduler\": \"fair\""));
+        assert!(json.contains("\"crashes\": \"none\""));
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), report.len() + 1);
-        assert!(csv.starts_with("index,emulation,k,f,n,workload"));
+        assert!(csv.starts_with("index,emulation,k,f,n,workload,scheduler,crashes,seed"));
     }
 
     #[test]

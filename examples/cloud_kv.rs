@@ -7,109 +7,87 @@
 //! The paper's motivation is cloud storage built from fault-prone servers
 //! whose interfaces are limited to basic read/write (network-attached disks)
 //! or simple conditional updates (CAS). This example builds a tiny replicated
-//! key-value cell — one emulated register per key — and compares the space
-//! cost of three server interfaces side by side:
+//! key-value cell — one emulated register per key, each key one [`Scenario`]
+//! — and compares the space cost of three server interfaces side by side:
 //!
 //! * plain read/write registers (Algorithm 2),
 //! * max-registers (multi-writer ABD),
 //! * CAS (ABD with Algorithm 1 per server).
 //!
 //! It then runs the same update/lookup workload against each backend, with a
-//! server crash in the middle, and verifies the observed schedule.
+//! disk crash injected mid-run, and verifies every observed schedule.
 
 use regemu::prelude::*;
-use std::collections::BTreeMap;
 
-/// A replicated key-value cell: one emulated register per key.
-struct KvCell<'a> {
-    emulation: &'a dyn Emulation,
-    sims: BTreeMap<&'static str, Simulation>,
-    writers: BTreeMap<&'static str, Vec<ClientId>>,
-    readers: BTreeMap<&'static str, ClientId>,
-    driver: FairDriver,
+/// One key's workload: tenant updates followed by a lookup.
+/// `(tenant, value)` pairs become writes; the final read is the lookup.
+fn key_workload(updates: &[(usize, u64)]) -> Workload {
+    let mut steps: Vec<WorkloadOp> = updates
+        .iter()
+        .map(|&(tenant, value)| WorkloadOp {
+            issuer: Issuer::Writer(tenant),
+            op: HighOp::Write(value),
+            sequential: true,
+        })
+        .collect();
+    steps.push(WorkloadOp {
+        issuer: Issuer::Reader(0),
+        op: HighOp::Read,
+        sequential: true,
+    });
+    Workload::from_steps(steps)
 }
 
-impl<'a> KvCell<'a> {
-    fn new(emulation: &'a dyn Emulation, keys: &[&'static str], seed: u64) -> Self {
-        let mut sims = BTreeMap::new();
-        let mut writers = BTreeMap::new();
-        let mut readers = BTreeMap::new();
-        for key in keys {
-            let mut sim = emulation.build_simulation();
-            let ws: Vec<ClientId> = (0..emulation.params().k)
-                .map(|i| sim.register_client(emulation.writer_protocol(i)))
-                .collect();
-            let r = sim.register_client(emulation.reader_protocol());
-            sims.insert(*key, sim);
-            writers.insert(*key, ws);
-            readers.insert(*key, r);
-        }
-        KvCell {
-            emulation,
-            sims,
-            writers,
-            readers,
-            driver: FairDriver::new(seed),
-        }
-    }
+fn exercise(kind: EmulationKind, params: Params) -> Result<(), Box<dyn std::error::Error>> {
+    // Keys and their tenant updates; the last write per key is the expected
+    // lookup result.
+    let keys: [(&str, Vec<(usize, u64)>); 3] = [
+        ("users/alice", vec![(0, 1001), (1, 1002)]),
+        ("users/bob", vec![(1, 2001)]),
+        ("billing/invoice-7", vec![(2, 777)]),
+    ];
 
-    fn put(&mut self, key: &'static str, tenant: usize, value: u64) -> Result<(), SimError> {
-        let sim = self.sims.get_mut(key).expect("unknown key");
-        let client = self.writers[key][tenant % self.emulation.params().k];
-        let op = sim.invoke(client, HighOp::Write(value))?;
-        self.driver.run_until_complete(sim, op, 100_000)
-    }
-
-    fn get(&mut self, key: &'static str) -> Result<u64, SimError> {
-        let sim = self.sims.get_mut(key).expect("unknown key");
-        let op = sim.invoke(self.readers[key], HighOp::Read)?;
-        self.driver.run_until_complete(sim, op, 100_000)?;
-        Ok(sim.result_of(op).and_then(|r| r.payload()).unwrap_or(0))
-    }
-
-    fn crash_disk(&mut self, server: usize) -> Result<(), SimError> {
-        for sim in self.sims.values_mut() {
-            sim.crash_server(ServerId::new(server))?;
-        }
-        Ok(())
-    }
-
-    fn space_per_key(&self) -> usize {
-        self.emulation.base_object_count()
-    }
-
-    fn verify(&self) -> Result<(), Violation> {
-        for sim in self.sims.values() {
-            let history = HighHistory::from_run(sim.history());
-            check_ws_regular(&history, &SequentialSpec::register())?;
-        }
-        Ok(())
-    }
-}
-
-fn exercise(emulation: &dyn Emulation) -> Result<(), Box<dyn std::error::Error>> {
-    let keys = ["users/alice", "users/bob", "billing/invoice-7"];
-    let mut cell = KvCell::new(emulation, &keys, 7);
-
+    let backend = kind.build(params);
     println!(
         "backend {:<18} [{}]: {} base objects per key, {} per 3-key cell",
-        emulation.name(),
-        emulation.base_object_kind(),
-        cell.space_per_key(),
-        3 * cell.space_per_key(),
+        kind.name(),
+        backend.base_object_kind(),
+        backend.base_object_count(),
+        3 * backend.base_object_count(),
     );
 
-    // Three tenants (writers) update the keys; one disk crashes mid-way.
-    cell.put("users/alice", 0, 1001)?;
-    cell.put("users/bob", 1, 2001)?;
-    cell.crash_disk(emulation.params().n - 1)?;
-    cell.put("billing/invoice-7", 2, 777)?;
-    cell.put("users/alice", 1, 1002)?;
+    for (key, updates) in &keys {
+        let expected = updates.last().expect("every key has updates").1;
+        let scenario = Scenario::new(params)
+            .emulation(kind)
+            .workload_steps(key_workload(updates))
+            .check(ConsistencyCheck::WsRegular)
+            .seed(7);
 
-    assert_eq!(cell.get("users/alice")?, 1002);
-    assert_eq!(cell.get("users/bob")?, 2001);
-    assert_eq!(cell.get("billing/invoice-7")?, 777);
-    cell.verify()?;
+        // Drive the key's scenario, crashing a disk after the first update
+        // has landed (f = 1: the cell keeps serving).
+        let mut run = scenario.build();
+        while run.completed_ops() < 1 {
+            run.step()?;
+        }
+        run.crash_server(ServerId::new(params.n - 1))?;
+        run.run()?;
+
+        let looked_up = run
+            .history()
+            .intervals()
+            .last()
+            .and_then(|read| read.returned.and_then(|(_, v)| v.payload()))
+            .expect("lookup completed");
+        assert_eq!(looked_up, expected, "{key}: wrong lookup after crash");
+
+        let report = run.into_report();
+        assert!(
+            report.is_consistent(),
+            "{key}: {:?}",
+            report.check_violation
+        );
+    }
     println!("    lookups correct after a disk crash, schedules WS-Regular ✔");
     Ok(())
 }
@@ -120,13 +98,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::new(3, 1, 5)?;
     println!("replicated KV cell with {params}\n");
 
-    let register_backend = SpaceOptimalEmulation::new(params);
-    let max_register_backend = AbdMaxRegisterEmulation::new(params, false);
-    let cas_backend = AbdCasEmulation::new(params, false);
-
-    exercise(&register_backend)?;
-    exercise(&max_register_backend)?;
-    exercise(&cas_backend)?;
+    exercise(EmulationKind::SpaceOptimal, params)?;
+    exercise(EmulationKind::AbdMaxRegister, params)?;
+    exercise(EmulationKind::AbdCas, params)?;
 
     println!(
         "\nSpace separation (Table 1): plain disks need {} registers per key, \

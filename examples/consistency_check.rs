@@ -6,7 +6,8 @@
 //! ```
 //!
 //! * every emulation is WS-Regular on write-sequential workloads (the
-//!   guarantee of Theorem 3 and of the ABD variants);
+//!   guarantee of Theorem 3 and of the ABD variants) — under the fair
+//!   scheduler *and* under the adversarial block/unblock schedulers;
 //! * the ABD variants with read write-back are atomic (linearizable);
 //! * a deliberately broken "emulation" (quorums that are too small) is caught
 //!   by the WS-Safety checker — the checkers are not vacuous.
@@ -17,39 +18,50 @@ use regemu_adversary::demonstrate_partition;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::new(2, 1, 4)?;
 
-    // 1. Write-sequential workloads: WS-Regularity for every construction.
-    println!("WS-Regularity on write-sequential workloads");
-    for emulation in all_emulations(params) {
-        let mut failures = 0;
-        for seed in 0..10u64 {
-            let workload = Workload::write_sequential(params.k, 2, true);
-            let report = run_workload(
-                emulation.as_ref(),
-                &workload,
-                &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular),
-            )?;
-            if !report.is_consistent() {
-                failures += 1;
+    // 1. Write-sequential workloads: WS-Regularity for every construction,
+    //    under every scheduler kind (the safety guarantee is schedule-free).
+    println!("WS-Regularity on write-sequential workloads, per scheduler");
+    for scheduler in SchedulerSpec::ALL {
+        for kind in EmulationKind::ALL {
+            let mut failures = 0;
+            for seed in 0..10u64 {
+                let report = Scenario::new(params)
+                    .emulation(kind)
+                    .workload(WorkloadSpec::WriteSequential {
+                        rounds: 2,
+                        read_after_each: true,
+                    })
+                    .scheduler(scheduler)
+                    .check(ConsistencyCheck::WsRegular)
+                    .seed(seed)
+                    .run()?;
+                if !report.is_consistent() {
+                    failures += 1;
+                }
             }
+            println!(
+                "  {:<18} under {:<17} {} / 10 seeds consistent",
+                kind.name(),
+                scheduler.name(),
+                10 - failures
+            );
+            assert_eq!(failures, 0);
         }
-        println!(
-            "  {:<18} {} / 10 seeds consistent",
-            emulation.name(),
-            10 - failures
-        );
-        assert_eq!(failures, 0);
     }
 
     // 2. Atomicity of the write-back ABD variant under concurrent workloads.
     println!("\nAtomicity (linearizability) of ABD with read write-back");
-    let atomic = AbdMaxRegisterEmulation::new(params, true);
     for seed in 0..5u64 {
-        let workload = Workload::random_mixed(params.k, 2, 12, 0.5, seed);
-        let report = run_workload(
-            &atomic,
-            &workload,
-            &RunConfig::with_seed(seed).check(ConsistencyCheck::Atomic),
-        )?;
+        let report = Scenario::new(params)
+            .emulation(EmulationKind::AbdMaxRegisterAtomic)
+            .workload(WorkloadSpec::RandomMixed {
+                readers: 2,
+                total: 12,
+                write_percent: 50,
+            })
+            .check(ConsistencyCheck::Atomic)
+            .seed(seed)
+            .run()?;
         assert!(
             report.is_consistent(),
             "seed {seed}: {:?}",

@@ -5,10 +5,12 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! The example builds the paper's space-optimal construction (Algorithm 2)
-//! for `k = 3` writers, `f = 1` tolerated crash and `n = 5` servers, performs
-//! a handful of writes and reads under a fair scheduler — crashing one server
-//! along the way — and prints the space cost next to the paper's bounds.
+//! The example describes the whole experiment as one [`Scenario`] value —
+//! the paper's space-optimal construction (Algorithm 2) for `k = 3` writers,
+//! `f = 1` tolerated crash and `n = 5` servers, three writes and a read
+//! under a seeded fair scheduler — then steps through it, crashing one
+//! server along the way, and prints the space cost next to the paper's
+//! bounds.
 
 use regemu::prelude::*;
 
@@ -22,53 +24,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         register_upper_bound(params)
     );
 
-    let emulation = SpaceOptimalEmulation::new(params);
+    // Each writer writes once (100, 200, 300), then a reader reads.
+    let mut steps: Vec<WorkloadOp> = (0..params.k)
+        .map(|i| WorkloadOp {
+            issuer: Issuer::Writer(i),
+            op: HighOp::Write((i as u64 + 1) * 100),
+            sequential: true,
+        })
+        .collect();
+    steps.push(WorkloadOp {
+        issuer: Issuer::Reader(0),
+        op: HighOp::Read,
+        sequential: true,
+    });
+
+    // One value fully determines the run: construction, workload, scheduler,
+    // consistency check, seed.
+    let scenario = Scenario::new(params)
+        .emulation(EmulationKind::SpaceOptimal)
+        .workload_steps(Workload::from_steps(steps))
+        .scheduler(SchedulerSpec::Fair)
+        .check(ConsistencyCheck::WsRegular)
+        .seed(2024);
+
+    let mut run = scenario.build();
     println!(
         "Provisioned {} base registers across {} servers:\n",
-        emulation.base_object_count(),
+        run.emulation().base_object_count(),
         params.n
     );
-    println!("{}", emulation.layout().render());
-
-    // ------------------------------------------------------------- clients
-    let mut sim = emulation.build_simulation();
-    let writers: Vec<ClientId> = (0..params.k)
-        .map(|i| sim.register_client(emulation.writer_protocol(i)))
-        .collect();
-    let reader = sim.register_client(emulation.reader_protocol());
-    let mut driver = FairDriver::new(2024);
+    println!("{}", SpaceOptimalEmulation::new(params).layout().render());
 
     // --------------------------------------------------------------- write
-    for (i, writer) in writers.iter().enumerate() {
-        let value = (i as u64 + 1) * 100;
-        let op = sim.invoke(*writer, HighOp::Write(value))?;
-        driver.run_until_complete(&mut sim, op, 50_000)?;
-        println!("writer {i} wrote {value}");
+    while run.completed_ops() < params.k {
+        run.step()?;
     }
+    println!("all {} writers completed their writes", params.k);
 
     // One server may crash (f = 1); the emulation keeps working.
-    sim.crash_server(ServerId::new(0))?;
+    run.crash_server(ServerId::new(0))?;
     println!("server s0 crashed");
 
     // ---------------------------------------------------------------- read
-    let read = sim.invoke(reader, HighOp::Read)?;
-    driver.run_until_complete(&mut sim, read, 50_000)?;
-    let value = sim.result_of(read).and_then(|r| r.payload()).unwrap();
+    run.run()?;
+    let value = run
+        .history()
+        .intervals()
+        .last()
+        .and_then(|read| read.returned.and_then(|(_, v)| v.payload()))
+        .expect("the read completed");
     println!("reader observed {value}");
     assert_eq!(value, params.k as u64 * 100);
 
     // ------------------------------------------------------------- measure
-    let metrics = RunMetrics::capture(&sim);
+    let report = run.into_report();
     println!(
         "\nResource consumption: {} base registers (upper bound {}), {} still covered by pending writes",
-        metrics.resource_consumption(),
+        report.metrics.resource_consumption(),
         register_upper_bound(params),
-        metrics.covered_count()
+        report.metrics.covered_count()
     );
 
     // ---------------------------------------------------------- consistency
-    let history = HighHistory::from_run(sim.history());
-    check_ws_regular(&history, &SequentialSpec::register())?;
+    assert!(report.is_consistent(), "{:?}", report.check_violation);
     println!("schedule verified WS-Regular ✔");
     Ok(())
 }

@@ -57,6 +57,33 @@ fn audit(emulation: &dyn Emulation) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// The same adversarial pressure, expressed as a [`Scenario`]: the covering
+/// adversary scheduler withholds write responses on `f` servers, so every
+/// completed write leaves registers covered — the sweepable form of the
+/// campaign above.
+fn scenario_audit(kind: EmulationKind, params: Params) -> Result<(), Box<dyn std::error::Error>> {
+    let report = Scenario::new(params)
+        .emulation(kind)
+        .workload(WorkloadSpec::WriteSequential {
+            rounds: 1,
+            read_after_each: false,
+        })
+        .scheduler(SchedulerSpec::CoverAdversary)
+        .check(ConsistencyCheck::WsRegular)
+        .seed(1)
+        .drain()
+        .run()?;
+    assert!(report.is_consistent());
+    println!(
+        "Scenario under {}: `{}` ends with {} covered registers ({} consumed)\n",
+        SchedulerSpec::CoverAdversary,
+        kind,
+        report.metrics.covered_count(),
+        report.metrics.resource_consumption(),
+    );
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = Params::new(6, 1, 4)?;
 
@@ -67,6 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Max-registers: the adversary cannot make the space grow.
     let abd = AbdMaxRegisterEmulation::new(params, false);
     audit(&abd)?;
+
+    // The packaged form: the same covering pressure as a scheduler axis.
+    scenario_audit(EmulationKind::SpaceOptimal, params)?;
 
     println!(
         "Takeaway: with read/write base registers the space cost is Θ(k·f); \

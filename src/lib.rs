@@ -14,7 +14,8 @@
 //!   max-registers / CAS / register banks, shared-memory max-registers);
 //! * [`adversary`] — the executable lower-bound adversary (`Ad_i`, Lemma 1
 //!   campaigns, the partition argument);
-//! * [`workloads`] — workload generators, experiment runner and sweeps.
+//! * [`workloads`] — the [`Scenario`] pipeline, workload generators and
+//!   sweeps.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `regemu-bench` crate for the binaries that regenerate every table and
@@ -22,19 +23,27 @@
 //!
 //! ## Quick start
 //!
+//! A [`Scenario`] is one typed value that fully determines a run — the
+//! construction, the workload, the scheduler, the crash plan, the
+//! consistency check and the seed:
+//!
 //! ```
 //! use regemu::prelude::*;
 //!
 //! // An f-tolerant 3-writer register from plain read/write registers,
-//! // using the paper's space-optimal construction (Algorithm 2).
+//! // using the paper's space-optimal construction (Algorithm 2), under a
+//! // fair scheduler with the full crash budget injected mid-run.
 //! let params = Params::new(3, 1, 5)?;
-//! let emulation = SpaceOptimalEmulation::new(params);
-//! assert_eq!(emulation.base_object_count(), register_upper_bound(params));
-//!
-//! // Run a write-sequential workload and verify WS-Regularity.
-//! let workload = Workload::write_sequential(3, 1, true);
-//! let report = run_workload(&emulation, &workload, &RunConfig::with_seed(1))?;
+//! let report = Scenario::new(params)
+//!     .emulation(EmulationKind::SpaceOptimal)
+//!     .workload(WorkloadSpec::WriteSequential { rounds: 1, read_after_each: true })
+//!     .scheduler(SchedulerSpec::Fair)
+//!     .crashes(CrashPlanSpec::CrashF)
+//!     .check(ConsistencyCheck::WsRegular)
+//!     .seed(1)
+//!     .run()?;
 //! assert!(report.is_consistent());
+//! assert!(report.metrics.resource_consumption() <= register_upper_bound(params));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -50,6 +59,8 @@ pub use regemu_core as core;
 pub use regemu_fpsm as fpsm;
 pub use regemu_spec as spec;
 pub use regemu_workloads as workloads;
+
+pub use regemu_workloads::{Scenario, ScenarioRun};
 
 /// One-stop import for applications and examples.
 pub mod prelude {

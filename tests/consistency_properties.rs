@@ -1,5 +1,6 @@
 //! Property-based integration tests: consistency guarantees hold across
-//! random schedules, random workloads and random crash points.
+//! random schedules, random workloads and random crash points — all driven
+//! through the [`Scenario`] pipeline.
 
 use proptest::prelude::*;
 use regemu::prelude::*;
@@ -24,14 +25,16 @@ proptest! {
         seed in 0u64..1000,
         crash in proptest::bool::ANY,
     ) {
-        let emulation = SpaceOptimalEmulation::new(params);
-        let workload = Workload::write_sequential(params.k, 1, true);
-        let mut config = RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular);
+        let mut scenario = Scenario::new(params)
+            .emulation(EmulationKind::SpaceOptimal)
+            .workload(WorkloadSpec::WriteSequential { rounds: 1, read_after_each: true })
+            .check(ConsistencyCheck::WsRegular)
+            .seed(seed);
         if crash {
             let victim = ServerId::new((seed as usize) % params.n);
-            config = config.crash_plan(CrashPlan::none().crash_at(seed % 7, victim));
+            scenario = scenario.crash_plan(CrashPlan::none().crash_at(seed % 7, victim));
         }
-        let report = run_workload(&emulation, &workload, &config).unwrap();
+        let report = scenario.run().unwrap();
         prop_assert!(report.is_consistent(), "violation: {:?}", report.check_violation);
         prop_assert_eq!(report.metrics.resource_consumption(), register_upper_bound(params));
     }
@@ -43,36 +46,37 @@ proptest! {
         params in small_params(),
         seed in 0u64..1000,
     ) {
-        let emulations: Vec<Box<dyn Emulation>> = vec![
-            Box::new(AbdMaxRegisterEmulation::new(params, false)),
-            Box::new(AbdCasEmulation::new(params, false)),
-        ];
-        let workload = Workload::write_sequential(params.k, 1, true);
-        for emulation in emulations {
-            let report = run_workload(
-                emulation.as_ref(),
-                &workload,
-                &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular),
-            ).unwrap();
-            prop_assert!(report.is_consistent(), "{}: {:?}", emulation.name(), report.check_violation);
+        for kind in [EmulationKind::AbdMaxRegister, EmulationKind::AbdCas] {
+            let report = Scenario::new(params)
+                .emulation(kind)
+                .workload(WorkloadSpec::WriteSequential { rounds: 1, read_after_each: true })
+                .check(ConsistencyCheck::WsRegular)
+                .seed(seed)
+                .run()
+                .unwrap();
+            prop_assert!(report.is_consistent(), "{}: {:?}", kind, report.check_violation);
             prop_assert_eq!(report.metrics.resource_consumption(), 2 * params.f + 1);
         }
     }
 
     /// Reads that overlap writes still satisfy WS-Regularity (the condition
-    /// constrains them through the write-sequential order of the writes).
+    /// constrains them through the write-sequential order of the writes) —
+    /// under the fair scheduler and the deterministic round-robin alike.
     #[test]
     fn concurrent_reads_remain_ws_regular(
         params in small_params(),
         seed in 0u64..500,
+        round_robin in proptest::bool::ANY,
     ) {
-        let emulation = SpaceOptimalEmulation::new(params);
-        let workload = Workload::concurrent_read_write(params.k, 1);
-        let report = run_workload(
-            &emulation,
-            &workload,
-            &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular).drain(),
-        ).unwrap();
+        let report = Scenario::new(params)
+            .emulation(EmulationKind::SpaceOptimal)
+            .workload(WorkloadSpec::ConcurrentReadWrite { rounds: 1 })
+            .scheduler(if round_robin { SchedulerSpec::RoundRobin } else { SchedulerSpec::Fair })
+            .check(ConsistencyCheck::WsRegular)
+            .seed(seed)
+            .drain()
+            .run()
+            .unwrap();
         prop_assert!(report.is_consistent(), "violation: {:?}", report.check_violation);
     }
 
@@ -83,13 +87,14 @@ proptest! {
         write_ratio in 0.2f64..0.8,
     ) {
         let params = Params::new(2, 1, 3).unwrap();
-        let emulation = AbdMaxRegisterEmulation::new(params, true);
         let workload = Workload::random_mixed(params.k, 2, 10, write_ratio, seed);
-        let report = run_workload(
-            &emulation,
-            &workload,
-            &RunConfig::with_seed(seed).check(ConsistencyCheck::Atomic),
-        ).unwrap();
+        let report = Scenario::new(params)
+            .emulation(EmulationKind::AbdMaxRegisterAtomic)
+            .workload_steps(workload)
+            .check(ConsistencyCheck::Atomic)
+            .seed(seed)
+            .run()
+            .unwrap();
         prop_assert!(report.is_consistent(), "violation: {:?}", report.check_violation);
     }
 
@@ -101,15 +106,15 @@ proptest! {
         params in small_params(),
         seed in 0u64..1000,
     ) {
-        let emulation = SpaceOptimalEmulation::new(params);
-        let workload = Workload::random_mixed(params.k, 1, 6, 0.6, seed);
-        let report = run_workload(
-            &emulation,
-            &workload,
-            &RunConfig::with_seed(seed).check(ConsistencyCheck::None),
-        ).unwrap();
+        let report = Scenario::new(params)
+            .emulation(EmulationKind::SpaceOptimal)
+            .workload(WorkloadSpec::RandomMixed { readers: 1, total: 6, write_percent: 60 })
+            .check(ConsistencyCheck::None)
+            .seed(seed)
+            .run()
+            .unwrap();
         let metrics = &report.metrics;
-        prop_assert!(metrics.resource_consumption() <= emulation.base_object_count());
+        prop_assert!(metrics.resource_consumption() <= report.provisioned_objects);
         prop_assert!(metrics.covered.iter().all(|b| metrics.written.contains(b)));
         prop_assert!(metrics.written.iter().all(|b| metrics.touched.contains(b)));
         prop_assert!(metrics.low_level_responses <= metrics.low_level_triggers);

@@ -1,0 +1,91 @@
+//! Scenario-API smoke: a tiny grid across *all* schedulers × *all*
+//! emulations through the facade, plus the sweep axes and the incremental
+//! run surface. This is the test the CI `scenario-smoke` job runs.
+
+use regemu::prelude::*;
+
+#[test]
+fn every_scheduler_drives_every_emulation_through_the_facade() {
+    let params = Params::new(2, 1, 4).unwrap();
+    for scheduler in SchedulerSpec::ALL {
+        for kind in EmulationKind::ALL.into_iter().chain(EmulationKind::ATOMIC) {
+            let report = Scenario::new(params)
+                .emulation(kind)
+                .workload(WorkloadSpec::WriteSequential {
+                    rounds: 1,
+                    read_after_each: true,
+                })
+                .scheduler(scheduler)
+                .check(ConsistencyCheck::WsRegular)
+                .seed(31)
+                .run()
+                .unwrap_or_else(|e| panic!("{kind} under {scheduler}: {e}"));
+            assert!(
+                report.is_consistent(),
+                "{kind} under {scheduler}: {:?}",
+                report.check_violation
+            );
+            assert_eq!(report.scheduler, scheduler.name());
+            assert_eq!(report.completed_ops, 2 * params.k);
+        }
+    }
+}
+
+#[test]
+fn sweeps_cross_scheduler_and_crash_plan_axes_deterministically() {
+    let mut config = SweepConfig::quick();
+    config.grid.truncate(2);
+    config.workloads.truncate(1);
+    config.schedulers = SchedulerSpec::ALL.to_vec();
+    config.crash_plans = CrashPlanSpec::ALL.to_vec();
+    config.threads = 1;
+    let single = run_sweep(&config);
+    assert_eq!(single.len(), config.case_count());
+    assert_eq!(single.len(), 2 * 4 * 4 * 2);
+    assert!(single.all_consistent(), "{:?}", single.failures().next());
+    config.threads = 4;
+    let multi = run_sweep(&config);
+    assert_eq!(single.to_json(), multi.to_json());
+    assert_eq!(single.to_csv(), multi.to_csv());
+    // The new axes are part of the serialized identity of each case.
+    assert!(multi
+        .to_json()
+        .contains("\"scheduler\": \"adversary-silence\""));
+    assert!(multi.to_json().contains("\"crashes\": \"crash-f\""));
+}
+
+#[test]
+fn scenario_run_exposes_the_incremental_surface() {
+    let params = Params::new(2, 1, 4).unwrap();
+    let scenario = Scenario::new(params)
+        .workload(WorkloadSpec::ConcurrentReadWrite { rounds: 2 })
+        .seed(5)
+        .drain();
+    let mut run = scenario.build();
+    // Step until the first completion, inspect mid-run state.
+    while run.completed_ops() == 0 {
+        assert!(run.step().unwrap());
+    }
+    assert!(run.history().len() > 0);
+    let mid = run.metrics();
+    assert!(mid.low_level_triggers > 0);
+    // Crash within the budget, then finish.
+    run.crash_server(ServerId::new(params.n - 1)).unwrap();
+    run.run().unwrap();
+    let report = run.into_report();
+    assert!(report.is_consistent(), "{:?}", report.check_violation);
+    assert_eq!(report.completed_ops, 2 * params.k * 2);
+}
+
+#[test]
+fn pending_snapshot_agrees_with_the_event_log_scan_mid_run() {
+    let params = Params::new(2, 1, 4).unwrap();
+    let mut run = Scenario::new(params).seed(3).build();
+    run.step().unwrap();
+    run.step().unwrap();
+    let snapshot = run.sim().pending_snapshot();
+    assert_eq!(snapshot.len(), run.sim().pending_count());
+    let ids: Vec<OpId> = snapshot.iter().map(|p| p.op_id).collect();
+    let from_log: Vec<OpId> = run.history().pending_low_level().into_iter().collect();
+    assert_eq!(ids, from_log);
+}

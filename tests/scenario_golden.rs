@@ -1,0 +1,285 @@
+//! Golden-trace replay: `Scenario`-driven runs are byte-identical to the
+//! pre-redesign `run_workload` path for the same seeds.
+//!
+//! The `legacy` module below is a frozen copy of the runner loop as it
+//! existed before the `Scenario` engine (PR 3): a `FairDriver` plus a linear
+//! `Vec` of outstanding operations, driving the simulation through its public
+//! API. Every configuration in the matrix is executed through both paths and
+//! the full event traces (every invoke / trigger / respond / return, with
+//! logical times and ids, plus the end-of-run metrics) must match
+//! byte-for-byte.
+//!
+//! The rendered legacy trace is additionally pinned to a golden file, so an
+//! accidental edit of the frozen copy cannot silently re-baseline the
+//! comparison. Regenerate with
+//! `REGEMU_REGEN_GOLDEN=1 cargo test --test scenario_golden` after an
+//! *intentional* semantic change (and say so in the PR).
+
+use regemu::prelude::*;
+use std::fmt::Write as _;
+
+const GOLDEN_PATH: &str = "tests/golden/scenario_history.txt";
+
+/// The pre-`Scenario` runner, frozen. Do not "improve" this code: its whole
+/// value is being exactly the old behaviour.
+mod legacy {
+    use regemu::prelude::*;
+    use std::collections::HashMap;
+
+    pub struct LegacyConfig {
+        pub seed: u64,
+        pub crash_plan: CrashPlan,
+        pub max_steps_per_op: u64,
+        pub drain: bool,
+    }
+
+    pub fn run_workload(
+        emulation: &dyn Emulation,
+        workload: &Workload,
+        config: &LegacyConfig,
+    ) -> Result<Simulation, SimError> {
+        let params = emulation.params();
+        let mut sim = emulation.build_simulation();
+        let mut driver = FairDriver::new(config.seed).with_crash_plan(config.crash_plan.clone());
+
+        // Register one client per writer identity and per reader slot, lazily.
+        let mut writer_clients: HashMap<usize, ClientId> = HashMap::new();
+        let mut reader_clients: HashMap<usize, ClientId> = HashMap::new();
+        let mut outstanding: Vec<(ClientId, HighOpId)> = Vec::new();
+
+        for step in workload.ops() {
+            let client = match step.issuer {
+                Issuer::Writer(i) => *writer_clients.entry(i % params.k).or_insert_with(|| {
+                    sim.register_client(emulation.writer_protocol(i % params.k))
+                }),
+                Issuer::Reader(i) => *reader_clients
+                    .entry(i)
+                    .or_insert_with(|| sim.register_client(emulation.reader_protocol())),
+            };
+            // A client's schedule must be sequential: wait for its previous
+            // operation if it is still running.
+            if !sim.is_client_idle(client) {
+                if let Some((_, pending)) = outstanding.iter().find(|(c, _)| *c == client).copied()
+                {
+                    driver.run_until_complete(&mut sim, pending, config.max_steps_per_op)?;
+                }
+            }
+            outstanding.retain(|(_, op)| sim.result_of(*op).is_none());
+
+            let high_op = sim.invoke(client, step.op)?;
+            if step.sequential {
+                driver.run_until_complete(&mut sim, high_op, config.max_steps_per_op)?;
+            } else {
+                outstanding.push((client, high_op));
+            }
+        }
+
+        // Finish whatever is still in flight.
+        for (_, high_op) in outstanding.drain(..) {
+            driver.run_until_complete(&mut sim, high_op, config.max_steps_per_op)?;
+        }
+        if config.drain {
+            driver.run_until_quiescent(&mut sim, config.max_steps_per_op)?;
+        }
+        Ok(sim)
+    }
+}
+
+/// One configuration of the replay matrix.
+struct Case {
+    label: &'static str,
+    params: Params,
+    emulation: EmulationKind,
+    workload: Workload,
+    seed: u64,
+    crash: bool,
+    drain: bool,
+}
+
+fn matrix() -> Vec<Case> {
+    let p214 = Params::new(2, 1, 4).unwrap();
+    let p325 = Params::new(3, 2, 5).unwrap();
+    let mut cases = Vec::new();
+    for kind in EmulationKind::ALL {
+        cases.push(Case {
+            label: "write-seq",
+            params: p214,
+            emulation: kind,
+            workload: Workload::write_sequential(2, 2, true),
+            seed: 11,
+            crash: false,
+            drain: false,
+        });
+        cases.push(Case {
+            label: "mixed+crash",
+            params: p214,
+            emulation: kind,
+            workload: Workload::random_mixed(2, 2, 10, 0.5, 23),
+            seed: 23,
+            crash: true,
+            drain: false,
+        });
+        cases.push(Case {
+            label: "concurrent+drain",
+            params: p214,
+            emulation: kind,
+            workload: Workload::concurrent_read_write(2, 2),
+            seed: 7,
+            crash: false,
+            drain: true,
+        });
+    }
+    cases.push(Case {
+        label: "read-heavy-kf",
+        params: p325,
+        emulation: EmulationKind::SpaceOptimal,
+        workload: Workload::read_heavy(3, 2, 3, 2),
+        seed: 41,
+        crash: false,
+        drain: false,
+    });
+    cases
+}
+
+fn crash_plan_for(case: &Case) -> CrashPlan {
+    if case.crash {
+        CrashPlan::none().crash_at(5, ServerId::new(case.params.n - 1))
+    } else {
+        CrashPlan::none()
+    }
+}
+
+fn render(sim: &Simulation, header: &str, out: &mut String) {
+    writeln!(out, "== {header} ==").unwrap();
+    for event in sim.history().events() {
+        writeln!(out, "{event}").unwrap();
+    }
+    let metrics = RunMetrics::capture(sim);
+    writeln!(
+        out,
+        "metrics: consumption={} covered={} contention={} triggers={} responses={}",
+        metrics.resource_consumption(),
+        metrics.covered_count(),
+        metrics.point_contention,
+        metrics.low_level_triggers,
+        metrics.low_level_responses,
+    )
+    .unwrap();
+}
+
+fn header(case: &Case) -> String {
+    format!(
+        "{} {} {} seed={} crash={} drain={}",
+        case.emulation, case.params, case.label, case.seed, case.crash, case.drain
+    )
+}
+
+fn legacy_trace() -> String {
+    let mut out = String::new();
+    for case in matrix() {
+        let emulation = case.emulation.build(case.params);
+        let config = legacy::LegacyConfig {
+            seed: case.seed,
+            crash_plan: crash_plan_for(&case),
+            max_steps_per_op: 100_000,
+            drain: case.drain,
+        };
+        let sim = legacy::run_workload(emulation.as_ref(), &case.workload, &config)
+            .unwrap_or_else(|e| panic!("legacy {}: {e}", header(&case)));
+        render(&sim, &header(&case), &mut out);
+    }
+    out
+}
+
+fn scenario_trace() -> String {
+    let mut out = String::new();
+    for case in matrix() {
+        let mut scenario = Scenario::new(case.params)
+            .emulation(case.emulation)
+            .workload_steps(case.workload.clone())
+            .scheduler(SchedulerSpec::Fair)
+            .crash_plan(crash_plan_for(&case))
+            .check(ConsistencyCheck::None)
+            .seed(case.seed);
+        if case.drain {
+            scenario = scenario.drain();
+        }
+        let mut run = scenario.build();
+        run.run()
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", header(&case)));
+        render(run.sim(), &header(&case), &mut out);
+    }
+    out
+}
+
+#[test]
+fn scenario_runs_replay_the_legacy_runner_byte_identically() {
+    let legacy = legacy_trace();
+    let scenario = scenario_trace();
+    assert!(
+        legacy == scenario,
+        "Scenario-driven history diverged from the pre-redesign runner\n\
+         (first difference at byte {})",
+        legacy
+            .bytes()
+            .zip(scenario.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| legacy.len().min(scenario.len())),
+    );
+}
+
+#[test]
+fn legacy_trace_matches_the_recorded_golden_file() {
+    let trace = legacy_trace();
+    if std::env::var_os("REGEMU_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("create golden dir");
+        std::fs::write(GOLDEN_PATH, &trace).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden trace missing; regenerate with REGEMU_REGEN_GOLDEN=1 cargo test --test scenario_golden",
+    );
+    assert!(
+        trace == golden,
+        "the frozen legacy runner no longer reproduces its recorded trace\n\
+         (first difference at byte {})",
+        trace
+            .bytes()
+            .zip(golden.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| trace.len().min(golden.len())),
+    );
+}
+
+#[test]
+fn deprecated_run_workload_shim_matches_the_legacy_runner() {
+    // The shim must keep old callers byte-compatible too.
+    #[allow(deprecated)]
+    for case in matrix().into_iter().take(4) {
+        let emulation = case.emulation.build(case.params);
+        let config = RunConfig {
+            seed: case.seed,
+            crash_plan: crash_plan_for(&case),
+            max_steps_per_op: 100_000,
+            check: ConsistencyCheck::None,
+            drain: case.drain,
+        };
+        let shim = run_workload(emulation.as_ref(), &case.workload, &config)
+            .unwrap_or_else(|e| panic!("shim {}: {e}", header(&case)));
+        let legacy_config = legacy::LegacyConfig {
+            seed: case.seed,
+            crash_plan: crash_plan_for(&case),
+            max_steps_per_op: 100_000,
+            drain: case.drain,
+        };
+        let sim = legacy::run_workload(emulation.as_ref(), &case.workload, &legacy_config)
+            .unwrap_or_else(|e| panic!("legacy {}: {e}", header(&case)));
+        assert_eq!(
+            shim.history.ops(),
+            HighHistory::from_run(sim.history()).ops(),
+            "{}",
+            header(&case)
+        );
+        assert_eq!(shim.metrics, RunMetrics::capture(&sim), "{}", header(&case));
+    }
+}

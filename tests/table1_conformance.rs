@@ -4,20 +4,22 @@
 use regemu::prelude::*;
 
 /// Runs a write-sequential workload (every writer writes once, one read after
-/// each write) and returns the measured resource consumption.
-fn measure(emulation: &dyn Emulation, seed: u64) -> usize {
-    let params = emulation.params();
-    let workload = Workload::write_sequential(params.k, 1, true);
-    let report = run_workload(
-        emulation,
-        &workload,
-        &RunConfig::with_seed(seed).check(ConsistencyCheck::WsRegular),
-    )
-    .expect("workload must complete");
+/// each write) through a [`Scenario`] and returns the measured resource
+/// consumption.
+fn measure(kind: EmulationKind, params: Params, seed: u64) -> usize {
+    let report = Scenario::new(params)
+        .emulation(kind)
+        .workload(WorkloadSpec::WriteSequential {
+            rounds: 1,
+            read_after_each: true,
+        })
+        .check(ConsistencyCheck::WsRegular)
+        .seed(seed)
+        .run()
+        .expect("workload must complete");
     assert!(
         report.is_consistent(),
-        "{} at {params} violated WS-Regularity: {:?}",
-        emulation.name(),
+        "{kind} at {params} violated WS-Regularity: {:?}",
         report.check_violation
     );
     report.metrics.resource_consumption()
@@ -26,26 +28,28 @@ fn measure(emulation: &dyn Emulation, seed: u64) -> usize {
 #[test]
 fn max_register_and_cas_emulations_use_2f_plus_1_objects() {
     for params in small_sweep() {
-        let abd_max = AbdMaxRegisterEmulation::new(params, false);
-        let abd_cas = AbdCasEmulation::new(params, false);
         assert_eq!(
-            measure(&abd_max, 1),
+            measure(EmulationKind::AbdMaxRegister, params, 1),
             max_register_bound(params.f),
             "{params}"
         );
-        assert_eq!(measure(&abd_cas, 2), cas_bound(params.f), "{params}");
+        assert_eq!(
+            measure(EmulationKind::AbdCas, params, 2),
+            cas_bound(params.f),
+            "{params}"
+        );
     }
 }
 
 #[test]
 fn space_optimal_construction_matches_theorem_3_and_respects_theorem_1() {
     for params in small_sweep() {
-        let emulation = SpaceOptimalEmulation::new(params);
-        let consumption = measure(&emulation, 3);
+        let consumption = measure(EmulationKind::SpaceOptimal, params, 3);
         assert_eq!(consumption, register_upper_bound(params), "{params}");
         assert!(consumption >= register_lower_bound(params), "{params}");
         // Provisioning matches consumption: the construction has no unused
         // registers.
+        let emulation = SpaceOptimalEmulation::new(params);
         assert_eq!(emulation.base_object_count(), consumption, "{params}");
     }
 }
@@ -71,12 +75,12 @@ fn bounds_coincide_at_the_two_special_cases_and_measurements_agree() {
     for (k, f) in [(2usize, 1usize), (3, 1), (2, 2)] {
         let minimal = Params::new(k, f, 2 * f + 1).unwrap();
         assert!(minimal.bounds_coincide());
-        let consumption = measure(&SpaceOptimalEmulation::new(minimal), 7);
+        let consumption = measure(EmulationKind::SpaceOptimal, minimal, 7);
         assert_eq!(consumption, (2 * f + 1) * k);
 
         let saturated = Params::new(k, f, k * f + f + 1).unwrap();
         assert!(saturated.bounds_coincide());
-        let consumption = measure(&SpaceOptimalEmulation::new(saturated), 8);
+        let consumption = measure(EmulationKind::SpaceOptimal, saturated, 8);
         assert_eq!(consumption, k * f + f + 1);
     }
 }
@@ -86,7 +90,7 @@ fn register_bank_construction_uses_k_registers_per_server() {
     for params in small_sweep().into_iter().filter(|p| p.n == 2 * p.f + 1) {
         let emulation = RegisterBankEmulation::new(params, false);
         assert_eq!(emulation.base_object_count(), params.n * params.k);
-        let consumption = measure(&emulation, 4);
+        let consumption = measure(EmulationKind::RegisterBank, params, 4);
         // The ABD phases read every bank register, so consumption equals the
         // provisioned (2f+1)·k — the special-case matching upper bound.
         assert_eq!(consumption, (2 * params.f + 1) * params.k, "{params}");
@@ -96,19 +100,21 @@ fn register_bank_construction_uses_k_registers_per_server() {
 #[test]
 fn all_emulations_tolerate_exactly_f_crashes() {
     let params = Params::new(2, 1, 4).unwrap();
-    for emulation in all_emulations(params) {
-        let workload = Workload::write_sequential(params.k, 2, true);
+    for kind in EmulationKind::ALL {
         // Crash one server early in the run.
         let plan = CrashPlan::none().crash_at(3, ServerId::new(params.n - 1));
-        let report = run_workload(
-            emulation.as_ref(),
-            &workload,
-            &RunConfig::with_seed(5)
-                .crash_plan(plan)
-                .check(ConsistencyCheck::WsRegular),
-        )
-        .expect("an f-tolerant emulation must survive f crashes");
-        assert!(report.is_consistent(), "{}", emulation.name());
-        assert_eq!(report.completed_ops, workload.len());
+        let report = Scenario::new(params)
+            .emulation(kind)
+            .workload(WorkloadSpec::WriteSequential {
+                rounds: 2,
+                read_after_each: true,
+            })
+            .crash_plan(plan)
+            .check(ConsistencyCheck::WsRegular)
+            .seed(5)
+            .run()
+            .expect("an f-tolerant emulation must survive f crashes");
+        assert!(report.is_consistent(), "{kind}");
+        assert_eq!(report.completed_ops, 2 * params.k * 2);
     }
 }
