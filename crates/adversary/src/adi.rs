@@ -105,7 +105,7 @@ impl AdversaryIteration {
             self.previous_writers.clone(),
             self.old_pending.iter().copied(),
         );
-        let mut processed_events = sim.history().len();
+        let mut processed_events = sim.history().total_events();
         let high_op = sim.invoke(client, HighOp::Write(value))?;
         let mut steps = 0u64;
 
@@ -175,10 +175,13 @@ impl AdversaryIteration {
         })
     }
 
-    fn feed_new_events(sim: &Simulation, tracker: &mut CoveringTracker, processed: &mut usize) {
-        let events = sim.history().events();
-        while *processed < events.len() {
-            tracker.observe(&events[*processed], sim.topology());
+    fn feed_new_events(sim: &Simulation, tracker: &mut CoveringTracker, processed: &mut u64) {
+        let events = sim
+            .history()
+            .events_since(*processed)
+            .expect("the Ad_i adversary requires full event recording");
+        for event in events {
+            tracker.observe(event, sim.topology());
             *processed += 1;
         }
     }

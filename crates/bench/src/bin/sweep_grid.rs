@@ -1,5 +1,6 @@
 //! `sweep_grid` — run a `(k, f, n) × emulation × workload × scheduler ×
-//! crash-plan × seed` sweep in parallel and serialize the aggregated report.
+//! crash-plan × recording × seed` sweep in parallel and serialize the
+//! aggregated report.
 //!
 //! ```text
 //! cargo run --release -p regemu-bench --bin sweep_grid -- [OPTIONS]
@@ -12,6 +13,7 @@
 //!                       adversary-silence; or `all`)
 //!   --crash-plans a,b   crash-plan axis (none, crash-f; or `all`)
 //!   --crash-f           shorthand for `--crash-plans crash-f`
+//!   --recording a,b     recording-mode axis (full, digest, ring:N)
 //!   --json PATH         write the report as JSON (- for stdout)
 //!   --csv PATH          write the report as CSV (- for stdout)
 //! ```
@@ -19,7 +21,7 @@
 //! The report is deterministic: identical options produce byte-identical
 //! JSON/CSV for any `--threads` value.
 
-use regemu_workloads::{run_sweep, CrashPlanSpec, SchedulerSpec, SweepConfig};
+use regemu_workloads::{run_sweep, CrashPlanSpec, RecordingModeSpec, SchedulerSpec, SweepConfig};
 use std::time::Instant;
 
 fn fail(msg: &str) -> ! {
@@ -27,7 +29,7 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage: sweep_grid [--quick] [--threads N] [--seeds a,b,..] \
          [--schedulers a,b,..] [--crash-plans a,b,..] [--crash-f] \
-         [--json PATH] [--csv PATH]"
+         [--recording a,b,..] [--json PATH] [--csv PATH]"
     );
     std::process::exit(2);
 }
@@ -41,6 +43,7 @@ fn main() {
     let mut seeds: Option<Vec<u64>> = None;
     let mut schedulers: Option<Vec<SchedulerSpec>> = None;
     let mut crash_plans: Option<Vec<CrashPlanSpec>> = None;
+    let mut recordings: Option<Vec<RecordingModeSpec>> = None;
     let mut json_out: Option<String> = None;
     let mut csv_out: Option<String> = None;
 
@@ -111,6 +114,25 @@ fn main() {
                 crash_plans = Some(parsed);
             }
             "--crash-f" => crash_f = true,
+            "--recording" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| fail("--recording needs a value"));
+                let parsed: Vec<RecordingModeSpec> = v
+                    .split(',')
+                    .map(|s| {
+                        RecordingModeSpec::from_label(s.trim()).unwrap_or_else(|| {
+                            fail(&format!(
+                                "unknown recording mode {s:?} (expected full, digest or ring:N)"
+                            ))
+                        })
+                    })
+                    .collect();
+                if parsed.is_empty() {
+                    fail("--recording needs at least one mode");
+                }
+                recordings = Some(parsed);
+            }
             "--json" => json_out = Some(args.next().unwrap_or_else(|| fail("--json needs a path"))),
             "--csv" => csv_out = Some(args.next().unwrap_or_else(|| fail("--csv needs a path"))),
             other => fail(&format!("unknown option {other:?}")),
@@ -131,6 +153,9 @@ fn main() {
     if let Some(schedulers) = schedulers {
         config.schedulers = schedulers;
     }
+    if let Some(recordings) = recordings {
+        config.recordings = recordings;
+    }
     match (crash_plans, crash_f) {
         (Some(_), true) => fail("--crash-f conflicts with --crash-plans; pass one of them"),
         (Some(crash_plans), false) => config.crash_plans = crash_plans,
@@ -145,12 +170,13 @@ fn main() {
 
     let consistent = report.results().iter().filter(|r| r.consistent).count();
     eprintln!(
-        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} schedulers x {} crash plans x {} seeds): {consistent}/{cases} consistent",
+        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} schedulers x {} crash plans x {} recordings x {} seeds): {consistent}/{cases} consistent",
         config.grid.len(),
         config.emulations.len(),
         config.workloads.len(),
         config.schedulers.len(),
         config.crash_plans.len(),
+        config.recordings.len(),
         config.seeds.len(),
     );
     for failure in report.failures() {

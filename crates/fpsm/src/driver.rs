@@ -276,7 +276,7 @@ mod tests {
             let w = sim.invoke(c, HighOp::Write(1)).unwrap();
             let mut driver = FairDriver::new(seed);
             driver.run_until_complete(&mut sim, w, 100).unwrap();
-            sim.history().events().to_vec()
+            sim.history().events().copied().collect::<Vec<_>>()
         };
         assert_eq!(run(42), run(42));
     }

@@ -1,17 +1,89 @@
 //! The recorded history of a run.
 //!
-//! [`History`] is an append-only event log plus convenience queries used by
-//! the metrics module, the consistency checkers and the lower-bound
-//! adversary. It intentionally stores the raw [`Event`] stream rather than a
-//! digested form, so that every consumer (linearizability checker,
-//! WS-Regularity checker, covering analysis, point-contention analysis) can
-//! derive exactly the view it needs.
+//! [`History`] is an event log plus convenience queries used by the metrics
+//! module, the consistency checkers and the lower-bound adversary. Alongside
+//! the raw [`Event`] stream it maintains *incremental digests* (high-level
+//! intervals, touched/written object sets, trigger/respond counters, point
+//! contention), so metrics never re-scan the log.
+//!
+//! ## Recording modes
+//!
+//! How much of the raw event stream is *retained* is controlled by a
+//! [`RecordingMode`]:
+//!
+//! * [`RecordingMode::Full`] — every event is kept forever (the default, and
+//!   the only mode in which offline checkers and trace renderers see the
+//!   whole run);
+//! * [`RecordingMode::Digest`] — events update the digests and are dropped
+//!   immediately: the run is metrics-only, with zero retained events;
+//! * [`RecordingMode::Ring`] — a sliding window of the last `capacity`
+//!   events, for consumers (such as the online checkers in `regemu-spec`)
+//!   that drain the stream incrementally via [`History::events_since`].
+//!
+//! The digests are maintained identically in every mode, so
+//! [`crate::metrics::RunMetrics`] is a pure function of the run — byte
+//! identical across modes for the same seed. Peak memory is accounted in
+//! O(1) per push ([`History::peak_retained_events`]).
 
 use crate::event::Event;
 use crate::ids::{ClientId, HighOpId, ObjectId, OpId, Time};
 use crate::op::{HighOp, HighResponse};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// How much of the raw event stream a [`History`] retains.
+///
+/// Only *retention* varies: every mode updates the incremental digests the
+/// same way, so metrics and run behaviour are mode-independent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RecordingMode {
+    /// Keep every event (unbounded memory, full offline checkability).
+    #[default]
+    Full,
+    /// Keep no events: digests/metrics only.
+    Digest,
+    /// Keep a sliding window of the last `capacity` events.
+    Ring(
+        /// Maximum number of events retained at any moment.
+        usize,
+    ),
+}
+
+impl RecordingMode {
+    /// Stable label used in reports and CLI flags: `full`, `digest`,
+    /// `ring:N`.
+    pub fn label(self) -> String {
+        match self {
+            RecordingMode::Full => "full".to_string(),
+            RecordingMode::Digest => "digest".to_string(),
+            RecordingMode::Ring(cap) => format!("ring:{cap}"),
+        }
+    }
+
+    /// The inverse of [`RecordingMode::label`], for CLI flags.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "full" => Some(RecordingMode::Full),
+            "digest" => Some(RecordingMode::Digest),
+            other => {
+                let cap = other.strip_prefix("ring:")?;
+                cap.parse().ok().map(RecordingMode::Ring)
+            }
+        }
+    }
+
+    /// Returns `true` when this mode keeps the complete event log.
+    pub fn is_full(self) -> bool {
+        matches!(self, RecordingMode::Full)
+    }
+}
+
+impl fmt::Display for RecordingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
 
 /// A completed or pending high-level operation extracted from a history.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,20 +154,36 @@ impl IndexBitSet {
     }
 }
 
-/// Append-only record of every action taken in a run.
+/// Record of every action taken in a run.
 ///
-/// Alongside the raw event log, `History` maintains *incremental digests* —
-/// the high-level intervals, the touched/written object sets, running
-/// trigger/respond counters and the point contention — updated in O(1)
-/// amortized time per [`History::push`]. The query methods below therefore
-/// never re-scan the event log, which keeps
+/// Alongside the (mode-bounded) raw event log, `History` maintains
+/// *incremental digests* — the high-level intervals, the touched/written
+/// object sets, running trigger/respond counters and the point contention —
+/// updated in O(1) amortized time per [`History::push`]. The query methods
+/// below therefore never re-scan the event log, which keeps
 /// [`crate::metrics::RunMetrics::capture`] cheap even at the end of
-/// million-step runs. (The exception is [`History::pending_low_level`],
-/// a debugging aid that still scans on demand so the hot path does not pay
-/// for a churning id set.)
+/// million-step runs, *in every [`RecordingMode`]*. (The exception is
+/// [`History::pending_low_level`], a debugging aid that still scans the
+/// retained window on demand so the hot path does not pay for a churning id
+/// set.)
+///
+/// Events carry implicit sequence numbers `0..total_events()`; the retained
+/// window is always a contiguous suffix of that sequence, drained
+/// incrementally with [`History::events_since`].
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct History {
-    events: Vec<Event>,
+    mode: RecordingMode,
+    /// The retained suffix of the event stream; slot 0 holds the event with
+    /// sequence number `dropped`.
+    events: VecDeque<Event>,
+    /// Events recorded but no longer retained (evicted from the ring, or
+    /// never stored in `Digest` mode).
+    dropped: u64,
+    /// High-water mark of `events.len()`.
+    peak_retained: usize,
+    /// Time stamp of the most recent event (tracked incrementally so
+    /// [`History::end_time`] works in every mode).
+    last_time: Time,
     intervals: Vec<HighInterval>,
     /// Position of each high-level operation in `intervals` (first wins when
     /// an id is invoked twice, matching the previous scan-based extraction).
@@ -110,12 +198,48 @@ pub struct History {
 }
 
 impl History {
-    /// Creates an empty history.
+    /// Creates an empty history recording in [`RecordingMode::Full`].
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Appends an event and updates the digests.
+    /// Creates an empty history recording in the given mode.
+    pub fn with_mode(mode: RecordingMode) -> Self {
+        History {
+            mode,
+            ..Self::default()
+        }
+    }
+
+    /// The active recording mode.
+    pub fn recording_mode(&self) -> RecordingMode {
+        self.mode
+    }
+
+    /// Switches the recording mode, immediately applying the new retention
+    /// policy to the already-retained events (switching to `Digest` drops
+    /// them all; switching to `Ring` evicts down to the capacity; switching
+    /// to `Full` keeps whatever is still retained — evicted events do not
+    /// come back). Digests are unaffected.
+    pub fn set_recording_mode(&mut self, mode: RecordingMode) {
+        self.mode = mode;
+        self.apply_retention();
+    }
+
+    fn apply_retention(&mut self) {
+        let keep = match self.mode {
+            RecordingMode::Full => usize::MAX,
+            RecordingMode::Digest => 0,
+            RecordingMode::Ring(cap) => cap,
+        };
+        while self.events.len() > keep {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+    }
+
+    /// Appends an event: updates the digests (in every mode), then retains
+    /// the event according to the recording mode.
     pub fn push(&mut self, event: Event) {
         match event {
             Event::Invoke {
@@ -159,28 +283,84 @@ impl History {
             }
             Event::ServerCrash { .. } | Event::ClientCrash { .. } => {}
         }
-        self.events.push(event);
+        self.last_time = event.time();
+        // The retention policy lives in `apply_retention` alone; pushing
+        // then evicting keeps the two call sites (per-event and
+        // mode-switch) impossible to desynchronize.
+        self.events.push_back(event);
+        self.apply_retention();
+        self.peak_retained = self.peak_retained.max(self.events.len());
     }
 
-    /// All events, in the order they occurred.
-    pub fn events(&self) -> &[Event] {
-        &self.events
+    /// The retained events, in the order they occurred. In
+    /// [`RecordingMode::Full`] this is the complete run; in the bounded
+    /// modes it is the current window (empty under `Digest`).
+    pub fn events(&self) -> impl Iterator<Item = &Event> + '_ {
+        self.events.iter()
     }
 
-    /// Number of recorded events.
-    pub fn len(&self) -> usize {
+    /// The events with sequence numbers `seq..total_events()`, or `None` if
+    /// part of that range has already been evicted — the caller missed
+    /// events and any incremental consumer (e.g. an online checker) should
+    /// treat its state as incomplete.
+    ///
+    /// Draining `events_since(cursor)` after every simulation transition and
+    /// advancing `cursor` to [`History::total_events`] never misses an event
+    /// as long as the window capacity covers the events of one transition.
+    pub fn events_since(&self, seq: u64) -> Option<impl Iterator<Item = &Event> + '_> {
+        if seq < self.dropped {
+            return None;
+        }
+        let start = usize::try_from(seq - self.dropped)
+            .ok()?
+            .min(self.events.len());
+        Some(self.events.range(start..))
+    }
+
+    /// Total number of events recorded over the run so far, retained or not.
+    pub fn total_events(&self) -> u64 {
+        self.dropped + self.events.len() as u64
+    }
+
+    /// Number of events currently retained.
+    pub fn retained_events(&self) -> usize {
         self.events.len()
     }
 
+    /// Number of events recorded but no longer retained.
+    pub fn evicted_events(&self) -> u64 {
+        self.dropped
+    }
+
+    /// High-water mark of [`History::retained_events`] over the run — the
+    /// O(1) peak-memory accounting of the event log.
+    pub fn peak_retained_events(&self) -> usize {
+        self.peak_retained
+    }
+
     /// Returns `true` if nothing has been recorded.
+    ///
+    /// There is intentionally no `len()`: under the bounded recording modes
+    /// "length" is ambiguous between [`History::total_events`] (recorded)
+    /// and [`History::retained_events`] (still held) — callers must pick
+    /// the one that matches how they consume [`History::events`].
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.total_events() == 0
     }
 
     /// All high-level operation intervals, in invocation order, borrowed from
-    /// the incrementally-maintained digest.
+    /// the incrementally-maintained digest. Available in every recording
+    /// mode: intervals are part of the digests, sized by the number of
+    /// high-level operations rather than by the run length.
     pub fn intervals(&self) -> &[HighInterval] {
         &self.intervals
+    }
+
+    /// The interval of a specific high-level operation, if it was invoked.
+    pub fn interval_of(&self, high_op: HighOpId) -> Option<&HighInterval> {
+        self.interval_index
+            .get(&high_op)
+            .map(|&idx| &self.intervals[idx])
     }
 
     /// Extracts all high-level operation intervals, in invocation order.
@@ -214,12 +394,13 @@ impl History {
     }
 
     /// Identifiers of low-level operations that were triggered but have not
-    /// responded in this history (pending operations).
+    /// responded *within the retained window* (pending operations).
     ///
-    /// Computed on demand by scanning the event log (O(events)): the live
-    /// pending set is tracked by [`crate::sim::Simulation`] itself, so the
-    /// recording hot path does not maintain a second, churning id set just
-    /// for this query.
+    /// Computed on demand by scanning the retained events (O(retained)): the
+    /// live pending set is tracked by [`crate::sim::Simulation`] itself, so
+    /// the recording hot path does not maintain a second, churning id set
+    /// just for this query. Only complete in [`RecordingMode::Full`]; in the
+    /// bounded modes use [`crate::sim::Simulation::pending_snapshot`].
     pub fn pending_low_level(&self) -> BTreeSet<OpId> {
         let mut pending = BTreeSet::new();
         for e in &self.events {
@@ -266,8 +447,9 @@ impl History {
     }
 
     /// The largest time stamp recorded, i.e. the length of the run in steps.
+    /// Tracked incrementally, so it is exact in every recording mode.
     pub fn end_time(&self) -> Time {
-        self.events.last().map(Event::time).unwrap_or(0)
+        self.last_time
     }
 }
 
@@ -277,59 +459,76 @@ mod tests {
     use crate::op::{BaseOp, BaseResponse};
     use crate::value::Value;
 
+    fn mk_events() -> Vec<Event> {
+        vec![
+            // c0: WRITE(1) [t1..t4] touching b0 (write, responds) and b1
+            // (write, pending)
+            Event::Invoke {
+                time: 1,
+                client: ClientId::new(0),
+                high_op: HighOpId::new(0),
+                op: HighOp::Write(1),
+            },
+            Event::Trigger {
+                time: 2,
+                client: ClientId::new(0),
+                high_op: Some(HighOpId::new(0)),
+                op_id: OpId::new(0),
+                object: ObjectId::new(0),
+                op: BaseOp::Write(Value::new(1, 1)),
+            },
+            Event::Trigger {
+                time: 2,
+                client: ClientId::new(0),
+                high_op: Some(HighOpId::new(0)),
+                op_id: OpId::new(1),
+                object: ObjectId::new(1),
+                op: BaseOp::Write(Value::new(1, 1)),
+            },
+            Event::Respond {
+                time: 3,
+                client: ClientId::new(0),
+                op_id: OpId::new(0),
+                object: ObjectId::new(0),
+                response: BaseResponse::WriteAck,
+            },
+            Event::Return {
+                time: 4,
+                client: ClientId::new(0),
+                high_op: HighOpId::new(0),
+                response: HighResponse::WriteAck,
+            },
+            // c1: READ() [t5..] pending, triggers read on b0
+            Event::Invoke {
+                time: 5,
+                client: ClientId::new(1),
+                high_op: HighOpId::new(1),
+                op: HighOp::Read,
+            },
+            Event::Trigger {
+                time: 6,
+                client: ClientId::new(1),
+                high_op: Some(HighOpId::new(1)),
+                op_id: OpId::new(2),
+                object: ObjectId::new(0),
+                op: BaseOp::Read,
+            },
+        ]
+    }
+
     fn mk_history() -> History {
         let mut h = History::new();
-        // c0: WRITE(1) [t1..t4] touching b0 (write, responds) and b1 (write, pending)
-        h.push(Event::Invoke {
-            time: 1,
-            client: ClientId::new(0),
-            high_op: HighOpId::new(0),
-            op: HighOp::Write(1),
-        });
-        h.push(Event::Trigger {
-            time: 2,
-            client: ClientId::new(0),
-            high_op: Some(HighOpId::new(0)),
-            op_id: OpId::new(0),
-            object: ObjectId::new(0),
-            op: BaseOp::Write(Value::new(1, 1)),
-        });
-        h.push(Event::Trigger {
-            time: 2,
-            client: ClientId::new(0),
-            high_op: Some(HighOpId::new(0)),
-            op_id: OpId::new(1),
-            object: ObjectId::new(1),
-            op: BaseOp::Write(Value::new(1, 1)),
-        });
-        h.push(Event::Respond {
-            time: 3,
-            client: ClientId::new(0),
-            op_id: OpId::new(0),
-            object: ObjectId::new(0),
-            response: BaseResponse::WriteAck,
-        });
-        h.push(Event::Return {
-            time: 4,
-            client: ClientId::new(0),
-            high_op: HighOpId::new(0),
-            response: HighResponse::WriteAck,
-        });
-        // c1: READ() [t5..] pending, triggers read on b0
-        h.push(Event::Invoke {
-            time: 5,
-            client: ClientId::new(1),
-            high_op: HighOpId::new(1),
-            op: HighOp::Read,
-        });
-        h.push(Event::Trigger {
-            time: 6,
-            client: ClientId::new(1),
-            high_op: Some(HighOpId::new(1)),
-            op_id: OpId::new(2),
-            object: ObjectId::new(0),
-            op: BaseOp::Read,
-        });
+        for e in mk_events() {
+            h.push(e);
+        }
+        h
+    }
+
+    fn mk_history_in(mode: RecordingMode) -> History {
+        let mut h = History::with_mode(mode);
+        for e in mk_events() {
+            h.push(e);
+        }
         h
     }
 
@@ -343,6 +542,8 @@ mod tests {
         assert!(ivs[0].precedes(&ivs[1]));
         assert!(!ivs[1].precedes(&ivs[0]));
         assert!(!ivs[0].concurrent_with(&ivs[1]));
+        assert_eq!(h.interval_of(HighOpId::new(1)).unwrap().op, HighOp::Read);
+        assert!(h.interval_of(HighOpId::new(9)).is_none());
     }
 
     #[test]
@@ -412,11 +613,116 @@ mod tests {
     }
 
     #[test]
-    fn end_time_and_len() {
+    fn end_time_and_event_counts() {
         let h = mk_history();
         assert_eq!(h.end_time(), 6);
-        assert_eq!(h.len(), 7);
+        assert_eq!(h.total_events(), 7);
+        assert_eq!(h.retained_events(), 7);
         assert!(!h.is_empty());
         assert!(History::new().is_empty());
+    }
+
+    #[test]
+    fn digest_mode_retains_nothing_but_keeps_all_digests() {
+        let full = mk_history();
+        let digest = mk_history_in(RecordingMode::Digest);
+        assert_eq!(digest.retained_events(), 0);
+        assert_eq!(digest.peak_retained_events(), 0);
+        assert_eq!(digest.total_events(), 7);
+        assert_eq!(digest.evicted_events(), 7);
+        assert_eq!(digest.total_events(), full.total_events());
+        assert_eq!(digest.end_time(), full.end_time());
+        assert_eq!(digest.high_intervals(), full.high_intervals());
+        assert_eq!(digest.touched_objects(), full.touched_objects());
+        assert_eq!(digest.written_objects(), full.written_objects());
+        assert_eq!(digest.trigger_count(), full.trigger_count());
+        assert_eq!(digest.respond_count(), full.respond_count());
+        assert_eq!(digest.point_contention(), full.point_contention());
+        assert_eq!(digest.events().count(), 0);
+    }
+
+    #[test]
+    fn ring_mode_keeps_a_bounded_suffix() {
+        let h = mk_history_in(RecordingMode::Ring(3));
+        assert_eq!(h.retained_events(), 3);
+        assert_eq!(h.peak_retained_events(), 3);
+        assert_eq!(h.total_events(), 7);
+        assert_eq!(h.evicted_events(), 4);
+        // The window is the last three events, in order.
+        let times: Vec<Time> = h.events().map(Event::time).collect();
+        assert_eq!(times, vec![4, 5, 6]);
+        // Digests are unaffected by the eviction.
+        assert_eq!(h.high_intervals().len(), 2);
+        assert_eq!(h.trigger_count(), 3);
+        // A zero-capacity ring degenerates to digest-only retention.
+        let zero = mk_history_in(RecordingMode::Ring(0));
+        assert_eq!(zero.retained_events(), 0);
+        assert_eq!(zero.peak_retained_events(), 0);
+        assert_eq!(zero.total_events(), 7);
+    }
+
+    #[test]
+    fn events_since_drains_incrementally_and_reports_gaps() {
+        let h = mk_history_in(RecordingMode::Ring(3));
+        // Sequence numbers 0..4 were evicted.
+        assert!(h.events_since(0).is_none());
+        assert!(h.events_since(3).is_none());
+        // The retained suffix starts at sequence number 4.
+        let tail: Vec<Time> = h.events_since(4).unwrap().map(Event::time).collect();
+        assert_eq!(tail, vec![4, 5, 6]);
+        let tail: Vec<Time> = h.events_since(6).unwrap().map(Event::time).collect();
+        assert_eq!(tail, vec![6]);
+        // At (or past) the end the drain is empty but not a gap.
+        assert_eq!(h.events_since(7).unwrap().count(), 0);
+        assert_eq!(h.events_since(99).unwrap().count(), 0);
+
+        // In full mode a cursor-driven drain sees every event exactly once.
+        let full = mk_history();
+        let mut cursor = 0u64;
+        let mut seen = 0;
+        while cursor < full.total_events() {
+            for _ in full.events_since(cursor).unwrap() {
+                seen += 1;
+            }
+            cursor = full.total_events();
+        }
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn switching_modes_applies_retention_immediately() {
+        let mut h = mk_history();
+        assert_eq!(h.retained_events(), 7);
+        h.set_recording_mode(RecordingMode::Ring(2));
+        assert_eq!(h.retained_events(), 2);
+        assert_eq!(h.evicted_events(), 5);
+        h.set_recording_mode(RecordingMode::Digest);
+        assert_eq!(h.retained_events(), 0);
+        assert_eq!(h.evicted_events(), 7);
+        // Switching back to full does not resurrect evicted events.
+        h.set_recording_mode(RecordingMode::Full);
+        assert_eq!(h.retained_events(), 0);
+        assert_eq!(h.total_events(), 7);
+        // Peak reflects the maximum ever retained.
+        assert_eq!(h.peak_retained_events(), 7);
+    }
+
+    #[test]
+    fn recording_mode_labels_round_trip() {
+        for mode in [
+            RecordingMode::Full,
+            RecordingMode::Digest,
+            RecordingMode::Ring(1),
+            RecordingMode::Ring(1024),
+        ] {
+            assert_eq!(RecordingMode::from_label(&mode.label()), Some(mode));
+            assert_eq!(mode.to_string(), mode.label());
+        }
+        assert_eq!(RecordingMode::from_label("ring:"), None);
+        assert_eq!(RecordingMode::from_label("ring:x"), None);
+        assert_eq!(RecordingMode::from_label("nope"), None);
+        assert!(RecordingMode::Full.is_full());
+        assert!(!RecordingMode::Digest.is_full());
+        assert_eq!(RecordingMode::default(), RecordingMode::Full);
     }
 }

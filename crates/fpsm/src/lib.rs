@@ -23,7 +23,10 @@
 //!   [`scheduler::AdversarialScheduler`] as implementations;
 //! * [`history::History`] and [`metrics::RunMetrics`] — the recorded run and
 //!   its space-consumption metrics (resource consumption, covered registers,
-//!   per-server occupancy, point contention).
+//!   per-server occupancy, point contention). How much of the raw event
+//!   stream is retained is selected by a [`history::RecordingMode`] (`Full`,
+//!   `Digest`, `Ring`); the digests — and hence the metrics — are identical
+//!   in every mode.
 //!
 //! ## Example
 //!
@@ -64,7 +67,7 @@ pub use client::{ClientProtocol, Context, Delivery, NoopProtocol};
 pub use driver::{CrashPlan, FairDriver};
 pub use error::SimError;
 pub use event::Event;
-pub use history::{HighInterval, History};
+pub use history::{HighInterval, History, RecordingMode};
 pub use ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
 pub use metrics::RunMetrics;
 pub use object::{BaseObject, ObjectError, ObjectKind};
@@ -79,7 +82,7 @@ pub mod prelude {
     pub use crate::client::{ClientProtocol, Context, Delivery, NoopProtocol};
     pub use crate::driver::{CrashPlan, FairDriver};
     pub use crate::error::SimError;
-    pub use crate::history::History;
+    pub use crate::history::{History, RecordingMode};
     pub use crate::ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
     pub use crate::metrics::RunMetrics;
     pub use crate::object::ObjectKind;

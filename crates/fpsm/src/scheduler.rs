@@ -377,7 +377,7 @@ mod tests {
             sched.run_until_complete(&mut sim, w, 100).unwrap();
             sched.run_until_quiescent(&mut sim, 100).unwrap();
             assert_eq!(sim.pending_count(), 0);
-            sim.history().events().to_vec()
+            sim.history().events().copied().collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
     }
@@ -467,7 +467,7 @@ mod tests {
                 s.run_until_complete(&mut sim, w, 100).unwrap();
                 s.run_until_quiescent(&mut sim, 100).unwrap();
             }
-            sim.history().events().to_vec()
+            sim.history().events().copied().collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));
     }
@@ -484,7 +484,7 @@ mod tests {
                 let mut s = FairDriver::new(7);
                 s.run_until_complete(&mut sim, w, 100).unwrap();
             }
-            sim.history().events().to_vec()
+            sim.history().events().copied().collect::<Vec<_>>()
         };
         assert_eq!(run(true), run(false));
     }

@@ -24,7 +24,7 @@
 use crate::client::{ClientProtocol, Context, Delivery};
 use crate::error::SimError;
 use crate::event::Event;
-use crate::history::History;
+use crate::history::{History, RecordingMode};
 use crate::ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
 use crate::object::BaseObject;
 use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
@@ -239,6 +239,20 @@ impl Simulation {
     /// The recorded history of the run so far.
     pub fn history(&self) -> &History {
         &self.history
+    }
+
+    /// The active [`RecordingMode`] of the history.
+    pub fn recording_mode(&self) -> RecordingMode {
+        self.history.recording_mode()
+    }
+
+    /// Switches how much of the event stream the history retains (see
+    /// [`RecordingMode`]). Retention is the only thing that changes: the
+    /// digests, and therefore the run's behaviour and metrics, are identical
+    /// in every mode. Typically called right after construction, before any
+    /// events are recorded.
+    pub fn set_recording_mode(&mut self, mode: RecordingMode) {
+        self.history.set_recording_mode(mode);
     }
 
     /// Registers a new client running the given protocol and returns its id.

@@ -131,7 +131,6 @@ proptest! {
             let responded: BTreeSet<OpId> = sim
                 .history()
                 .events()
-                .iter()
                 .filter_map(|e| match e {
                     Event::Respond { op_id, .. } => Some(*op_id),
                     _ => None,
@@ -209,7 +208,7 @@ proptest! {
                 let op = sim.invoke(*c, HighOp::Write(i as u64 + 1)).unwrap();
                 driver.run_until_complete(&mut sim, op, 10_000).unwrap();
             }
-            sim.history().events().to_vec()
+            sim.history().events().copied().collect::<Vec<_>>()
         };
         prop_assert_eq!(run(seed), run(seed));
     }

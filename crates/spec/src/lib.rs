@@ -11,6 +11,11 @@
 //!
 //! The checkers operate on [`history::HighHistory`] schedules, which can be
 //! extracted from any recorded `regemu-fpsm` run or constructed by hand.
+//! For runs recorded under a bounded-memory
+//! [`regemu_fpsm::RecordingMode`], the same conditions can be verified
+//! *online* with [`streaming::StreamingChecker`], which consumes the event
+//! stream as it is produced and keeps only a contention-bounded window of
+//! operations alive.
 //!
 //! ## Example
 //!
@@ -35,12 +40,14 @@ pub mod linearizability;
 pub mod regularity;
 pub mod report;
 pub mod sequential;
+pub mod streaming;
 
 pub use history::HighHistory;
 pub use linearizability::check_linearizable;
 pub use regularity::{check_ws_regular, check_ws_safe, legal_read_values};
 pub use report::{CheckResult, Condition, Violation};
 pub use sequential::{Semantics, SequentialSpec};
+pub use streaming::{StreamingChecker, StreamingOutcome};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
@@ -49,4 +56,5 @@ pub mod prelude {
     pub use crate::regularity::{check_ws_regular, check_ws_safe};
     pub use crate::report::{CheckResult, Condition, Violation};
     pub use crate::sequential::{Semantics, SequentialSpec};
+    pub use crate::streaming::{StreamingChecker, StreamingOutcome};
 }

@@ -42,7 +42,7 @@ pub fn check_linearizable(history: &HighHistory, spec: &SequentialSpec) -> Check
         ops: &ops,
         spec: *spec,
     };
-    if searcher.search() {
+    if searcher.search(spec.initial) {
         Ok(())
     } else {
         Err(Violation::new(
@@ -57,17 +57,34 @@ pub fn check_linearizable(history: &HighHistory, spec: &SequentialSpec) -> Check
     }
 }
 
+/// Returns `true` when `ops` (complete operations mandatory, pending writes
+/// optional, pending reads must have been filtered out by the caller) can be
+/// linearized starting from the abstract state `initial` instead of the
+/// specification's own initial value. Used by the streaming checker, which
+/// folds a committed prefix of the history into a running state.
+pub(crate) fn linearizable_from(
+    ops: &[HighInterval],
+    spec: &SequentialSpec,
+    initial: Payload,
+) -> bool {
+    if ops.is_empty() {
+        return true;
+    }
+    let searcher = Searcher { ops, spec: *spec };
+    searcher.search(initial)
+}
+
 struct Searcher<'a> {
     ops: &'a [HighInterval],
     spec: SequentialSpec,
 }
 
 impl Searcher<'_> {
-    fn search(&self) -> bool {
+    fn search(&self, initial: Payload) -> bool {
         let n = self.ops.len();
         let mut scheduled = vec![false; n];
         let mut visited: HashSet<(Vec<u64>, Payload)> = HashSet::new();
-        self.dfs(&mut scheduled, self.spec.initial, &mut visited)
+        self.dfs(&mut scheduled, initial, &mut visited)
     }
 
     fn key(scheduled: &[bool]) -> Vec<u64> {

@@ -6,22 +6,21 @@
 //!
 //! * [`scenario::Scenario`] — **the** entry point: one typed value that
 //!   fully determines a run (emulation × workload × scheduler × crashes ×
-//!   check × seed), built into an incrementally drivable
+//!   recording × check × seed), built into an incrementally drivable
 //!   [`scenario::ScenarioRun`];
 //! * [`generator::Workload`] — deterministic workload generators
 //!   (write-sequential, read-heavy, random mixed, concurrent, explicit);
 //! * [`sweep::run_sweep`] — fan a `(k, f, n) × emulation × workload ×
-//!   scheduler × crash-plan × seed` grid out across worker threads and
-//!   aggregate the measurements into a deterministic [`sweep::SweepReport`]
-//!   (JSON/CSV serializable);
+//!   scheduler × crash-plan × recording × seed` grid out across worker
+//!   threads and aggregate the measurements into a deterministic
+//!   [`sweep::SweepReport`] (JSON/CSV serializable);
 //! * [`table`] — parameter sweeps and plain-text table rendering used by the
 //!   experiment binaries in `regemu-bench`.
 //!
 //! ## The scenario contract
 //!
 //! [`scenario::Scenario`] is the single execution path every experiment,
-//! sweep case and bench goes through (the deprecated [`runner::run_workload`]
-//! is a thin shim over the same engine). Given a scenario value, the run it
+//! sweep case and bench goes through. Given a scenario value, the run it
 //! builds guarantees:
 //!
 //! 1. **Seeded scheduling** — all nondeterminism (delivery order, workload
@@ -40,6 +39,12 @@
 //!    contention, trigger/response counts) and the high-level schedule.
 //! 5. **Checking** — when a [`runner::ConsistencyCheck`] is selected, the
 //!    schedule is verified and any violation is reported, not panicked on.
+//!    Under a bounded [`scenario::RecordingModeSpec`] the verification runs
+//!    *online* over the retained window; [`runner::CheckCoverage`] records
+//!    how much of the run the verdict covers.
+//! 6. **Bounded recording** — [`scenario::RecordingModeSpec`] selects how
+//!    much of the event stream is retained (`Full`, `Digest`, `Ring(n)`);
+//!    the metrics are byte-identical across modes for the same scenario.
 //!
 //! ## Example
 //!
@@ -68,10 +73,8 @@ pub mod sweep;
 pub mod table;
 
 pub use generator::{Issuer, Workload, WorkloadOp};
-#[allow(deprecated)]
-pub use runner::run_workload;
-pub use runner::{ConsistencyCheck, RunConfig, RunReport};
-pub use scenario::{drive, CrashPlanSpec, Scenario, ScenarioRun, SchedulerSpec};
+pub use runner::{CheckCoverage, ConsistencyCheck, RunReport};
+pub use scenario::{drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec};
 pub use sweep::{
     run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
 };
@@ -80,10 +83,10 @@ pub use table::{small_sweep, standard_sweep, TextTable};
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::generator::{Issuer, Workload, WorkloadOp};
-    #[allow(deprecated)]
-    pub use crate::runner::run_workload;
-    pub use crate::runner::{ConsistencyCheck, RunConfig, RunReport};
-    pub use crate::scenario::{drive, CrashPlanSpec, Scenario, ScenarioRun, SchedulerSpec};
+    pub use crate::runner::{CheckCoverage, ConsistencyCheck, RunReport};
+    pub use crate::scenario::{
+        drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec,
+    };
     pub use crate::sweep::{
         run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
     };

@@ -1,18 +1,25 @@
-//! Experiment runner: execute a workload against an emulation and measure it.
+//! Run reports and consistency-check selection.
 //!
 //! The run pipeline lives in [`crate::scenario`] — a [`crate::Scenario`] is
 //! the one typed value that fully determines a run (emulation, workload,
-//! scheduler, crashes, check, seed). This module keeps the pieces that are
-//! shared with it ([`ConsistencyCheck`], [`RunReport`]) plus the deprecated
-//! [`run_workload`] entry point, which is now a thin shim over the same
-//! engine.
+//! scheduler, crashes, recording, check, seed). This module keeps the pieces
+//! shared across the pipeline: which condition to verify
+//! ([`ConsistencyCheck`]), how much of the run the verdict is based on
+//! ([`CheckCoverage`]) and the measured outcome ([`RunReport`]).
+//!
+//! The deprecated `run_workload`/`RunConfig` shims were removed after one
+//! release, as scheduled: compose a [`crate::Scenario`] (or call
+//! [`crate::scenario::drive`] with a custom emulation instance or scheduler)
+//! instead. The scenario suite (`tests/scenario_api.rs`,
+//! `tests/scenario_golden.rs`) is the single source of truth for the
+//! engine's behaviour, including byte-identity with the pre-`Scenario`
+//! runner.
 
-use crate::generator::Workload;
 use regemu_bounds::Params;
-use regemu_core::Emulation;
-use regemu_fpsm::{CrashPlan, FairDriver, RunMetrics, SimError};
+use regemu_fpsm::RunMetrics;
 use regemu_spec::{HighHistory, Violation};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Which consistency condition to verify after the run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -28,59 +35,42 @@ pub enum ConsistencyCheck {
     Atomic,
 }
 
-/// Configuration of one experiment run.
-#[derive(Clone, Debug)]
-pub struct RunConfig {
-    /// Seed of the fair scheduler.
-    pub seed: u64,
-    /// Servers to crash, and when.
-    pub crash_plan: CrashPlan,
-    /// Per-operation step budget before the run is declared stuck.
-    pub max_steps_per_op: u64,
-    /// Consistency condition to verify at the end.
-    pub check: ConsistencyCheck,
-    /// Whether to keep delivering outstanding low-level operations after the
-    /// last high-level operation completed (a "drain" phase).
-    pub drain: bool,
+/// How much of the run the consistency verdict is based on.
+///
+/// Bounded-memory recording modes ([`regemu_fpsm::RecordingMode`]) can limit
+/// what a checker sees; a report is only a *proof* of consistency when the
+/// coverage is [`CheckCoverage::Complete`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckCoverage {
+    /// The checker saw the entire run (offline over a full recording, or
+    /// online over a stream with no evictions before observation). Also
+    /// reported when no check was requested — there was nothing to miss.
+    Complete,
+    /// The online checker lost events to ring-buffer eviction before it
+    /// could observe them: a `None` violation is *inconclusive*, though any
+    /// violation found before the gap is real.
+    Truncated,
+    /// The run recorded no events ([`regemu_fpsm::RecordingMode::Digest`]),
+    /// so the requested check could not be performed at all: the run is
+    /// metrics-only.
+    NotRecorded,
 }
 
-impl Default for RunConfig {
-    fn default() -> Self {
-        RunConfig {
-            seed: 0xC0FFEE,
-            crash_plan: CrashPlan::none(),
-            max_steps_per_op: 100_000,
-            check: ConsistencyCheck::WsRegular,
-            drain: false,
+impl CheckCoverage {
+    /// Stable short name used in reports: `complete`, `truncated`,
+    /// `unrecorded`.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckCoverage::Complete => "complete",
+            CheckCoverage::Truncated => "truncated",
+            CheckCoverage::NotRecorded => "unrecorded",
         }
     }
 }
 
-impl RunConfig {
-    /// A configuration with the given scheduler seed.
-    pub fn with_seed(seed: u64) -> Self {
-        RunConfig {
-            seed,
-            ..Default::default()
-        }
-    }
-
-    /// Sets the crash plan.
-    pub fn crash_plan(mut self, plan: CrashPlan) -> Self {
-        self.crash_plan = plan;
-        self
-    }
-
-    /// Sets the consistency check.
-    pub fn check(mut self, check: ConsistencyCheck) -> Self {
-        self.check = check;
-        self
-    }
-
-    /// Enables the drain phase.
-    pub fn drain(mut self) -> Self {
-        self.drain = true;
-        self
+impl fmt::Display for CheckCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -96,182 +86,32 @@ pub struct RunReport {
     /// Number of base objects the emulation provisioned.
     pub provisioned_objects: usize,
     /// Space metrics of the run (resource consumption, coverage, …).
+    /// Derived from incremental digests, so identical across recording
+    /// modes for the same scenario.
     pub metrics: RunMetrics,
     /// Number of high-level operations that completed.
     pub completed_ops: usize,
     /// Verdict of the consistency check, if one was requested.
     pub check_violation: Option<Violation>,
-    /// The high-level schedule of the run (for further analysis).
+    /// How much of the run the verdict is based on.
+    pub check_coverage: CheckCoverage,
+    /// The high-level schedule of the run (for further analysis). Extracted
+    /// from the interval digest, which is maintained in every recording
+    /// mode.
     pub history: HighHistory,
 }
 
 impl RunReport {
-    /// Returns `true` when the requested consistency check passed (or none
-    /// was requested).
+    /// Returns `true` when the requested consistency check found no
+    /// violation (or none was requested). Note that under bounded-memory
+    /// recording this is only conclusive when [`RunReport::is_fully_checked`]
+    /// also holds.
     pub fn is_consistent(&self) -> bool {
         self.check_violation.is_none()
     }
-}
 
-/// Runs `workload` against `emulation` under `config`.
-///
-/// Kept for one release as a thin shim over the [`crate::scenario`] engine:
-/// a [`crate::Scenario`] value (or [`crate::scenario::drive`] for custom
-/// emulation instances and schedulers) expresses everything this entry point
-/// did, plus pluggable schedulers and incremental stepping. The produced
-/// histories are byte-identical to the pre-`Scenario` runner for the same
-/// seeds — pinned by the golden-trace suite.
-///
-/// # Errors
-///
-/// Returns a [`SimError`] if some operation cannot complete within the step
-/// budget (e.g. because the crash plan exceeds what the emulation tolerates).
-#[deprecated(
-    since = "0.2.0",
-    note = "compose a `Scenario` (or use `scenario::drive` for a custom emulation \
-            instance or scheduler) instead"
-)]
-pub fn run_workload(
-    emulation: &dyn Emulation,
-    workload: &Workload,
-    config: &RunConfig,
-) -> Result<RunReport, SimError> {
-    let mut scheduler = FairDriver::new(config.seed).with_crash_plan(config.crash_plan.clone());
-    crate::scenario::drive(
-        emulation,
-        workload,
-        &mut scheduler,
-        config.check,
-        config.max_steps_per_op,
-        config.drain,
-    )
-}
-
-// The deprecated shim keeps its original test suite: these tests prove the
-// shim still behaves exactly like the old entry point.
-#[cfg(test)]
-#[allow(deprecated)]
-mod tests {
-    use super::*;
-    use regemu_core::{all_emulations, AbdMaxRegisterEmulation, SpaceOptimalEmulation};
-    use regemu_fpsm::ServerId;
-
-    fn params(k: usize, f: usize, n: usize) -> Params {
-        Params::new(k, f, n).unwrap()
-    }
-
-    #[test]
-    fn write_sequential_runs_are_ws_regular_for_every_emulation() {
-        let p = params(2, 1, 4);
-        let workload = Workload::write_sequential(2, 2, true);
-        for emulation in all_emulations(p) {
-            let report = run_workload(
-                emulation.as_ref(),
-                &workload,
-                &RunConfig::with_seed(11).check(ConsistencyCheck::WsRegular),
-            )
-            .unwrap();
-            assert!(
-                report.is_consistent(),
-                "{}: {:?}",
-                report.emulation,
-                report.check_violation
-            );
-            assert_eq!(report.completed_ops, workload.len());
-            assert!(report.metrics.resource_consumption() <= report.provisioned_objects);
-        }
-    }
-
-    #[test]
-    fn runs_survive_f_crashes_from_the_plan() {
-        let p = params(2, 1, 4);
-        let workload = Workload::write_sequential(2, 2, true);
-        let plan = CrashPlan::none().crash_at(5, ServerId::new(3));
-        for emulation in all_emulations(p) {
-            let report = run_workload(
-                emulation.as_ref(),
-                &workload,
-                &RunConfig::with_seed(3)
-                    .crash_plan(plan.clone())
-                    .check(ConsistencyCheck::WsRegular),
-            )
-            .unwrap();
-            assert!(
-                report.is_consistent(),
-                "{}: {:?}",
-                report.emulation,
-                report.check_violation
-            );
-        }
-    }
-
-    #[test]
-    fn concurrent_reads_are_regular_for_the_space_optimal_construction() {
-        let p = params(2, 1, 4);
-        let emulation = SpaceOptimalEmulation::new(p);
-        let workload = Workload::concurrent_read_write(2, 2);
-        let report = run_workload(
-            &emulation,
-            &workload,
-            &RunConfig::with_seed(19)
-                .check(ConsistencyCheck::WsRegular)
-                .drain(),
-        )
-        .unwrap();
-        assert!(report.is_consistent(), "{:?}", report.check_violation);
-        assert_eq!(report.completed_ops, workload.len());
-    }
-
-    #[test]
-    fn atomic_abd_variant_is_linearizable_under_mixed_workloads() {
-        let p = params(2, 1, 3);
-        let emulation = AbdMaxRegisterEmulation::new(p, true);
-        let workload = Workload::random_mixed(2, 2, 14, 0.5, 21);
-        let report = run_workload(
-            &emulation,
-            &workload,
-            &RunConfig::with_seed(23).check(ConsistencyCheck::Atomic),
-        )
-        .unwrap();
-        assert!(report.is_consistent(), "{:?}", report.check_violation);
-    }
-
-    #[test]
-    fn read_heavy_workloads_scale_readers_without_extra_space() {
-        // Readers never write in the WS-Regular constructions, so piling on
-        // readers does not change the resource consumption — the reason the
-        // paper can state its bounds independently of the number of readers.
-        let p = params(2, 1, 4);
-        let emulation = SpaceOptimalEmulation::new(p);
-        let few_readers = Workload::read_heavy(p.k, 2, 1, 1);
-        let many_readers = Workload::read_heavy(p.k, 2, 6, 3);
-        let a = run_workload(&emulation, &few_readers, &RunConfig::with_seed(31)).unwrap();
-        let b = run_workload(&emulation, &many_readers, &RunConfig::with_seed(32)).unwrap();
-        assert!(a.is_consistent() && b.is_consistent());
-        assert_eq!(
-            a.metrics.resource_consumption(),
-            b.metrics.resource_consumption()
-        );
-        assert!(b.metrics.written.len() <= a.provisioned_objects);
-        assert_eq!(b.completed_ops, many_readers.len());
-    }
-
-    #[test]
-    fn resource_consumption_is_reported_per_emulation() {
-        let p = params(3, 1, 5);
-        let workload = Workload::write_sequential(3, 1, false);
-        let space_optimal = SpaceOptimalEmulation::new(p);
-        let report = run_workload(&space_optimal, &workload, &RunConfig::default()).unwrap();
-        // The writers only touch their own register sets plus whatever the
-        // collect reads, which is the full layout: consumption equals the
-        // provisioned count (= Theorem 3 formula).
-        assert_eq!(
-            report.metrics.resource_consumption(),
-            report.provisioned_objects
-        );
-        assert_eq!(
-            report.provisioned_objects,
-            regemu_bounds::register_upper_bound(p)
-        );
+    /// Returns `true` when the consistency verdict covers the whole run.
+    pub fn is_fully_checked(&self) -> bool {
+        self.check_coverage == CheckCoverage::Complete
     }
 }

@@ -30,10 +30,17 @@
 //!
 //! Because a `Scenario` is a plain value whose every dimension is a small
 //! serializable enum ([`regemu_core::EmulationKind`],
-//! [`crate::sweep::WorkloadSpec`], [`SchedulerSpec`], [`CrashPlanSpec`]),
-//! grids over scenarios are trivially
+//! [`crate::sweep::WorkloadSpec`], [`SchedulerSpec`], [`CrashPlanSpec`],
+//! [`RecordingModeSpec`]), grids over scenarios are trivially
 //! expressible — [`crate::sweep`] is exactly that, and new dimensions land as
 //! one extra axis instead of a cross-crate plumbing change.
+//!
+//! Long runs can bound their memory with [`Scenario::recording`]: `Digest`
+//! keeps metrics only, `Ring(capacity)` keeps a sliding event window and
+//! verifies the configured consistency condition *online*
+//! ([`regemu_spec::StreamingChecker`]) instead of offline over the full
+//! log. Metrics are byte-identical across recording modes for the same
+//! scenario — recording changes what is retained, never what happens.
 //!
 //! Determinism: everything a run does flows from the scenario value. Two
 //! builds of the same scenario replay the same run, event for event; the
@@ -41,19 +48,30 @@
 //! pre-`Scenario` `run_workload` code path.
 
 use crate::generator::{Issuer, Workload};
-use crate::runner::{ConsistencyCheck, RunReport};
+use crate::runner::{CheckCoverage, ConsistencyCheck, RunReport};
 use regemu_adversary::strategy::{CoverWrites, SilenceServers};
 use regemu_bounds::Params;
 use regemu_core::{Emulation, EmulationKind};
 use regemu_fpsm::{
-    AdversarialScheduler, ClientId, CrashPlan, FairDriver, History, RoundRobinScheduler,
-    RunMetrics, Scheduler, ServerId, SimError, Simulation,
+    AdversarialScheduler, ClientId, CrashPlan, FairDriver, History, RecordingMode,
+    RoundRobinScheduler, RunMetrics, Scheduler, ServerId, SimError, Simulation,
 };
 use regemu_spec::{
-    check_linearizable, check_ws_regular, check_ws_safe, HighHistory, SequentialSpec,
+    check_linearizable, check_ws_regular, check_ws_safe, Condition, HighHistory, SequentialSpec,
+    StreamingChecker,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// The sweepable recording-mode axis of a scenario.
+///
+/// Unlike [`SchedulerSpec`] and [`CrashPlanSpec`], the fpsm mechanism type
+/// ([`regemu_fpsm::RecordingMode`]) is already a plain, serializable value
+/// that needs no per-run instantiation, so the spec *is* the mode. Labels
+/// (`full`, `digest`, `ring:N`) round-trip through
+/// [`RecordingMode::label`] / [`RecordingMode::from_label`] for CLI flags
+/// and reports.
+pub use regemu_fpsm::RecordingMode as RecordingModeSpec;
 
 /// Which scheduler drives a scenario — a sweepable, serializable dimension.
 ///
@@ -200,7 +218,8 @@ enum CrashChoice {
 /// See the [module docs](self) for the full picture. All setters are
 /// by-value builders; every dimension has a sensible default (space-optimal
 /// emulation, one write-sequential round per writer with reads, fair
-/// scheduler, no crashes, WS-Regularity check, seed `0xC0FFEE`).
+/// scheduler, no crashes, full recording, WS-Regularity check, seed
+/// `0xC0FFEE`).
 #[derive(Clone, Debug)]
 pub struct Scenario {
     params: Params,
@@ -208,6 +227,7 @@ pub struct Scenario {
     workload: WorkloadChoice,
     scheduler: SchedulerSpec,
     crashes: CrashChoice,
+    recording: RecordingModeSpec,
     check: ConsistencyCheck,
     seed: u64,
     max_steps_per_op: u64,
@@ -226,6 +246,7 @@ impl Scenario {
             }),
             scheduler: SchedulerSpec::Fair,
             crashes: CrashChoice::Spec(CrashPlanSpec::None),
+            recording: RecordingModeSpec::Full,
             check: ConsistencyCheck::WsRegular,
             seed: 0xC0FFEE,
             max_steps_per_op: 100_000,
@@ -270,6 +291,23 @@ impl Scenario {
         self
     }
 
+    /// Selects how much of the event stream the run retains.
+    ///
+    /// [`RecordingModeSpec::Full`] (the default) keeps every event and
+    /// checks consistency offline over the complete history.
+    /// [`RecordingModeSpec::Ring`] keeps a sliding window and verifies the
+    /// requested condition *online* with a
+    /// [`regemu_spec::StreamingChecker`] fed from the window — the verdict
+    /// covers the whole run unless the ring evicted events faster than the
+    /// engine drained them (see [`RunReport::check_coverage`]).
+    /// [`RecordingModeSpec::Digest`] retains nothing: the run is
+    /// metrics-only. Metrics are byte-identical across modes for the same
+    /// scenario.
+    pub fn recording(mut self, mode: RecordingModeSpec) -> Self {
+        self.recording = mode;
+        self
+    }
+
     /// Selects the consistency condition verified by the report.
     pub fn check(mut self, check: ConsistencyCheck) -> Self {
         self.check = check;
@@ -306,6 +344,11 @@ impl Scenario {
         self.scheduler
     }
 
+    /// The recording dimension of the scenario.
+    pub fn recording_spec(&self) -> RecordingModeSpec {
+        self.recording
+    }
+
     /// Materializes the scenario into a runnable [`ScenarioRun`].
     ///
     /// Building is cheap and side-effect free; a scenario can be built many
@@ -321,7 +364,7 @@ impl Scenario {
             CrashChoice::Explicit(plan) => plan.clone(),
         };
         let scheduler = self.scheduler.build(self.seed, crash_plan, self.params);
-        let engine = Engine::new(emulation.as_ref());
+        let engine = Engine::with_recording(emulation.as_ref(), self.recording, self.check);
         ScenarioRun {
             emulation,
             scheduler,
@@ -417,6 +460,11 @@ impl ScenarioRun {
         self.emulation.as_ref()
     }
 
+    /// The recording mode the run records under.
+    pub fn recording_mode(&self) -> RecordingMode {
+        self.engine.sim.recording_mode()
+    }
+
     /// Crashes a server mid-run (counted against the fault budget `f`).
     ///
     /// # Errors
@@ -427,8 +475,10 @@ impl ScenarioRun {
     }
 
     /// Finalizes the run: captures metrics, extracts the high-level schedule
-    /// and verifies the configured consistency condition.
-    pub fn into_report(self) -> RunReport {
+    /// and verifies the configured consistency condition — offline over the
+    /// full history under [`RecordingModeSpec::Full`], from the online
+    /// checker under the bounded recording modes.
+    pub fn into_report(mut self) -> RunReport {
         self.engine
             .report(self.emulation.as_ref(), self.scheduler_name, self.check)
     }
@@ -471,12 +521,38 @@ pub(crate) struct Engine {
     steps_since_progress: u64,
     /// Set once the post-completion drain reached quiescence.
     quiesced: bool,
+    /// How much of the event stream the simulation retains.
+    recording: RecordingMode,
+    /// Online checker for bounded recording modes, fed from the retained
+    /// event window after every engine step.
+    checker: Option<StreamingChecker>,
+    /// Sequence number of the next event the checker has not seen.
+    checker_cursor: u64,
 }
 
 impl Engine {
     pub(crate) fn new(emulation: &dyn Emulation) -> Self {
+        Engine::with_recording(emulation, RecordingMode::Full, ConsistencyCheck::None)
+    }
+
+    pub(crate) fn with_recording(
+        emulation: &dyn Emulation,
+        recording: RecordingMode,
+        check: ConsistencyCheck,
+    ) -> Self {
+        let mut sim = emulation.build_simulation();
+        sim.set_recording_mode(recording);
+        // Under `Full` the report checks offline over the complete history;
+        // under `Digest` nothing is retained to check. Only `Ring` needs the
+        // online checker, draining the window as the run produces events.
+        let checker = match (recording, condition_of(check)) {
+            (RecordingMode::Ring(_), Some(condition)) => {
+                Some(StreamingChecker::new(condition, SequentialSpec::register()))
+            }
+            _ => None,
+        };
         Engine {
-            sim: emulation.build_simulation(),
+            sim,
             writer_clients: vec![None; emulation.params().k],
             reader_clients: Vec::new(),
             cursor: 0,
@@ -484,7 +560,31 @@ impl Engine {
             last_completed: 0,
             steps_since_progress: 0,
             quiesced: false,
+            recording,
+            checker,
+            checker_cursor: 0,
         }
+    }
+
+    /// Feeds every event the checker has not yet observed. Called after each
+    /// engine step, so one ring capacity only needs to cover the events of a
+    /// single step (issuing plus one delivery) to never miss anything; a gap
+    /// is reported to the checker, which degrades the verdict to
+    /// [`CheckCoverage::Truncated`] instead of guessing.
+    fn feed_checker(&mut self) {
+        let Some(checker) = self.checker.as_mut() else {
+            return;
+        };
+        let history = self.sim.history();
+        match history.events_since(self.checker_cursor) {
+            Some(events) => {
+                for event in events {
+                    checker.observe(event);
+                }
+            }
+            None => checker.note_gap(),
+        }
+        self.checker_cursor = history.total_events();
     }
 
     fn client_for(&mut self, emulation: &dyn Emulation, issuer: Issuer) -> ClientId {
@@ -578,6 +678,7 @@ impl Engine {
                 ),
             });
         }
+        self.feed_checker();
         let completed = self.sim.completed_high_count();
         if completed > self.last_completed {
             self.last_completed = completed;
@@ -600,21 +701,44 @@ impl Engine {
     }
 
     pub(crate) fn report(
-        &self,
+        &mut self,
         emulation: &dyn Emulation,
         scheduler: &str,
         check: ConsistencyCheck,
     ) -> RunReport {
+        self.feed_checker();
         let params = emulation.params();
         let metrics = RunMetrics::capture(&self.sim);
         let history = HighHistory::from_run(self.sim.history());
         let completed_ops = self.sim.completed_high_count();
         let spec = SequentialSpec::register();
-        let check_violation = match check {
-            ConsistencyCheck::None => None,
-            ConsistencyCheck::WsSafe => check_ws_safe(&history, &spec).err(),
-            ConsistencyCheck::WsRegular => check_ws_regular(&history, &spec).err(),
-            ConsistencyCheck::Atomic => check_linearizable(&history, &spec).err(),
+        let (check_violation, check_coverage) = match (check, self.checker.take()) {
+            // Nothing was requested: nothing could be missed.
+            (ConsistencyCheck::None, _) => (None, CheckCoverage::Complete),
+            // Bounded recording with an online checker (`Ring`): the verdict
+            // is the stream's, conclusive only if no event was evicted
+            // before the checker observed it.
+            (_, Some(checker)) => {
+                let outcome = checker.into_outcome();
+                let coverage = if outcome.complete {
+                    CheckCoverage::Complete
+                } else {
+                    CheckCoverage::Truncated
+                };
+                (outcome.violation, coverage)
+            }
+            // Full recording: check offline over the complete schedule.
+            (_, None) if self.recording.is_full() => {
+                let violation = match check {
+                    ConsistencyCheck::None => unreachable!("handled above"),
+                    ConsistencyCheck::WsSafe => check_ws_safe(&history, &spec).err(),
+                    ConsistencyCheck::WsRegular => check_ws_regular(&history, &spec).err(),
+                    ConsistencyCheck::Atomic => check_linearizable(&history, &spec).err(),
+                };
+                (violation, CheckCoverage::Complete)
+            }
+            // `Digest` retains nothing: the requested check never ran.
+            (_, None) => (None, CheckCoverage::NotRecorded),
         };
         RunReport {
             emulation: emulation.name().to_string(),
@@ -624,8 +748,19 @@ impl Engine {
             metrics,
             completed_ops,
             check_violation,
+            check_coverage,
             history,
         }
+    }
+}
+
+/// Maps the requested check to the spec-crate condition it verifies.
+fn condition_of(check: ConsistencyCheck) -> Option<Condition> {
+    match check {
+        ConsistencyCheck::None => None,
+        ConsistencyCheck::WsSafe => Some(Condition::WsSafety),
+        ConsistencyCheck::WsRegular => Some(Condition::WsRegularity),
+        ConsistencyCheck::Atomic => Some(Condition::Atomicity),
     }
 }
 
@@ -801,6 +936,114 @@ mod tests {
         }
         assert_eq!(SchedulerSpec::from_name("nope"), None);
         assert_eq!(CrashPlanSpec::from_name("nope"), None);
+    }
+
+    #[test]
+    fn bounded_recording_modes_leave_metrics_untouched() {
+        let scenario = Scenario::new(params(2, 1, 4))
+            .workload(WorkloadSpec::RandomMixed {
+                readers: 2,
+                total: 12,
+                write_percent: 50,
+            })
+            .seed(41);
+        let full = scenario.run().unwrap();
+        assert!(full.is_fully_checked());
+        for mode in [
+            RecordingModeSpec::Digest,
+            RecordingModeSpec::Ring(1024),
+            RecordingModeSpec::Ring(1),
+        ] {
+            let bounded = scenario.clone().recording(mode).run().unwrap();
+            assert_eq!(bounded.metrics, full.metrics, "{mode}");
+            assert_eq!(bounded.completed_ops, full.completed_ops, "{mode}");
+            assert_eq!(bounded.history, full.history, "{mode}");
+        }
+    }
+
+    #[test]
+    fn ring_recording_checks_online_with_full_coverage() {
+        let scenario = Scenario::new(params(2, 1, 4))
+            .workload(WorkloadSpec::ConcurrentReadWrite { rounds: 2 })
+            .check(ConsistencyCheck::WsRegular)
+            .seed(9);
+        let full = scenario.run().unwrap();
+        let ring = scenario
+            .clone()
+            .recording(RecordingModeSpec::Ring(1024))
+            .run()
+            .unwrap();
+        assert!(ring.is_fully_checked(), "{:?}", ring.check_coverage);
+        assert_eq!(ring.is_consistent(), full.is_consistent());
+        assert_eq!(ring.check_coverage, crate::runner::CheckCoverage::Complete);
+    }
+
+    #[test]
+    fn tiny_rings_report_truncated_instead_of_guessing() {
+        // A one-event window cannot cover a whole engine step, so the online
+        // checker must miss events and say so.
+        let report = Scenario::new(params(2, 1, 4))
+            .recording(RecordingModeSpec::Ring(1))
+            .check(ConsistencyCheck::WsRegular)
+            .seed(3)
+            .run()
+            .unwrap();
+        assert!(!report.is_fully_checked());
+        assert_eq!(
+            report.check_coverage,
+            crate::runner::CheckCoverage::Truncated
+        );
+        // No violation was *observed*; the report does not claim one.
+        assert!(report.check_violation.is_none());
+    }
+
+    #[test]
+    fn digest_recording_is_metrics_only() {
+        let scenario = Scenario::new(params(2, 1, 4)).seed(5);
+        let report = scenario
+            .clone()
+            .recording(RecordingModeSpec::Digest)
+            .run()
+            .unwrap();
+        assert_eq!(
+            report.check_coverage,
+            crate::runner::CheckCoverage::NotRecorded
+        );
+        assert!(report.check_violation.is_none());
+        // With no check requested there is nothing to miss.
+        let unchecked = scenario
+            .recording(RecordingModeSpec::Digest)
+            .check(ConsistencyCheck::None)
+            .run()
+            .unwrap();
+        assert!(unchecked.is_fully_checked());
+    }
+
+    #[test]
+    fn ring_runs_retain_at_most_the_capacity() {
+        let scenario = Scenario::new(params(2, 1, 4))
+            .workload(WorkloadSpec::RandomMixed {
+                readers: 1,
+                total: 20,
+                write_percent: 60,
+            })
+            .recording(RecordingModeSpec::Ring(16))
+            .seed(77);
+        let mut run = scenario.build();
+        assert_eq!(run.recording_mode(), RecordingModeSpec::Ring(16));
+        run.run().unwrap();
+        let history = run.history();
+        assert!(history.total_events() > 16);
+        assert!(history.peak_retained_events() <= 16);
+        // Digest runs retain nothing at all.
+        let mut run = Scenario::new(params(2, 1, 4))
+            .recording(RecordingModeSpec::Digest)
+            .seed(77)
+            .build();
+        run.run().unwrap();
+        assert_eq!(run.history().peak_retained_events(), 0);
+        assert_eq!(run.history().retained_events(), 0);
+        assert!(run.history().total_events() > 0);
     }
 
     #[test]

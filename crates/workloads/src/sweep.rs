@@ -1,7 +1,8 @@
 //! Parallel, deterministic parameter sweeps.
 //!
 //! A sweep fans a `(k, f, n) × emulation × workload × scheduler ×
-//! crash-plan × seed` grid out across `std::thread` workers and aggregates
+//! crash-plan × recording × seed` grid out across `std::thread` workers and
+//! aggregates
 //! the per-case measurements into a [`SweepReport`]. Every case is one
 //! [`crate::Scenario`] — *fully independent*: the worker builds its own
 //! emulation instance, workload and seeded scheduler, so the report is a
@@ -23,7 +24,7 @@
 
 use crate::generator::Workload;
 use crate::runner::ConsistencyCheck;
-use crate::scenario::{CrashPlanSpec, Scenario, SchedulerSpec};
+use crate::scenario::{CrashPlanSpec, RecordingModeSpec, Scenario, SchedulerSpec};
 use crate::table::small_sweep;
 use regemu_bounds::Params;
 use serde::{Deserialize, Serialize};
@@ -130,8 +131,9 @@ impl fmt::Display for WorkloadSpec {
 }
 
 /// Declarative description of a sweep: the full cross product of
-/// `grid × emulations × workloads × schedulers × crash_plans × seeds` is
-/// run, each point as one independent, deterministic [`Scenario`].
+/// `grid × emulations × workloads × schedulers × crash_plans × recordings ×
+/// seeds` is run, each point as one independent, deterministic
+/// [`Scenario`].
 #[derive(Clone, Debug)]
 pub struct SweepConfig {
     /// Parameter points `(k, f, n)` to sweep.
@@ -144,6 +146,10 @@ pub struct SweepConfig {
     pub schedulers: Vec<SchedulerSpec>,
     /// Crash plans injected into the runs; each is a separate case.
     pub crash_plans: Vec<CrashPlanSpec>,
+    /// Recording modes the runs retain their event streams under; each is a
+    /// separate case. Metrics are identical across modes, so this axis is
+    /// used to bound sweep memory (and to prove the equivalence).
+    pub recordings: Vec<RecordingModeSpec>,
     /// Scheduler seeds; each seed is a separate case.
     pub seeds: Vec<u64>,
     /// Consistency condition verified after every run.
@@ -175,6 +181,7 @@ impl SweepConfig {
             ],
             schedulers: vec![SchedulerSpec::Fair],
             crash_plans: vec![CrashPlanSpec::None],
+            recordings: vec![RecordingModeSpec::Full],
             seeds: vec![1, 2],
             check: ConsistencyCheck::WsRegular,
             max_steps_per_op: 100_000,
@@ -204,6 +211,7 @@ impl SweepConfig {
             ],
             schedulers: vec![SchedulerSpec::Fair],
             crash_plans: vec![CrashPlanSpec::None],
+            recordings: vec![RecordingModeSpec::Full],
             seeds: vec![7],
             check: ConsistencyCheck::WsRegular,
             max_steps_per_op: 100_000,
@@ -218,11 +226,13 @@ impl SweepConfig {
             * self.workloads.len()
             * self.schedulers.len()
             * self.crash_plans.len()
+            * self.recordings.len()
             * self.seeds.len()
     }
 
     /// Expands the cross product into concrete cases, in a stable order
-    /// (grid-major, then emulation, workload, scheduler, crash plan, seed).
+    /// (grid-major, then emulation, workload, scheduler, crash plan,
+    /// recording, seed).
     pub fn cases(&self) -> Vec<SweepCase> {
         let mut cases = Vec::with_capacity(self.case_count());
         for &params in &self.grid {
@@ -230,16 +240,19 @@ impl SweepConfig {
                 for workload in &self.workloads {
                     for &scheduler in &self.schedulers {
                         for &crashes in &self.crash_plans {
-                            for &seed in &self.seeds {
-                                cases.push(SweepCase {
-                                    index: cases.len(),
-                                    params,
-                                    emulation,
-                                    workload: *workload,
-                                    scheduler,
-                                    crashes,
-                                    seed,
-                                });
+                            for &recording in &self.recordings {
+                                for &seed in &self.seeds {
+                                    cases.push(SweepCase {
+                                        index: cases.len(),
+                                        params,
+                                        emulation,
+                                        workload: *workload,
+                                        scheduler,
+                                        crashes,
+                                        recording,
+                                        seed,
+                                    });
+                                }
                             }
                         }
                     }
@@ -277,6 +290,8 @@ pub struct SweepCase {
     pub scheduler: SchedulerSpec,
     /// Crash plan injected into the run.
     pub crashes: CrashPlanSpec,
+    /// Recording mode the run retains its event stream under.
+    pub recording: RecordingModeSpec,
     /// Scheduler (and workload-generator) seed.
     pub seed: u64,
 }
@@ -289,6 +304,7 @@ impl SweepCase {
             .workload(self.workload)
             .scheduler(self.scheduler)
             .crashes(self.crashes)
+            .recording(self.recording)
             .check(check)
             .seed(self.seed)
             .max_steps_per_op(max_steps_per_op)
@@ -316,6 +332,9 @@ pub struct CaseResult {
     pub completed_ops: usize,
     /// `true` when the configured consistency check passed.
     pub consistent: bool,
+    /// How much of the run the verdict is based on (`complete`,
+    /// `truncated`, `unrecorded`; empty when the run errored).
+    pub coverage: String,
     /// Violation description when the check failed.
     pub violation: Option<String>,
     /// Engine error when the run itself failed (e.g. stuck past the step
@@ -336,6 +355,7 @@ fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
             low_level_responses: report.metrics.low_level_responses,
             completed_ops: report.completed_ops,
             consistent: report.is_consistent(),
+            coverage: report.check_coverage.name().to_string(),
             violation: report.check_violation.as_ref().map(ToString::to_string),
             error: None,
         },
@@ -349,6 +369,7 @@ fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
             low_level_responses: 0,
             completed_ops: 0,
             consistent: false,
+            coverage: String::new(),
             violation: None,
             error: Some(e.to_string()),
         },
@@ -398,10 +419,12 @@ impl SweepReport {
             let c = &r.case;
             out.push_str(&format!(
                 "    {{\"index\": {}, \"emulation\": \"{}\", \"k\": {}, \"f\": {}, \"n\": {}, \
-                 \"workload\": \"{}\", \"scheduler\": \"{}\", \"crashes\": \"{}\", \"seed\": {}, \
+                 \"workload\": \"{}\", \"scheduler\": \"{}\", \"crashes\": \"{}\", \
+                 \"recording\": \"{}\", \"seed\": {}, \
                  \"provisioned\": {}, \"consumption\": {}, \
                  \"covered\": {}, \"contention\": {}, \"triggers\": {}, \"responses\": {}, \
-                 \"completed\": {}, \"consistent\": {}, \"violation\": {}, \"error\": {}}}{}\n",
+                 \"completed\": {}, \"consistent\": {}, \"coverage\": \"{}\", \
+                 \"violation\": {}, \"error\": {}}}{}\n",
                 c.index,
                 c.emulation.name(),
                 c.params.k,
@@ -410,6 +433,7 @@ impl SweepReport {
                 json_escape(&c.workload.label()),
                 c.scheduler.name(),
                 c.crashes.name(),
+                json_escape(&c.recording.label()),
                 c.seed,
                 r.provisioned_objects,
                 r.resource_consumption,
@@ -419,6 +443,7 @@ impl SweepReport {
                 r.low_level_responses,
                 r.completed_ops,
                 r.consistent,
+                json_escape(&r.coverage),
                 json_opt_string(r.violation.as_deref()),
                 json_opt_string(r.error.as_deref()),
                 if i + 1 < self.results.len() { "," } else { "" },
@@ -437,13 +462,14 @@ impl SweepReport {
     /// Deterministic for identical configs regardless of worker count.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,emulation,k,f,n,workload,scheduler,crashes,seed,provisioned,consumption,\
-             covered,contention,triggers,responses,completed,consistent,violation,error\n",
+            "index,emulation,k,f,n,workload,scheduler,crashes,recording,seed,provisioned,\
+             consumption,covered,contention,triggers,responses,completed,consistent,coverage,\
+             violation,error\n",
         );
         for r in &self.results {
             let c = &r.case;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.index,
                 c.emulation.name(),
                 c.params.k,
@@ -452,6 +478,7 @@ impl SweepReport {
                 csv_field(&c.workload.label()),
                 c.scheduler.name(),
                 c.crashes.name(),
+                csv_field(&c.recording.label()),
                 c.seed,
                 r.provisioned_objects,
                 r.resource_consumption,
@@ -461,6 +488,7 @@ impl SweepReport {
                 r.low_level_responses,
                 r.completed_ops,
                 r.consistent,
+                csv_field(&r.coverage),
                 csv_field(r.violation.as_deref().unwrap_or("")),
                 csv_field(r.error.as_deref().unwrap_or("")),
             ));
@@ -600,6 +628,47 @@ mod tests {
     }
 
     #[test]
+    fn recording_axis_reports_identical_metrics_columns() {
+        let mut config = SweepConfig::quick();
+        config.grid.truncate(2);
+        config.recordings = vec![
+            RecordingModeSpec::Full,
+            RecordingModeSpec::Digest,
+            RecordingModeSpec::Ring(1024),
+        ];
+        config.threads = 2;
+        let report = run_sweep(&config);
+        assert_eq!(report.len(), config.case_count());
+        assert_eq!(report.len(), 2 * 4 * 2 * 3);
+        // Cases come in (full, digest, ring) triples that differ only in the
+        // recording axis: their measured columns must be identical, and the
+        // coverage column tells the three modes apart.
+        for triple in report.results().chunks(3) {
+            let [full, digest, ring] = triple else {
+                panic!("recording axis must expand to triples");
+            };
+            assert_eq!(full.case.recording, RecordingModeSpec::Full);
+            assert_eq!(digest.case.recording, RecordingModeSpec::Digest);
+            assert_eq!(ring.case.recording, RecordingModeSpec::Ring(1024));
+            for bounded in [digest, ring] {
+                assert_eq!(bounded.resource_consumption, full.resource_consumption);
+                assert_eq!(bounded.covered, full.covered);
+                assert_eq!(bounded.point_contention, full.point_contention);
+                assert_eq!(bounded.low_level_triggers, full.low_level_triggers);
+                assert_eq!(bounded.low_level_responses, full.low_level_responses);
+                assert_eq!(bounded.completed_ops, full.completed_ops);
+            }
+            assert_eq!(full.coverage, "complete");
+            assert_eq!(digest.coverage, "unrecorded");
+            assert_eq!(ring.coverage, "complete");
+            assert_eq!(ring.consistent, full.consistent);
+        }
+        let csv = report.to_csv();
+        assert!(csv.contains(",digest,"));
+        assert!(csv.contains(",ring:1024,"));
+    }
+
+    #[test]
     fn json_and_csv_have_one_record_per_case() {
         let mut config = SweepConfig::quick();
         config.threads = 2;
@@ -611,7 +680,7 @@ mod tests {
         assert!(json.contains("\"crashes\": \"none\""));
         let csv = report.to_csv();
         assert_eq!(csv.lines().count(), report.len() + 1);
-        assert!(csv.starts_with("index,emulation,k,f,n,workload,scheduler,crashes,seed"));
+        assert!(csv.starts_with("index,emulation,k,f,n,workload,scheduler,crashes,recording,seed"));
     }
 
     #[test]

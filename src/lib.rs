@@ -53,6 +53,12 @@
 #[doc = include_str!("../docs/MODEL.md")]
 pub mod model {}
 
+/// The project README, included verbatim so its Rust snippets (quickstart,
+/// bounded-memory recording) are compiled and executed as doctests by
+/// `cargo test --doc` and cannot drift from the code.
+#[doc = include_str!("../README.md")]
+pub mod readme {}
+
 pub use regemu_adversary as adversary;
 pub use regemu_bounds as bounds;
 pub use regemu_core as core;

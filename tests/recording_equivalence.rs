@@ -1,0 +1,177 @@
+//! Property-based equivalence of the recording modes.
+//!
+//! Recording changes what a run *retains*, never what it *does*: across a
+//! randomized grid of scenarios — every `EmulationKind` (including the
+//! atomic variants) × every scheduler × both crash plans × random seeds and
+//! workload shapes — a `Digest` or `Ring` run must produce `RunMetrics`
+//! byte-identical to the `Full` run of the same scenario, and the online
+//! checker's verdict must agree with the offline verdict whenever the ring
+//! never evicted an unchecked event (i.e. the report's coverage is
+//! `Complete`).
+
+use proptest::prelude::*;
+use regemu::prelude::*;
+
+/// All emulation kinds, WS-Regular and atomic alike.
+fn kinds() -> Vec<EmulationKind> {
+    EmulationKind::ALL
+        .into_iter()
+        .chain(EmulationKind::ATOMIC)
+        .collect()
+}
+
+fn base_scenario(
+    params: Params,
+    kind: EmulationKind,
+    scheduler: SchedulerSpec,
+    crash: bool,
+    workload_shape: u8,
+    check_shape: u8,
+    seed: u64,
+) -> Scenario {
+    let workload = match workload_shape % 3 {
+        0 => WorkloadSpec::WriteSequential {
+            rounds: 1,
+            read_after_each: true,
+        },
+        1 => WorkloadSpec::RandomMixed {
+            readers: 2,
+            total: 10,
+            write_percent: 50,
+        },
+        _ => WorkloadSpec::ConcurrentReadWrite { rounds: 1 },
+    };
+    let check = match check_shape % 3 {
+        0 => ConsistencyCheck::WsSafe,
+        1 => ConsistencyCheck::WsRegular,
+        _ => ConsistencyCheck::Atomic,
+    };
+    Scenario::new(params)
+        .emulation(kind)
+        .workload(workload)
+        .scheduler(scheduler)
+        .crashes(if crash {
+            CrashPlanSpec::CrashF
+        } else {
+            CrashPlanSpec::None
+        })
+        .check(check)
+        .seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// The headline equivalence: metrics, schedules and completion counts
+    /// are identical across recording modes, and online verdicts agree with
+    /// offline ones whenever the checker saw the whole stream.
+    #[test]
+    fn recording_modes_are_observationally_equivalent(
+        (k, f, extra) in (1usize..=3, 1usize..=2, 0usize..=2),
+        kind_index in 0usize..6,
+        scheduler_index in 0usize..4,
+        crash in proptest::bool::ANY,
+        workload_shape in 0u8..3,
+        check_shape in 0u8..3,
+        cap_index in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        let params = Params::new(k, f, 2 * f + 1 + extra).expect("n ≥ 2f + 1 by construction");
+        let kind = kinds()[kind_index % kinds().len()];
+        let scheduler = SchedulerSpec::ALL[scheduler_index % SchedulerSpec::ALL.len()];
+        let capacity = [16usize, 256, 2048][cap_index % 3];
+        let scenario = base_scenario(
+            params, kind, scheduler, crash, workload_shape, check_shape, seed,
+        );
+
+        let full = scenario.run();
+        let digest = scenario.clone().recording(RecordingModeSpec::Digest).run();
+        let ring = scenario
+            .clone()
+            .recording(RecordingModeSpec::Ring(capacity))
+            .run();
+
+        match (full, digest, ring) {
+            (Ok(full), Ok(digest), Ok(ring)) => {
+                // RunMetrics is a pure function of the run, mode-independent.
+                prop_assert_eq!(&digest.metrics, &full.metrics);
+                prop_assert_eq!(&ring.metrics, &full.metrics);
+                prop_assert_eq!(digest.completed_ops, full.completed_ops);
+                prop_assert_eq!(ring.completed_ops, full.completed_ops);
+                // The high-level schedule lives in the interval digest,
+                // retained in every mode.
+                prop_assert_eq!(&digest.history, &full.history);
+                prop_assert_eq!(&ring.history, &full.history);
+
+                // Coverage semantics: full recording always checks fully;
+                // digest never checks at all.
+                prop_assert!(full.is_fully_checked());
+                prop_assert_eq!(digest.check_coverage, CheckCoverage::NotRecorded);
+                prop_assert!(digest.check_violation.is_none());
+
+                // Online verdicts agree with offline ones whenever the ring
+                // never evicted an unchecked event.
+                match ring.check_coverage {
+                    CheckCoverage::Complete => prop_assert_eq!(
+                        ring.is_consistent(),
+                        full.is_consistent(),
+                        "ring verdict {:?} disagrees with offline {:?}",
+                        ring.check_violation,
+                        full.check_violation
+                    ),
+                    CheckCoverage::Truncated => {
+                        // Inconclusive by definition: events were evicted
+                        // faster than the engine drained them, so the online
+                        // verdict (violation or not) claims nothing about
+                        // the full run — a pre-gap WS violation, for
+                        // example, could have been vacated by concurrent
+                        // writes in the unseen suffix.
+                    }
+                    CheckCoverage::NotRecorded => {
+                        prop_assert!(false, "ring runs always retain a window");
+                    }
+                }
+            }
+            // Determinism extends to failures: if one mode cannot complete
+            // the run, all modes fail identically.
+            (full, digest, ring) => {
+                let full_err = full.expect_err("some mode errored").to_string();
+                prop_assert_eq!(digest.expect_err("digest must fail alike").to_string(), full_err.clone());
+                prop_assert_eq!(ring.expect_err("ring must fail alike").to_string(), full_err);
+            }
+        }
+    }
+
+    /// Peak retained events honour the configured bound for every scenario
+    /// shape, while the digests keep working (non-zero totals).
+    #[test]
+    fn ring_capacity_bounds_peak_retention(
+        (k, f) in (1usize..=3, 1usize..=2),
+        workload_shape in 0u8..3,
+        capacity in 1usize..64,
+        seed in 0u64..500,
+    ) {
+        let params = Params::new(k, f, 2 * f + 1).unwrap();
+        let scenario = base_scenario(
+            params,
+            EmulationKind::SpaceOptimal,
+            SchedulerSpec::Fair,
+            false,
+            workload_shape,
+            1,
+            seed,
+        );
+        let mut run = scenario
+            .clone()
+            .recording(RecordingModeSpec::Ring(capacity))
+            .build();
+        run.run().unwrap();
+        prop_assert!(run.history().peak_retained_events() <= capacity);
+        prop_assert!(run.history().total_events() > 0);
+
+        let mut digest = scenario.recording(RecordingModeSpec::Digest).build();
+        digest.run().unwrap();
+        prop_assert_eq!(digest.history().peak_retained_events(), 0);
+        prop_assert_eq!(digest.history().total_events(), run.history().total_events());
+    }
+}

@@ -252,34 +252,82 @@ fn legacy_trace_matches_the_recorded_golden_file() {
 }
 
 #[test]
-fn deprecated_run_workload_shim_matches_the_legacy_runner() {
-    // The shim must keep old callers byte-compatible too.
-    #[allow(deprecated)]
+fn scenario_reports_match_the_legacy_runner() {
+    // The `run_workload`/`RunConfig` shims are gone; the measured surface a
+    // shim caller saw (high-level schedule + metrics) must now be reachable
+    // through `Scenario::run` alone, byte-compatible with the old runner.
     for case in matrix().into_iter().take(4) {
-        let emulation = case.emulation.build(case.params);
-        let config = RunConfig {
-            seed: case.seed,
-            crash_plan: crash_plan_for(&case),
-            max_steps_per_op: 100_000,
-            check: ConsistencyCheck::None,
-            drain: case.drain,
-        };
-        let shim = run_workload(emulation.as_ref(), &case.workload, &config)
-            .unwrap_or_else(|e| panic!("shim {}: {e}", header(&case)));
+        let mut scenario = Scenario::new(case.params)
+            .emulation(case.emulation)
+            .workload_steps(case.workload.clone())
+            .crash_plan(crash_plan_for(&case))
+            .check(ConsistencyCheck::None)
+            .seed(case.seed);
+        if case.drain {
+            scenario = scenario.drain();
+        }
+        let report = scenario
+            .run()
+            .unwrap_or_else(|e| panic!("scenario {}: {e}", header(&case)));
         let legacy_config = legacy::LegacyConfig {
             seed: case.seed,
             crash_plan: crash_plan_for(&case),
             max_steps_per_op: 100_000,
             drain: case.drain,
         };
-        let sim = legacy::run_workload(emulation.as_ref(), &case.workload, &legacy_config)
-            .unwrap_or_else(|e| panic!("legacy {}: {e}", header(&case)));
+        let sim = legacy::run_workload(
+            case.emulation.build(case.params).as_ref(),
+            &case.workload,
+            &legacy_config,
+        )
+        .unwrap_or_else(|e| panic!("legacy {}: {e}", header(&case)));
         assert_eq!(
-            shim.history.ops(),
+            report.history.ops(),
             HighHistory::from_run(sim.history()).ops(),
             "{}",
             header(&case)
         );
-        assert_eq!(shim.metrics, RunMetrics::capture(&sim), "{}", header(&case));
+        assert_eq!(
+            report.metrics,
+            RunMetrics::capture(&sim),
+            "{}",
+            header(&case)
+        );
+        assert!(report.is_fully_checked());
+    }
+}
+
+#[test]
+fn bounded_recording_replays_the_full_recording_byte_identically() {
+    // Recording changes what is retained, never what happens: the high-level
+    // schedule and metrics of Digest/Ring runs must equal the Full run's for
+    // every matrix configuration.
+    for case in matrix() {
+        let mut scenario = Scenario::new(case.params)
+            .emulation(case.emulation)
+            .workload_steps(case.workload.clone())
+            .crash_plan(crash_plan_for(&case))
+            .check(ConsistencyCheck::None)
+            .seed(case.seed);
+        if case.drain {
+            scenario = scenario.drain();
+        }
+        let full = scenario
+            .run()
+            .unwrap_or_else(|e| panic!("full {}: {e}", header(&case)));
+        for mode in [RecordingModeSpec::Digest, RecordingModeSpec::Ring(256)] {
+            let bounded = scenario
+                .clone()
+                .recording(mode)
+                .run()
+                .unwrap_or_else(|e| panic!("{mode} {}: {e}", header(&case)));
+            assert_eq!(
+                bounded.history.ops(),
+                full.history.ops(),
+                "{mode} {}",
+                header(&case)
+            );
+            assert_eq!(bounded.metrics, full.metrics, "{mode} {}", header(&case));
+        }
     }
 }
