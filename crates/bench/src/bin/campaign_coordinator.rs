@@ -1,0 +1,227 @@
+//! `campaign_coordinator` — drive a sharded multi-process sweep campaign
+//! over a spool directory, with deterministic merge and resume.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin campaign_coordinator -- \
+//!     --spool DIR [OPTIONS]
+//!
+//! OPTIONS (campaign):
+//!   --spool DIR         spool directory (manifest, config, shard reports)
+//!   --shards N          shard count for a fresh campaign (default 4;
+//!                       resuming keeps the existing manifest's plan)
+//!   --workers M         concurrent worker processes (default 2)
+//!   --retries R         attempt budget per shard (default 3)
+//!   --worker-threads N  sweep threads per worker (default 1)
+//!   --worker-bin PATH   campaign_worker binary (default: next to this one)
+//!   --in-process        run shards inside this process instead of spawning
+//!   --exit-after N      stop after completing N shards (kill simulation;
+//!                       rerun the same command to resume)
+//!   --merge-only        only merge existing shard reports, run nothing
+//!   --quiet             no progress lines
+//!   --json PATH         write the merged report as JSON (- for stdout)
+//!   --csv PATH          write the merged report as CSV (- for stdout)
+//!
+//! OPTIONS (sweep config, for a fresh spool):
+//!   --quick --threads --seeds --schedulers --crash-plans --crash-f
+//!   --recording          (same meaning as in sweep_grid)
+//! ```
+//!
+//! The merged report is **byte-identical** to a single-process `sweep_grid`
+//! run of the same config, for any shard count, worker count or completion
+//! order. Interrupting the campaign (Ctrl-C, kill, `--exit-after`) loses at
+//! most the shards in flight: rerunning the same command resumes from the
+//! manifest and re-runs only incomplete shards.
+
+use regemu_bench::cli::{write_output, ConfigFlags, CONFIG_USAGE};
+use regemu_workloads::campaign::{
+    config_fingerprint, load_config, merge_shards, run_campaign, CampaignOptions, WorkerMode,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("campaign_coordinator: {msg}");
+    eprintln!(
+        "usage: campaign_coordinator --spool DIR [--shards N] [--workers M] [--retries R] \
+         [--worker-threads N] [--worker-bin PATH] [--in-process] [--exit-after N] \
+         [--merge-only] [--quiet] [--json PATH] [--csv PATH] {CONFIG_USAGE}"
+    );
+    std::process::exit(2);
+}
+
+fn default_worker_bin() -> PathBuf {
+    let Ok(me) = std::env::current_exe() else {
+        return PathBuf::from("campaign_worker");
+    };
+    let mut bin = me;
+    bin.set_file_name(format!("campaign_worker{}", std::env::consts::EXE_SUFFIX));
+    bin
+}
+
+fn main() {
+    let mut flags = ConfigFlags::default();
+    let mut any_config_flag = false;
+    let mut spool: Option<PathBuf> = None;
+    let mut shards: usize = 4;
+    let mut workers: usize = 2;
+    let mut retries: u32 = 3;
+    let mut worker_threads: Option<usize> = None;
+    let mut worker_bin: Option<PathBuf> = None;
+    let mut in_process = false;
+    let mut exit_after: Option<usize> = None;
+    let mut merge_only = false;
+    let mut quiet = false;
+    let mut json_out: Option<String> = None;
+    let mut csv_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match flags.accept(&arg, &mut args) {
+            Ok(true) => {
+                any_config_flag = true;
+                continue;
+            }
+            Ok(false) => {}
+            Err(e) => fail(&e),
+        }
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        let parse_usize = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid {flag} value {v:?}")))
+        };
+        match arg.as_str() {
+            "--spool" => spool = Some(PathBuf::from(value("--spool"))),
+            "--shards" => shards = parse_usize("--shards", value("--shards")).max(1),
+            "--workers" => workers = parse_usize("--workers", value("--workers")).max(1),
+            "--retries" => {
+                retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --retries value"));
+            }
+            "--worker-threads" => {
+                worker_threads = Some(parse_usize("--worker-threads", value("--worker-threads")));
+            }
+            "--worker-bin" => worker_bin = Some(PathBuf::from(value("--worker-bin"))),
+            "--in-process" => in_process = true,
+            "--exit-after" => {
+                exit_after = Some(parse_usize("--exit-after", value("--exit-after")));
+            }
+            "--merge-only" => merge_only = true,
+            "--quiet" => quiet = true,
+            "--json" => json_out = Some(value("--json")),
+            "--csv" => csv_out = Some(value("--csv")),
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let spool = spool.unwrap_or_else(|| fail("--spool is required"));
+
+    let emit = |report: &regemu_workloads::SweepReport| {
+        if let Some(path) = &json_out {
+            write_output(path, &report.to_json(), "JSON");
+        }
+        if let Some(path) = &csv_out {
+            write_output(path, &report.to_csv(), "CSV");
+        }
+    };
+
+    if merge_only {
+        let report = merge_shards(&spool).unwrap_or_else(|e| {
+            eprintln!("campaign_coordinator: merge failed: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("merged {} cases from existing shard reports", report.len());
+        emit(&report);
+        if !report.all_consistent() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // A resumed spool dictates the config; a fresh one takes it from the
+    // CLI flags. Passing config flags that contradict an existing spool is
+    // an error, not a silent re-run of the old grid.
+    let flag_threads = flags.threads();
+    let config = match load_config(&spool) {
+        Ok(config) => {
+            if any_config_flag {
+                let cli = flags.into_config().unwrap_or_else(|e| fail(&e));
+                if config_fingerprint(&cli) != config_fingerprint(&config) {
+                    fail(&format!(
+                        "spool {} was created for a different sweep config than the flags \
+                         passed; drop the config flags to resume it, or use a fresh --spool",
+                        spool.display()
+                    ));
+                }
+            }
+            eprintln!(
+                "campaign_coordinator: resuming spool {} ({} cases)",
+                spool.display(),
+                config.case_count()
+            );
+            config
+        }
+        Err(_) => flags.into_config().unwrap_or_else(|e| fail(&e)),
+    };
+
+    let mut options = CampaignOptions::new(&spool);
+    options.shards = shards;
+    options.workers = workers;
+    options.max_attempts = retries.max(1);
+    // --worker-threads wins; a plain --threads (shared with sweep_grid)
+    // becomes the per-worker thread count rather than being dropped.
+    options.worker_threads = worker_threads.or(flag_threads).unwrap_or(1);
+    options.worker = if in_process {
+        WorkerMode::InProcess
+    } else {
+        let bin = worker_bin.unwrap_or_else(default_worker_bin);
+        if !bin.exists() {
+            fail(&format!(
+                "worker binary {} not found; build it (cargo build -p regemu-bench) or pass \
+                 --worker-bin / --in-process",
+                bin.display()
+            ));
+        }
+        WorkerMode::Spawn(bin)
+    };
+    options.exit_after = exit_after;
+    options.quiet = quiet;
+
+    let started = Instant::now();
+    let outcome = run_campaign(&config, &options).unwrap_or_else(|e| {
+        eprintln!("campaign_coordinator: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = started.elapsed();
+    let done = if outcome.report.is_some() {
+        outcome.shards_total
+    } else {
+        outcome.shards_run + outcome.shards_reused
+    };
+    eprintln!(
+        "campaign: {done}/{} shards done in {elapsed:.2?} ({} run now, {} reused, {} retried)",
+        outcome.shards_total, outcome.shards_run, outcome.shards_reused, outcome.retries,
+    );
+
+    match outcome.report {
+        Some(report) => {
+            let consistent = report.results().iter().filter(|r| r.consistent).count();
+            eprintln!(
+                "merged {} cases: {consistent}/{} consistent",
+                report.len(),
+                report.len()
+            );
+            emit(&report);
+            if !report.all_consistent() {
+                std::process::exit(1);
+            }
+        }
+        None => {
+            eprintln!("campaign stopped early (--exit-after); rerun the same command to resume");
+            // Distinguish "paused" from success so scripts notice.
+            std::process::exit(3);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `campaign_worker` — run one shard of a sweep campaign against a spool
+//! directory.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin campaign_worker -- \
+//!     --spool DIR --shard I [--threads N]
+//! ```
+//!
+//! The worker reads the campaign's config and manifest from the spool
+//! (written by `campaign_coordinator` or [`regemu_workloads::campaign::
+//! init_spool`]), runs the cases of shard `I`, streams `done total`
+//! progress counts into `shard-IIII.progress`, and atomically publishes
+//! `shard-IIII.json`. It never writes the manifest — shard completion is
+//! the existence of a valid report file, so workers may be spawned by the
+//! coordinator *or* launched by hand (including on other machines sharing
+//! the spool via a common filesystem).
+//!
+//! Exit status: `0` on success, `1` on failure (the coordinator retries up
+//! to its attempt budget), `2` on usage errors.
+
+use regemu_workloads::campaign::run_shard;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("campaign_worker: {msg}");
+    eprintln!("usage: campaign_worker --spool DIR --shard I [--threads N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spool: Option<PathBuf> = None;
+    let mut shard: Option<usize> = None;
+    let mut threads: usize = 0;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--spool" => spool = Some(PathBuf::from(value("--spool"))),
+            "--shard" => {
+                let v = value("--shard");
+                shard = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid shard index {v:?}"))),
+                );
+            }
+            "--threads" => {
+                let v = value("--threads");
+                threads = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid thread count {v:?}")));
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let spool = spool.unwrap_or_else(|| fail("--spool is required"));
+    let shard = shard.unwrap_or_else(|| fail("--shard is required"));
+
+    // Test hook for the coordinator's retry path: when the named marker
+    // file does not exist yet, create it and die once.
+    if let Ok(marker) = std::env::var("REGEMU_WORKER_FAIL_ONCE") {
+        let marker = PathBuf::from(marker);
+        if !marker.exists() {
+            let _ = std::fs::write(&marker, b"failed once\n");
+            eprintln!("campaign_worker: injected one-shot failure (REGEMU_WORKER_FAIL_ONCE)");
+            std::process::exit(1);
+        }
+    }
+
+    match run_shard(&spool, shard, threads) {
+        Ok(range) => {
+            eprintln!(
+                "campaign_worker: shard {shard} done ({} cases, indices {}..{})",
+                range.len(),
+                range.start,
+                range.end
+            );
+        }
+        Err(e) => {
+            eprintln!("campaign_worker: shard {shard} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,129 +9,59 @@
 //!   --quick             24-case grid (CI smoke) instead of the 96-case default
 //!   --threads N         worker threads (default: one per CPU core)
 //!   --seeds a,b,...     override the scheduler seeds
-//!   --schedulers a,b    scheduler axis (fair, round-robin, adversary-cover,
-//!                       adversary-silence; or `all`)
+//!   --schedulers a,b    scheduler axis (fair, round-robin, delayed,
+//!                       adversary-cover, adversary-silence; or `all`)
 //!   --crash-plans a,b   crash-plan axis (none, crash-f; or `all`)
 //!   --crash-f           shorthand for `--crash-plans crash-f`
 //!   --recording a,b     recording-mode axis (full, digest, ring:N)
+//!   --shards N          split the case space into N shards and run them
+//!                       through the campaign shard/merge path (in-process;
+//!                       see `campaign_coordinator` for multi-process runs)
 //!   --json PATH         write the report as JSON (- for stdout)
 //!   --csv PATH          write the report as CSV (- for stdout)
 //! ```
 //!
 //! The report is deterministic: identical options produce byte-identical
-//! JSON/CSV for any `--threads` value.
+//! JSON/CSV for any `--threads` value — and, through the campaign layer,
+//! for any `--shards` value.
 
-use regemu_workloads::{run_sweep, CrashPlanSpec, RecordingModeSpec, SchedulerSpec, SweepConfig};
+use regemu_bench::cli::{write_output, ConfigFlags, CONFIG_USAGE};
+use regemu_workloads::campaign::{run_campaign, CampaignOptions, WorkerMode};
+use regemu_workloads::run_sweep;
 use std::time::Instant;
 
 fn fail(msg: &str) -> ! {
     eprintln!("sweep_grid: {msg}");
-    eprintln!(
-        "usage: sweep_grid [--quick] [--threads N] [--seeds a,b,..] \
-         [--schedulers a,b,..] [--crash-plans a,b,..] [--crash-f] \
-         [--recording a,b,..] [--json PATH] [--csv PATH]"
-    );
+    eprintln!("usage: sweep_grid {CONFIG_USAGE} [--shards N] [--json PATH] [--csv PATH]");
     std::process::exit(2);
 }
 
 fn main() {
     // Collect flags first, then build the config, so option meaning does not
     // depend on argument order (e.g. `--seeds 1,2 --quick` keeps the seeds).
-    let mut quick = false;
-    let mut crash_f = false;
-    let mut threads: Option<usize> = None;
-    let mut seeds: Option<Vec<u64>> = None;
-    let mut schedulers: Option<Vec<SchedulerSpec>> = None;
-    let mut crash_plans: Option<Vec<CrashPlanSpec>> = None;
-    let mut recordings: Option<Vec<RecordingModeSpec>> = None;
+    let mut flags = ConfigFlags::default();
+    let mut shards: usize = 1;
     let mut json_out: Option<String> = None;
     let mut csv_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        match flags.accept(&arg, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => fail(&e),
+        }
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--threads" => {
+            "--shards" => {
                 let v = args
                     .next()
-                    .unwrap_or_else(|| fail("--threads needs a value"));
-                threads = Some(
-                    v.parse()
-                        .unwrap_or_else(|_| fail(&format!("invalid thread count {v:?}"))),
-                );
-            }
-            "--seeds" => {
-                let v = args.next().unwrap_or_else(|| fail("--seeds needs a value"));
-                let parsed: Vec<u64> = v
-                    .split(',')
-                    .map(|s| {
-                        s.trim()
-                            .parse()
-                            .unwrap_or_else(|_| fail(&format!("invalid seed {s:?}")))
-                    })
-                    .collect();
-                if parsed.is_empty() {
-                    fail("--seeds needs at least one seed");
+                    .unwrap_or_else(|| fail("--shards needs a value"));
+                shards = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid shard count {v:?}")));
+                if shards == 0 {
+                    fail("--shards needs at least one shard");
                 }
-                seeds = Some(parsed);
-            }
-            "--schedulers" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| fail("--schedulers needs a value"));
-                let parsed: Vec<SchedulerSpec> = if v.trim() == "all" {
-                    SchedulerSpec::ALL.to_vec()
-                } else {
-                    v.split(',')
-                        .map(|s| {
-                            SchedulerSpec::from_name(s.trim())
-                                .unwrap_or_else(|| fail(&format!("unknown scheduler {s:?}")))
-                        })
-                        .collect()
-                };
-                if parsed.is_empty() {
-                    fail("--schedulers needs at least one scheduler");
-                }
-                schedulers = Some(parsed);
-            }
-            "--crash-plans" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| fail("--crash-plans needs a value"));
-                let parsed: Vec<CrashPlanSpec> = if v.trim() == "all" {
-                    CrashPlanSpec::ALL.to_vec()
-                } else {
-                    v.split(',')
-                        .map(|s| {
-                            CrashPlanSpec::from_name(s.trim())
-                                .unwrap_or_else(|| fail(&format!("unknown crash plan {s:?}")))
-                        })
-                        .collect()
-                };
-                if parsed.is_empty() {
-                    fail("--crash-plans needs at least one crash plan");
-                }
-                crash_plans = Some(parsed);
-            }
-            "--crash-f" => crash_f = true,
-            "--recording" => {
-                let v = args
-                    .next()
-                    .unwrap_or_else(|| fail("--recording needs a value"));
-                let parsed: Vec<RecordingModeSpec> = v
-                    .split(',')
-                    .map(|s| {
-                        RecordingModeSpec::from_label(s.trim()).unwrap_or_else(|| {
-                            fail(&format!(
-                                "unknown recording mode {s:?} (expected full, digest or ring:N)"
-                            ))
-                        })
-                    })
-                    .collect();
-                if parsed.is_empty() {
-                    fail("--recording needs at least one mode");
-                }
-                recordings = Some(parsed);
             }
             "--json" => json_out = Some(args.next().unwrap_or_else(|| fail("--json needs a path"))),
             "--csv" => csv_out = Some(args.next().unwrap_or_else(|| fail("--csv needs a path"))),
@@ -139,38 +69,34 @@ fn main() {
         }
     }
 
-    let mut config = if quick {
-        SweepConfig::quick()
-    } else {
-        SweepConfig::standard()
-    };
-    if let Some(threads) = threads {
-        config.threads = threads;
-    }
-    if let Some(seeds) = seeds {
-        config.seeds = seeds;
-    }
-    if let Some(schedulers) = schedulers {
-        config.schedulers = schedulers;
-    }
-    if let Some(recordings) = recordings {
-        config.recordings = recordings;
-    }
-    match (crash_plans, crash_f) {
-        (Some(_), true) => fail("--crash-f conflicts with --crash-plans; pass one of them"),
-        (Some(crash_plans), false) => config.crash_plans = crash_plans,
-        (None, true) => config.crash_plans = vec![CrashPlanSpec::CrashF],
-        (None, false) => {}
-    }
+    let config = flags.into_config().unwrap_or_else(|e| fail(&e));
 
     let cases = config.case_count();
     let started = Instant::now();
-    let report = run_sweep(&config);
+    let report = if shards > 1 {
+        // Convenience path through the campaign layer: a throwaway spool,
+        // in-process workers, full shard/merge round trip.
+        let spool = std::env::temp_dir().join(format!("regemu-sweep-grid-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&spool);
+        let mut options = CampaignOptions::new(&spool);
+        options.shards = shards;
+        options.worker_threads = config.threads;
+        options.worker = WorkerMode::InProcess;
+        options.quiet = true;
+        let outcome = run_campaign(&config, &options).unwrap_or_else(|e| {
+            eprintln!("sweep_grid: campaign failed: {e}");
+            std::process::exit(1);
+        });
+        let _ = std::fs::remove_dir_all(&spool);
+        outcome.report.expect("in-process campaign ran every shard")
+    } else {
+        run_sweep(&config)
+    };
     let elapsed = started.elapsed();
 
     let consistent = report.results().iter().filter(|r| r.consistent).count();
     eprintln!(
-        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} schedulers x {} crash plans x {} recordings x {} seeds): {consistent}/{cases} consistent",
+        "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} schedulers x {} crash plans x {} recordings x {} seeds{}): {consistent}/{cases} consistent",
         config.grid.len(),
         config.emulations.len(),
         config.workloads.len(),
@@ -178,6 +104,11 @@ fn main() {
         config.crash_plans.len(),
         config.recordings.len(),
         config.seeds.len(),
+        if shards > 1 {
+            format!(", {shards} shards")
+        } else {
+            String::new()
+        },
     );
     for failure in report.failures() {
         eprintln!(
@@ -197,21 +128,11 @@ fn main() {
         );
     }
 
-    let write = |target: &str, payload: &str, what: &str| {
-        if target == "-" {
-            print!("{payload}");
-        } else if let Err(e) = std::fs::write(target, payload) {
-            eprintln!("sweep_grid: cannot write {what} to {target}: {e}");
-            std::process::exit(1);
-        } else {
-            eprintln!("wrote {what} to {target}");
-        }
-    };
     if let Some(path) = &json_out {
-        write(path, &report.to_json(), "JSON");
+        write_output(path, &report.to_json(), "JSON");
     }
     if let Some(path) = &csv_out {
-        write(path, &report.to_csv(), "CSV");
+        write_output(path, &report.to_csv(), "CSV");
     }
     if json_out.is_none() && csv_out.is_none() {
         // No sink requested: summarize per emulation on stdout.

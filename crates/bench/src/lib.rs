@@ -29,6 +29,171 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+/// Shared CLI parsing for the sweep/campaign binaries (`sweep_grid`,
+/// `campaign_coordinator`): the flags that shape a
+/// [`regemu_workloads::SweepConfig`] are identical across them.
+pub mod cli {
+    use regemu_workloads::{CrashPlanSpec, RecordingModeSpec, SchedulerSpec, SweepConfig};
+
+    /// Incrementally collected sweep-config flags.
+    ///
+    /// Feed every CLI argument to [`ConfigFlags::accept`]; arguments it
+    /// does not recognize belong to the binary. Finish with
+    /// [`ConfigFlags::into_config`].
+    #[derive(Default)]
+    pub struct ConfigFlags {
+        quick: bool,
+        crash_f: bool,
+        threads: Option<usize>,
+        seeds: Option<Vec<u64>>,
+        schedulers: Option<Vec<SchedulerSpec>>,
+        crash_plans: Option<Vec<CrashPlanSpec>>,
+        recordings: Option<Vec<RecordingModeSpec>>,
+    }
+
+    /// The usage fragment documenting the flags [`ConfigFlags`] accepts.
+    pub const CONFIG_USAGE: &str = "[--quick] [--threads N] [--seeds a,b,..] \
+         [--schedulers a,b,..] [--crash-plans a,b,..] [--crash-f] [--recording a,b,..]";
+
+    impl ConfigFlags {
+        /// Tries to consume `arg` (pulling values from `args` as needed).
+        /// Returns `Ok(true)` when consumed, `Ok(false)` when the argument
+        /// is not a config flag, and `Err` with a message on a malformed
+        /// value.
+        pub fn accept(
+            &mut self,
+            arg: &str,
+            args: &mut impl Iterator<Item = String>,
+        ) -> Result<bool, String> {
+            let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+            match arg {
+                "--quick" => self.quick = true,
+                "--crash-f" => self.crash_f = true,
+                "--threads" => {
+                    let v = value("--threads")?;
+                    self.threads = Some(
+                        v.parse()
+                            .map_err(|_| format!("invalid thread count {v:?}"))?,
+                    );
+                }
+                "--seeds" => {
+                    let v = value("--seeds")?;
+                    let parsed: Vec<u64> = v
+                        .split(',')
+                        .map(|s| s.trim().parse().map_err(|_| format!("invalid seed {s:?}")))
+                        .collect::<Result<_, _>>()?;
+                    if parsed.is_empty() {
+                        return Err("--seeds needs at least one seed".to_string());
+                    }
+                    self.seeds = Some(parsed);
+                }
+                "--schedulers" => {
+                    let v = value("--schedulers")?;
+                    let parsed: Vec<SchedulerSpec> = if v.trim() == "all" {
+                        SchedulerSpec::ALL.to_vec()
+                    } else {
+                        v.split(',')
+                            .map(|s| {
+                                SchedulerSpec::from_name(s.trim())
+                                    .ok_or(format!("unknown scheduler {s:?}"))
+                            })
+                            .collect::<Result<_, _>>()?
+                    };
+                    if parsed.is_empty() {
+                        return Err("--schedulers needs at least one scheduler".to_string());
+                    }
+                    self.schedulers = Some(parsed);
+                }
+                "--crash-plans" => {
+                    let v = value("--crash-plans")?;
+                    let parsed: Vec<CrashPlanSpec> = if v.trim() == "all" {
+                        CrashPlanSpec::ALL.to_vec()
+                    } else {
+                        v.split(',')
+                            .map(|s| {
+                                CrashPlanSpec::from_name(s.trim())
+                                    .ok_or(format!("unknown crash plan {s:?}"))
+                            })
+                            .collect::<Result<_, _>>()?
+                    };
+                    if parsed.is_empty() {
+                        return Err("--crash-plans needs at least one crash plan".to_string());
+                    }
+                    self.crash_plans = Some(parsed);
+                }
+                "--recording" => {
+                    let v = value("--recording")?;
+                    let parsed: Vec<RecordingModeSpec> = v
+                        .split(',')
+                        .map(|s| {
+                            RecordingModeSpec::from_label(s.trim()).ok_or(format!(
+                                "unknown recording mode {s:?} (expected full, digest or ring:N)"
+                            ))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if parsed.is_empty() {
+                        return Err("--recording needs at least one mode".to_string());
+                    }
+                    self.recordings = Some(parsed);
+                }
+                _ => return Ok(false),
+            }
+            Ok(true)
+        }
+
+        /// The `--threads` value, if one was passed — binaries whose worker
+        /// model is not "one thread pool in this process" (the campaign
+        /// coordinator) repurpose it rather than silently dropping it.
+        pub fn threads(&self) -> Option<usize> {
+            self.threads
+        }
+
+        /// Builds the sweep config the collected flags describe (the
+        /// standard grid unless `--quick`, with every override applied).
+        pub fn into_config(self) -> Result<SweepConfig, String> {
+            let mut config = if self.quick {
+                SweepConfig::quick()
+            } else {
+                SweepConfig::standard()
+            };
+            if let Some(threads) = self.threads {
+                config.threads = threads;
+            }
+            if let Some(seeds) = self.seeds {
+                config.seeds = seeds;
+            }
+            if let Some(schedulers) = self.schedulers {
+                config.schedulers = schedulers;
+            }
+            if let Some(recordings) = self.recordings {
+                config.recordings = recordings;
+            }
+            match (self.crash_plans, self.crash_f) {
+                (Some(_), true) => {
+                    return Err("--crash-f conflicts with --crash-plans; pass one of them".into())
+                }
+                (Some(crash_plans), false) => config.crash_plans = crash_plans,
+                (None, true) => config.crash_plans = vec![CrashPlanSpec::CrashF],
+                (None, false) => {}
+            }
+            Ok(config)
+        }
+    }
+
+    /// Writes `payload` to `target` (`-` for stdout), exiting the process
+    /// with an error message on failure.
+    pub fn write_output(target: &str, payload: &str, what: &str) {
+        if target == "-" {
+            print!("{payload}");
+        } else if let Err(e) = std::fs::write(target, payload) {
+            eprintln!("cannot write {what} to {target}: {e}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote {what} to {target}");
+        }
+    }
+}
+
 /// Experiment implementations, one per table/figure/theorem of the paper.
 pub mod experiments {
     use regemu_adversary::{demonstrate_partition, LowerBoundCampaign};

@@ -184,10 +184,28 @@ pub struct History {
     /// Time stamp of the most recent event (tracked incrementally so
     /// [`History::end_time`] works in every mode).
     last_time: Time,
-    intervals: Vec<HighInterval>,
-    /// Position of each high-level operation in `intervals` (first wins when
-    /// an id is invoked twice, matching the previous scan-based extraction).
-    interval_index: BTreeMap<HighOpId, usize>,
+    /// Retained high-level intervals, keyed by operation id. Ids are
+    /// assigned in invocation order, so iteration order *is* invocation
+    /// order (first wins when an id is invoked twice, matching the previous
+    /// scan-based extraction). Intervals evicted with
+    /// [`History::evict_interval`] are gone; the scalar digests below keep
+    /// the whole-run answers exact regardless.
+    intervals: BTreeMap<HighOpId, HighInterval>,
+    /// Intervals recorded over the run, evicted or not.
+    total_intervals: u64,
+    /// Intervals removed by [`History::evict_interval`].
+    evicted_intervals: u64,
+    /// High-water mark of `intervals.len()`.
+    peak_retained_intervals: usize,
+    /// Number of high-level writes currently open (invoked, not returned).
+    open_writes: usize,
+    /// Set once two high-level writes were observed concurrent — from then
+    /// on the run is not write-sequential, no matter what else happens.
+    /// Tracked incrementally so [`History::is_write_sequential`] stays exact
+    /// after interval eviction.
+    writes_overlapped: bool,
+    /// Number of high-level reads invoked over the run.
+    invoked_reads: u64,
     touched: IndexBitSet,
     written: IndexBitSet,
     trigger_count: u64,
@@ -248,15 +266,28 @@ impl History {
                 high_op,
                 op,
             } => {
-                let idx = self.intervals.len();
-                self.intervals.push(HighInterval {
-                    id: high_op,
-                    client,
-                    op,
-                    invoked_at: time,
-                    returned: None,
-                });
-                self.interval_index.entry(high_op).or_insert(idx);
+                if let std::collections::btree_map::Entry::Vacant(slot) =
+                    self.intervals.entry(high_op)
+                {
+                    slot.insert(HighInterval {
+                        id: high_op,
+                        client,
+                        op,
+                        invoked_at: time,
+                        returned: None,
+                    });
+                    self.total_intervals += 1;
+                    self.peak_retained_intervals =
+                        self.peak_retained_intervals.max(self.intervals.len());
+                    if op.is_write() {
+                        if self.open_writes > 0 {
+                            self.writes_overlapped = true;
+                        }
+                        self.open_writes += 1;
+                    } else {
+                        self.invoked_reads += 1;
+                    }
+                }
                 self.open_clients.insert(client);
                 self.max_contention = self.max_contention.max(self.open_clients.len());
             }
@@ -266,8 +297,11 @@ impl History {
                 high_op,
                 response,
             } => {
-                if let Some(&idx) = self.interval_index.get(&high_op) {
-                    self.intervals[idx].returned = Some((time, response));
+                if let Some(interval) = self.intervals.get_mut(&high_op) {
+                    if interval.returned.is_none() && interval.op.is_write() {
+                        self.open_writes = self.open_writes.saturating_sub(1);
+                    }
+                    interval.returned = Some((time, response));
                 }
                 self.open_clients.remove(&client);
             }
@@ -348,27 +382,81 @@ impl History {
         self.total_events() == 0
     }
 
-    /// All high-level operation intervals, in invocation order, borrowed from
-    /// the incrementally-maintained digest. Available in every recording
-    /// mode: intervals are part of the digests, sized by the number of
-    /// high-level operations rather than by the run length.
-    pub fn intervals(&self) -> &[HighInterval] {
-        &self.intervals
+    /// All *retained* high-level operation intervals, in invocation order,
+    /// borrowed from the incrementally-maintained digest. Available in every
+    /// recording mode: intervals are part of the digests, sized by the
+    /// number of high-level operations rather than by the run length — and
+    /// further boundable with [`History::evict_interval`] once a consumer
+    /// (such as an online checker) is done with an operation.
+    pub fn intervals(&self) -> impl Iterator<Item = &HighInterval> + '_ {
+        self.intervals.values()
     }
 
-    /// The interval of a specific high-level operation, if it was invoked.
+    /// The interval of a specific high-level operation, if it was invoked
+    /// and has not been evicted.
     pub fn interval_of(&self, high_op: HighOpId) -> Option<&HighInterval> {
-        self.interval_index
-            .get(&high_op)
-            .map(|&idx| &self.intervals[idx])
+        self.intervals.get(&high_op)
     }
 
-    /// Extracts all high-level operation intervals, in invocation order.
+    /// Extracts the retained high-level operation intervals, in invocation
+    /// order.
     ///
     /// Prefer [`History::intervals`] when a borrow suffices; this method is
     /// kept for callers that need an owned copy.
     pub fn high_intervals(&self) -> Vec<HighInterval> {
-        self.intervals.clone()
+        self.intervals.values().copied().collect()
+    }
+
+    /// Evicts a *completed* interval from the digest, freeing its memory.
+    ///
+    /// Callers that verify a run online (the `StreamingChecker` in
+    /// `regemu-spec`) fold operations out of their own window as soon as the
+    /// verdict no longer depends on them; evicting the matching interval
+    /// here bounds the interval digest the same way — the retained interval
+    /// set then tracks the checker's window instead of growing with every
+    /// high-level operation of the run. Only do this when the report surface
+    /// does not need the full schedule ([`History::high_intervals`] and the
+    /// extracted `HighHistory` only contain what is still retained).
+    ///
+    /// The scalar digests ([`History::point_contention`],
+    /// [`History::is_write_sequential`], [`History::is_write_only`],
+    /// [`History::total_intervals`]) are maintained incrementally and stay
+    /// exact for the whole run regardless of eviction.
+    ///
+    /// Returns `false` (and evicts nothing) when the operation is unknown,
+    /// already evicted, or still open — evicting an open interval would
+    /// desynchronize the open-write digest.
+    pub fn evict_interval(&mut self, high_op: HighOpId) -> bool {
+        match self.intervals.get(&high_op) {
+            Some(interval) if interval.is_complete() => {
+                self.intervals.remove(&high_op);
+                self.evicted_intervals += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of intervals currently retained in the digest.
+    pub fn retained_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Number of intervals removed with [`History::evict_interval`].
+    pub fn evicted_intervals(&self) -> u64 {
+        self.evicted_intervals
+    }
+
+    /// High-water mark of [`History::retained_intervals`] over the run — the
+    /// O(1) peak-memory accounting of the interval digest.
+    pub fn peak_retained_intervals(&self) -> usize {
+        self.peak_retained_intervals
+    }
+
+    /// Total number of high-level operations invoked over the run, retained
+    /// or evicted.
+    pub fn total_intervals(&self) -> u64 {
+        self.total_intervals
     }
 
     /// The set of base objects on which at least one low-level operation was
@@ -418,26 +506,20 @@ impl History {
     }
 
     /// Returns `true` if no two high-level *writes* are concurrent — the
-    /// run is *write-sequential* (Section 2).
+    /// run is *write-sequential* (Section 2). Tracked incrementally (a
+    /// write invoked while another write is open breaks the property for
+    /// good), so the answer covers the whole run even after interval
+    /// eviction. Events must be pushed in time order, which the simulator
+    /// guarantees.
     pub fn is_write_sequential(&self) -> bool {
-        let writes: Vec<&HighInterval> = self
-            .intervals
-            .iter()
-            .filter(|iv| iv.op.is_write())
-            .collect();
-        for (i, a) in writes.iter().enumerate() {
-            for b in writes.iter().skip(i + 1) {
-                if a.concurrent_with(b) {
-                    return false;
-                }
-            }
-        }
-        true
+        !self.writes_overlapped
     }
 
-    /// Returns `true` if the run is write-only (no high-level reads invoked).
+    /// Returns `true` if the run is write-only (no high-level reads
+    /// invoked). Counted incrementally, so the answer covers evicted
+    /// intervals too.
     pub fn is_write_only(&self) -> bool {
-        self.intervals.iter().all(|iv| iv.op.is_write())
+        self.invoked_reads == 0
     }
 
     /// Maximum number of clients with an incomplete high-level operation at
@@ -705,6 +787,67 @@ mod tests {
         assert_eq!(h.total_events(), 7);
         // Peak reflects the maximum ever retained.
         assert_eq!(h.peak_retained_events(), 7);
+    }
+
+    #[test]
+    fn interval_eviction_bounds_the_digest_but_keeps_scalar_answers() {
+        let mut h = mk_history();
+        assert_eq!(h.total_intervals(), 2);
+        assert_eq!(h.retained_intervals(), 2);
+        assert_eq!(h.peak_retained_intervals(), 2);
+        // The completed write can be evicted; the pending read cannot.
+        assert!(h.evict_interval(HighOpId::new(0)));
+        assert!(!h.evict_interval(HighOpId::new(0)), "already evicted");
+        assert!(!h.evict_interval(HighOpId::new(1)), "still open");
+        assert!(!h.evict_interval(HighOpId::new(9)), "unknown");
+        assert_eq!(h.retained_intervals(), 1);
+        assert_eq!(h.evicted_intervals(), 1);
+        assert_eq!(h.total_intervals(), 2);
+        assert_eq!(h.peak_retained_intervals(), 2);
+        assert!(h.interval_of(HighOpId::new(0)).is_none());
+        assert_eq!(h.high_intervals().len(), 1);
+        // Scalar digests still answer for the whole run.
+        assert!(h.is_write_sequential());
+        assert!(!h.is_write_only());
+        assert_eq!(h.point_contention(), 1);
+        // A write invoked after the eviction still sees the earlier pending
+        // read for contention, and write-sequentiality tracking continues.
+        h.push(Event::Invoke {
+            time: 7,
+            client: ClientId::new(2),
+            high_op: HighOpId::new(2),
+            op: HighOp::Write(9),
+        });
+        assert_eq!(h.point_contention(), 2);
+        assert!(h.is_write_sequential());
+        h.push(Event::Invoke {
+            time: 8,
+            client: ClientId::new(3),
+            high_op: HighOpId::new(3),
+            op: HighOp::Write(10),
+        });
+        assert!(!h.is_write_sequential(), "two open writes are concurrent");
+    }
+
+    #[test]
+    fn pending_write_breaks_write_sequentiality_for_later_writes() {
+        // A forever-pending write is concurrent with any write invoked
+        // after it — the incremental digest must agree with the pairwise
+        // definition.
+        let mut h = History::new();
+        h.push(Event::Invoke {
+            time: 1,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            op: HighOp::Write(1),
+        });
+        h.push(Event::Invoke {
+            time: 2,
+            client: ClientId::new(1),
+            high_op: HighOpId::new(1),
+            op: HighOp::Write(2),
+        });
+        assert!(!h.is_write_sequential());
     }
 
     #[test]

@@ -72,7 +72,9 @@ pub use ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
 pub use metrics::RunMetrics;
 pub use object::{BaseObject, ObjectError, ObjectKind};
 pub use op::{BaseOp, BaseResponse, HighOp, HighResponse};
-pub use scheduler::{AdversarialScheduler, BlockStrategy, RoundRobinScheduler, Scheduler};
+pub use scheduler::{
+    AdversarialScheduler, BlockStrategy, DelayedScheduler, RoundRobinScheduler, Scheduler,
+};
 pub use sim::{DeliveryOutcome, PendingOp, SimConfig, Simulation};
 pub use topology::Topology;
 pub use value::{Payload, Value};
@@ -88,7 +90,7 @@ pub mod prelude {
     pub use crate::object::ObjectKind;
     pub use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
     pub use crate::scheduler::{
-        AdversarialScheduler, BlockStrategy, RoundRobinScheduler, Scheduler,
+        AdversarialScheduler, BlockStrategy, DelayedScheduler, RoundRobinScheduler, Scheduler,
     };
     pub use crate::sim::{SimConfig, Simulation};
     pub use crate::topology::Topology;

@@ -7,12 +7,14 @@
 //! strategies are interchangeable everywhere a run is driven (scenarios,
 //! sweeps, examples, benches).
 //!
-//! Three implementations ship with the workspace:
+//! Four implementations ship with the workspace:
 //!
 //! * [`crate::driver::FairDriver`] — seeded pseudo-random fair scheduling
 //!   (the default; realizes the paper's fair runs);
 //! * [`RoundRobinScheduler`] — deterministic client-rotation scheduling, the
 //!   worst case for protocols that rely on randomized luck;
+//! * [`DelayedScheduler`] — deterministic seed-derived per-message delivery
+//!   delays, modelling a network with a delay distribution;
 //! * [`AdversarialScheduler`] — fair scheduling restricted by a pluggable
 //!   [`BlockStrategy`]; the `regemu-adversary` crate provides strategies that
 //!   withhold responses the way the lower-bound adversary `Ad_i` does.
@@ -225,6 +227,96 @@ impl Scheduler for RoundRobinScheduler {
     }
 }
 
+/// A deterministic scheduler that imposes a seed-derived *delivery delay* on
+/// every message (pending low-level operation).
+///
+/// Each pending operation is assigned a deterministic delay of
+/// `0..=max_delay` ticks, derived by mixing the scheduler seed with the
+/// operation id. An operation becomes *ready* `delay` ticks after it was
+/// triggered; each step delivers the ready operation with the earliest
+/// ready time (ties broken by operation id, so the schedule is total). When
+/// nothing is ready yet the earliest-to-become-ready operation is delivered
+/// anyway — logical time only advances on deliveries, so waiting would be
+/// meaningless — which also makes the scheduler starvation-free: every
+/// pending operation is eventually the minimum.
+///
+/// The effect is a message-delay *distribution* over the network rather
+/// than the uniform choice of [`FairDriver`]: responses from different
+/// servers overtake each other in bursts, which exercises protocol paths
+/// (stale reads, late acks) that uniform fairness rarely produces.
+#[derive(Debug)]
+pub struct DelayedScheduler {
+    seed: u64,
+    max_delay: u64,
+    crash_plan: CrashPlan,
+    steps: u64,
+}
+
+impl DelayedScheduler {
+    /// Default delay bound (ticks) used by the sweepable scheduler axis.
+    pub const DEFAULT_MAX_DELAY: u64 = 7;
+
+    /// Creates a delayed scheduler with per-message delays in
+    /// `0..=max_delay` ticks derived from `seed`.
+    pub fn new(seed: u64, max_delay: u64) -> Self {
+        DelayedScheduler {
+            seed,
+            max_delay,
+            crash_plan: CrashPlan::none(),
+            steps: 0,
+        }
+    }
+
+    /// Attaches a crash plan to the scheduler.
+    pub fn with_crash_plan(mut self, plan: CrashPlan) -> Self {
+        self.crash_plan = plan;
+        self
+    }
+
+    /// Number of delivery steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The deterministic delay (in ticks) assigned to operation `op`.
+    pub fn delay_of(&self, op: OpId) -> u64 {
+        if self.max_delay == 0 {
+            return 0;
+        }
+        // SplitMix64 finalizer over seed ⊕ op id: uniform enough for a delay
+        // distribution, dependency-free, and stable across platforms.
+        let mut x = self.seed ^ (op.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        x % (self.max_delay + 1)
+    }
+}
+
+impl Scheduler for DelayedScheduler {
+    fn step(&mut self, sim: &mut Simulation) -> Result<bool, SimError> {
+        for server in self.crash_plan.due(sim.time()) {
+            sim.crash_server(server)?;
+        }
+        let chosen = sim
+            .deliverable_ops()
+            .map(|p| (p.triggered_at + self.delay_of(p.op_id), p.op_id))
+            .min();
+        let Some((_, op_id)) = chosen else {
+            return Ok(false);
+        };
+        sim.deliver(op_id)?;
+        self.steps += 1;
+        Ok(true)
+    }
+
+    fn name(&self) -> &'static str {
+        "delayed"
+    }
+}
+
 /// A scheduling restriction: decides which pending operations are withheld.
 ///
 /// Implementations model the paper's adversarial environments — an operation
@@ -417,6 +509,69 @@ mod tests {
         let w = spawn_write(&mut sim, objs);
         let plan = CrashPlan::none().crash_at(0, ServerId::new(2));
         let mut sched = RoundRobinScheduler::new(0).with_crash_plan(plan);
+        sched.run_until_complete(&mut sim, w, 100).unwrap();
+        assert!(sim.is_server_crashed(ServerId::new(2)));
+    }
+
+    #[test]
+    fn delayed_scheduler_completes_and_is_deterministic() {
+        let run = |seed: u64, max_delay: u64| {
+            let (mut sim, objs) = build(5, 2);
+            let w = spawn_write(&mut sim, objs);
+            let mut sched = DelayedScheduler::new(seed, max_delay);
+            sched.run_until_complete(&mut sim, w, 100).unwrap();
+            sched.run_until_quiescent(&mut sim, 100).unwrap();
+            assert_eq!(sim.pending_count(), 0);
+            sim.history().events().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(run(3, 7), run(3, 7));
+        // Different seeds reorder deliveries (with overwhelming probability
+        // over five messages and eight delay buckets).
+        assert_ne!(run(3, 7), run(4, 7));
+    }
+
+    #[test]
+    fn delayed_scheduler_orders_by_ready_time() {
+        let (mut sim, objs) = build(3, 1);
+        spawn_write(&mut sim, objs);
+        let mut sched = DelayedScheduler::new(11, 7);
+        // All three writes were triggered at the same time, so the delivery
+        // order must follow the per-op delays (ties by op id).
+        let mut expected: Vec<(u64, OpId)> = sim
+            .pending_ops()
+            .map(|p| (p.triggered_at + sched.delay_of(p.op_id), p.op_id))
+            .collect();
+        expected.sort();
+        for (_, op) in expected {
+            let before: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+            assert!(Scheduler::step(&mut sched, &mut sim).unwrap());
+            let after: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+            let delivered = before.iter().find(|id| !after.contains(id)).unwrap();
+            assert_eq!(*delivered, op);
+        }
+        assert_eq!(sched.steps(), 3);
+    }
+
+    #[test]
+    fn delayed_scheduler_with_zero_delay_is_oldest_first() {
+        let (mut sim, objs) = build(3, 1);
+        spawn_write(&mut sim, objs);
+        let mut sched = DelayedScheduler::new(5, 0);
+        assert_eq!(sched.delay_of(OpId::new(42)), 0);
+        let oldest = sim.pending_ops().map(|p| p.op_id).min().unwrap();
+        let before: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+        assert!(Scheduler::step(&mut sched, &mut sim).unwrap());
+        let after: Vec<OpId> = sim.pending_ops().map(|p| p.op_id).collect();
+        let delivered = before.iter().find(|id| !after.contains(id)).unwrap();
+        assert_eq!(*delivered, oldest);
+    }
+
+    #[test]
+    fn delayed_scheduler_honors_crash_plans() {
+        let (mut sim, objs) = build(3, 1);
+        let w = spawn_write(&mut sim, objs);
+        let plan = CrashPlan::none().crash_at(0, ServerId::new(2));
+        let mut sched = DelayedScheduler::new(0, 3).with_crash_plan(plan);
         sched.run_until_complete(&mut sim, w, 100).unwrap();
         assert!(sim.is_server_crashed(ServerId::new(2)));
     }

@@ -255,6 +255,16 @@ impl Simulation {
         self.history.set_recording_mode(mode);
     }
 
+    /// Evicts a completed high-level interval from the history's digest
+    /// (see [`History::evict_interval`]). Used by run engines that verify
+    /// the run online and no longer need the folded operation for the
+    /// report surface — together with a bounded [`RecordingMode`] this
+    /// keeps the whole recording footprint proportional to the run's point
+    /// contention instead of its length.
+    pub fn evict_interval(&mut self, high_op: HighOpId) -> bool {
+        self.history.evict_interval(high_op)
+    }
+
     /// Registers a new client running the given protocol and returns its id.
     pub fn register_client(&mut self, protocol: Box<dyn ClientProtocol>) -> ClientId {
         let id = ClientId::new(self.clients.len());

@@ -105,16 +105,31 @@ enum Mode {
         folded_writes: u64,
         /// Completed, unfolded writes in return-time order.
         writes: Vec<HighInterval>,
+        /// Forever-pending writes of crashed clients
+        /// ([`StreamingChecker::abandon`]): they stay in every read's legal
+        /// window (the write may still take effect) and keep counting for
+        /// write-concurrency, but no longer gate folding. Bounded by the
+        /// number of crashed clients.
+        abandoned_writes: Vec<HighInterval>,
         /// Set once two writes were observed concurrent: the schedule is not
         /// write-sequential and both conditions hold vacuously.
         broken: bool,
     },
     /// Atomicity: the set of abstract states reachable by a consistent
     /// linearization of the folded prefix, plus the unfolded window.
+    ///
+    /// Each state is paired with a bitmask over `abandoned` recording which
+    /// of the forever-pending abandoned writes the linearization behind it
+    /// has already consumed — an abandoned write may take effect at any
+    /// point (or never), so folds explore every placement and the mask
+    /// prevents a write from taking effect twice on the same branch.
     Atomic {
-        states: BTreeSet<Payload>,
-        /// Unfolded operations (open and completed), keyed by id.
+        states: BTreeSet<(u64, Payload)>,
+        /// Unfolded live operations (open and completed), keyed by id.
         window: BTreeMap<HighOpId, HighInterval>,
+        /// Forever-pending writes of crashed clients, in abandonment order
+        /// (index = mask bit). Bounded by the number of crashed clients.
+        abandoned: Vec<HighInterval>,
     },
 }
 
@@ -146,6 +161,11 @@ pub struct StreamingChecker {
     truncated: bool,
     peak_window: usize,
     checked_ops: u64,
+    /// Operation ids the verdict no longer depends on (folded writes,
+    /// checked-and-discarded reads), collected only when
+    /// [`StreamingChecker::set_track_retired`] enabled it.
+    retired: Vec<HighOpId>,
+    track_retired: bool,
 }
 
 impl StreamingChecker {
@@ -157,11 +177,13 @@ impl StreamingChecker {
                 folded_state: spec.initial,
                 folded_writes: 0,
                 writes: Vec::new(),
+                abandoned_writes: Vec::new(),
                 broken: false,
             },
             Condition::Atomicity => Mode::Atomic {
-                states: BTreeSet::from([spec.initial]),
+                states: BTreeSet::from([(0, spec.initial)]),
                 window: BTreeMap::new(),
+                abandoned: Vec::new(),
             },
         };
         StreamingChecker {
@@ -173,6 +195,8 @@ impl StreamingChecker {
             truncated: false,
             peak_window: 0,
             checked_ops: 0,
+            retired: Vec::new(),
+            track_retired: false,
         }
     }
 
@@ -192,11 +216,21 @@ impl StreamingChecker {
         // The window can no longer be interpreted; free it.
         self.open.clear();
         self.open_writes = 0;
-        if let Mode::Atomic { window, .. } = &mut self.mode {
+        if let Mode::Atomic {
+            window, abandoned, ..
+        } = &mut self.mode
+        {
             window.clear();
+            abandoned.clear();
         }
-        if let Mode::Ws { writes, .. } = &mut self.mode {
+        if let Mode::Ws {
+            writes,
+            abandoned_writes,
+            ..
+        } = &mut self.mode
+        {
             writes.clear();
+            abandoned_writes.clear();
         }
     }
 
@@ -210,12 +244,101 @@ impl StreamingChecker {
         self.violation.as_ref()
     }
 
-    /// Number of operations currently retained (open + unfolded window).
+    /// Number of operations currently retained (open + unfolded window +
+    /// abandoned writes).
     pub fn window_len(&self) -> usize {
         match &self.mode {
             // Open ops are stored inside the atomic window itself.
-            Mode::Atomic { window, .. } => window.len(),
-            Mode::Ws { writes, .. } => self.open.len() + writes.len(),
+            Mode::Atomic {
+                window, abandoned, ..
+            } => window.len() + abandoned.len(),
+            Mode::Ws {
+                writes,
+                abandoned_writes,
+                ..
+            } => self.open.len() + writes.len() + abandoned_writes.len(),
+        }
+    }
+
+    /// Enables (or disables) collection of *retired* operation ids —
+    /// operations the verdict no longer depends on. Run engines drain them
+    /// with [`StreamingChecker::take_retired`] to evict the matching
+    /// intervals from the recording's digest, bounding its memory the same
+    /// way the checker bounds its own window. Off by default so standalone
+    /// checkers do not accumulate an unread list.
+    pub fn set_track_retired(&mut self, on: bool) {
+        self.track_retired = on;
+        if !on {
+            self.retired.clear();
+        }
+    }
+
+    /// Drains the operation ids retired since the last call (empty unless
+    /// [`StreamingChecker::set_track_retired`] enabled tracking).
+    pub fn take_retired(&mut self) -> Vec<HighOpId> {
+        std::mem::take(&mut self.retired)
+    }
+
+    fn retire(&mut self, id: HighOpId) {
+        if self.track_retired {
+            self.retired.push(id);
+        }
+    }
+
+    /// Marks an open operation as *abandoned*: its client is known to have
+    /// crashed, so the operation will never return. Abandoned operations
+    /// stop gating the fold (they no longer pin later-overlapping
+    /// operations in the window, which would otherwise grow with the run),
+    /// while the verdict still accounts for them exactly as the offline
+    /// checkers treat forever-pending operations: an abandoned *write* may
+    /// take effect at any later point — it stays in every read's legal
+    /// window (WS conditions), keeps counting for write concurrency, and
+    /// may linearize anywhere (atomicity) — and an abandoned *read*
+    /// constrains nothing and is dropped.
+    ///
+    /// Fed automatically from [`regemu_fpsm::Event::ClientCrash`] events;
+    /// callers driving the checker directly may also signal it explicitly.
+    /// Unknown or already-completed operations are ignored.
+    pub fn abandon(&mut self, op: HighOpId) {
+        let Some(open) = self.open.remove(&op) else {
+            return;
+        };
+        let interval = open.interval;
+        if interval.op.is_write() {
+            self.open_writes = self.open_writes.saturating_sub(1);
+        }
+        match &mut self.mode {
+            Mode::Ws {
+                abandoned_writes,
+                broken,
+                ..
+            } => {
+                if interval.op.is_write() && !*broken {
+                    abandoned_writes.push(interval);
+                    abandoned_writes.sort_by_key(|iv| iv.invoked_at);
+                }
+            }
+            Mode::Atomic {
+                window, abandoned, ..
+            } => {
+                window.remove(&op);
+                if interval.op.is_write() {
+                    if abandoned.len() >= 64 {
+                        // The mask tracking abandoned-write placements is 64
+                        // bits wide; past that the checker degrades honestly
+                        // instead of guessing.
+                        self.note_gap();
+                        return;
+                    }
+                    abandoned.push(interval);
+                }
+            }
+        }
+        // Releasing the gate may allow pending folds to complete now.
+        if matches!(self.mode, Mode::Atomic { .. }) {
+            self.fold_atomic();
+        } else {
+            self.fold_ws();
         }
     }
 
@@ -247,18 +370,39 @@ impl StreamingChecker {
                     invoked_at: time,
                     returned: None,
                 };
+                // Abandoned writes are forever pending, so they stay
+                // concurrent with everything that comes later — they count
+                // as "a write is open" for concurrency purposes even though
+                // they left the open map.
+                let abandoned_write_open = match &self.mode {
+                    Mode::Ws {
+                        abandoned_writes, ..
+                    } => !abandoned_writes.is_empty(),
+                    Mode::Atomic { abandoned, .. } => !abandoned.is_empty(),
+                };
                 if op.is_write() {
-                    if self.open_writes > 0 {
+                    if self.open_writes > 0 || abandoned_write_open {
                         // Two writes are concurrent: the schedule is not
                         // write-sequential, so the WS conditions hold
                         // vacuously — including for any read violation
                         // recorded earlier, which is hereby vacated
                         // (matching the offline checkers, which look at the
                         // final schedule).
-                        if let Mode::Ws { broken, writes, .. } = &mut self.mode {
+                        let mut vacated = Vec::new();
+                        if let Mode::Ws {
+                            broken,
+                            writes,
+                            abandoned_writes,
+                            ..
+                        } = &mut self.mode
+                        {
                             *broken = true;
-                            writes.clear();
+                            vacated.extend(writes.drain(..).map(|w| w.id));
+                            abandoned_writes.clear();
                             self.violation = None;
+                        }
+                        for id in vacated {
+                            self.retire(id);
                         }
                     }
                     // Every open read is now concurrent with a write.
@@ -267,7 +411,8 @@ impl StreamingChecker {
                     }
                     self.open_writes += 1;
                 }
-                let write_concurrent = op.is_read() && self.open_writes > 0;
+                let write_concurrent =
+                    op.is_read() && (self.open_writes > 0 || abandoned_write_open);
                 self.open.insert(
                     high_op,
                     OpenOp {
@@ -307,10 +452,21 @@ impl StreamingChecker {
                     }
                 }
             }
-            Event::Trigger { .. }
-            | Event::Respond { .. }
-            | Event::ServerCrash { .. }
-            | Event::ClientCrash { .. } => {}
+            Event::ClientCrash { client, .. } => {
+                // The engine knows this client is dead: none of its open
+                // operations will ever return, so stop letting them pin the
+                // window (see [`StreamingChecker::abandon`]).
+                let dead: Vec<HighOpId> = self
+                    .open
+                    .values()
+                    .filter(|o| o.interval.client == client)
+                    .map(|o| o.interval.id)
+                    .collect();
+                for op in dead {
+                    self.abandon(op);
+                }
+            }
+            Event::Trigger { .. } | Event::Respond { .. } | Event::ServerCrash { .. } => {}
         }
     }
 
@@ -320,15 +476,32 @@ impl StreamingChecker {
     /// exactly as [`crate::check_linearizable`] treats them).
     pub fn into_outcome(mut self) -> StreamingOutcome {
         if self.violation.is_none() && !self.truncated {
-            if let Mode::Atomic { states, window } = &self.mode {
-                let ops: Vec<HighInterval> = window
+            if let Mode::Atomic {
+                states,
+                window,
+                abandoned,
+            } = &self.mode
+            {
+                let base: Vec<HighInterval> = window
                     .values()
                     .filter(|o| o.is_complete() || o.op.is_write())
                     .copied()
                     .collect();
-                let ok = states
-                    .iter()
-                    .any(|&s| linearizable_from(&ops, &self.spec, s));
+                // Per branch, the abandoned writes that branch has not
+                // consumed yet are still free to linearize anywhere in the
+                // remaining window (or never) — hand them to the search as
+                // ordinary pending writes.
+                let ok = states.iter().any(|&(mask, s)| {
+                    let mut ops = base.clone();
+                    ops.extend(
+                        abandoned
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| mask & (1 << i) == 0)
+                            .map(|(_, a)| *a),
+                    );
+                    linearizable_from(&ops, &self.spec, s)
+                });
                 if !ok {
                     self.violation = Some(Violation::new(
                         Condition::Atomicity,
@@ -336,7 +509,7 @@ impl StreamingChecker {
                         format!(
                             "no linearization of the {} windowed operations extends the \
                              committed prefix for the {:?} specification",
-                            ops.len(),
+                            base.len() + abandoned.len(),
                             self.spec.semantics
                         ),
                     ));
@@ -368,13 +541,16 @@ impl StreamingChecker {
             folded_state,
             folded_writes,
             writes,
+            abandoned_writes,
             broken,
         } = &mut self.mode
         else {
             unreachable!("complete_ws is only called in WS mode");
         };
         if *broken {
-            // Not write-sequential: both conditions hold vacuously.
+            // Not write-sequential: both conditions hold vacuously; nothing
+            // about this operation is ever needed again.
+            self.retire(interval.id);
             return;
         }
         if interval.op.is_write() {
@@ -382,81 +558,112 @@ impl StreamingChecker {
             // window sorted by return time — the write-sequential order.
             writes.push(interval);
         } else {
-            if self.violation.is_some() {
+            // A read is checked the moment it returns and never retained.
+            let checked = if self.violation.is_some() {
                 // A violation is already recorded (first wins); the
-                // bookkeeping above/below still runs so a later concurrent
-                // write pair can vacate it.
-                self.bump_peak();
-                return;
-            }
-            if *condition == Condition::WsSafety && write_concurrent {
+                // bookkeeping still runs so a later concurrent write pair
+                // can vacate it.
+                false
+            } else if *condition == Condition::WsSafety && write_concurrent {
                 // WS-Safety says nothing about reads concurrent with writes.
-                self.bump_peak();
-                return;
-            }
-            // The legal window: committed prefix (all folded writes precede
-            // this read), then the unfolded completed writes in return
-            // order, then the open (pending) writes — at most one, or the
-            // schedule would be broken — ordered by invocation.
-            let mut window: Vec<HighInterval> = writes.clone();
-            let mut pending: Vec<HighInterval> = self
-                .open
-                .values()
-                .map(|o| o.interval)
-                .filter(|iv| iv.op.is_write())
-                .collect();
-            pending.sort_by_key(|iv| iv.invoked_at);
-            window.extend(pending);
-            // Writes preceding the read form a prefix of the window (the
-            // window is in return order and precedence compares return to
-            // invocation times).
-            let p = window.iter().filter(|w| w.precedes(&interval)).count();
-            let returned = interval
-                .returned
-                .and_then(|(_, r)| r.payload())
-                .expect("complete read carries a payload");
-            let mut legal: Vec<Payload> = Vec::new();
-            let mut state = *folded_state;
-            if p == 0 {
-                legal.push(state);
-            }
-            for (j, w) in window.iter().enumerate() {
-                state = spec.apply_write(state, w.op.payload().expect("write carries a payload"));
-                if j + 1 >= p {
+                false
+            } else {
+                true
+            };
+            if checked {
+                // The legal window: committed prefix (all folded writes
+                // precede this read), then the unfolded completed writes in
+                // return order, then the pending writes — the open ones
+                // (at most one, or the schedule would be broken) and the
+                // abandoned ones of crashed clients, which may still take
+                // effect — ordered by invocation.
+                let mut window: Vec<HighInterval> = writes.clone();
+                let mut pending: Vec<HighInterval> = self
+                    .open
+                    .values()
+                    .map(|o| o.interval)
+                    .filter(|iv| iv.op.is_write())
+                    .chain(abandoned_writes.iter().copied())
+                    .collect();
+                pending.sort_by_key(|iv| iv.invoked_at);
+                window.extend(pending);
+                // Writes preceding the read form a prefix of the window (the
+                // window is in return order and precedence compares return to
+                // invocation times).
+                let p = window.iter().filter(|w| w.precedes(&interval)).count();
+                let returned = interval
+                    .returned
+                    .and_then(|(_, r)| r.payload())
+                    .expect("complete read carries a payload");
+                let mut legal: Vec<Payload> = Vec::new();
+                let mut state = *folded_state;
+                if p == 0 {
                     legal.push(state);
                 }
+                for (j, w) in window.iter().enumerate() {
+                    state =
+                        spec.apply_write(state, w.op.payload().expect("write carries a payload"));
+                    if j + 1 >= p {
+                        legal.push(state);
+                    }
+                }
+                legal.sort_unstable();
+                legal.dedup();
+                if !legal.contains(&returned) {
+                    self.violation = Some(Violation::new(
+                        *condition,
+                        Some(interval),
+                        format!(
+                            "read returned {returned} but only {legal:?} are allowed by the \
+                             write-sequential order (online, {folded_writes} writes folded)"
+                        ),
+                    ));
+                    self.retire(interval.id);
+                    return;
+                }
             }
-            legal.sort_unstable();
-            legal.dedup();
-            if !legal.contains(&returned) {
-                self.violation = Some(Violation::new(
-                    *condition,
-                    Some(interval),
-                    format!(
-                        "read returned {returned} but only {legal:?} are allowed by the \
-                         write-sequential order (online, {folded_writes} writes folded)"
-                    ),
-                ));
-                return;
-            }
+            self.retire(interval.id);
         }
-        // Fold every window write that precedes all still-open operations:
-        // it precedes every future operation too, so its position in the
-        // write-sequential order is settled.
-        let mut folded = 0;
-        for w in writes.iter() {
-            let settled = self.open.values().all(|o| w.precedes(&o.interval));
-            if !settled {
-                break;
+        self.fold_ws();
+    }
+
+    /// Folds every window write that precedes all still-open operations: it
+    /// precedes every future operation too, so its position in the
+    /// write-sequential order is settled. Abandoned operations do not gate
+    /// the fold — they never return, so without [`StreamingChecker::abandon`]
+    /// they would pin every later-overlapping write in the window forever.
+    fn fold_ws(&mut self) {
+        let spec = self.spec;
+        let Mode::Ws {
+            folded_state,
+            folded_writes,
+            writes,
+            broken,
+            ..
+        } = &mut self.mode
+        else {
+            return;
+        };
+        let mut retired = Vec::new();
+        if !*broken {
+            let mut folded = 0;
+            for w in writes.iter() {
+                let settled = self.open.values().all(|o| w.precedes(&o.interval));
+                if !settled {
+                    break;
+                }
+                *folded_state = spec.apply_write(
+                    *folded_state,
+                    w.op.payload().expect("write carries a payload"),
+                );
+                *folded_writes += 1;
+                folded += 1;
             }
-            *folded_state = spec.apply_write(
-                *folded_state,
-                w.op.payload().expect("write carries a payload"),
-            );
-            *folded_writes += 1;
-            folded += 1;
+            retired.extend(writes.drain(..folded).map(|w| w.id));
         }
-        writes.drain(..folded);
+        for id in retired {
+            self.retire(id);
+        }
         self.bump_peak();
     }
 
@@ -464,14 +671,26 @@ impl StreamingChecker {
     /// operations. The fold order is forced (only the earliest-returning
     /// completed operation can qualify), so the state set evolves
     /// deterministically; an empty set is a violation.
+    ///
+    /// Abandoned writes may linearize at any point after their invocation,
+    /// so before a candidate is applied the state set is closed under
+    /// "some not-yet-consumed abandoned writes take effect first"; the mask
+    /// paired with each state records which ones a branch consumed.
     fn fold_atomic(&mut self) {
         let spec = self.spec;
-        let Mode::Atomic { states, window } = &mut self.mode else {
+        let Mode::Atomic {
+            states,
+            window,
+            abandoned,
+        } = &mut self.mode
+        else {
             unreachable!("fold_atomic is only called in atomic mode");
         };
+        let mut retired = Vec::new();
         loop {
             // Only the completed op with the earliest return time can
-            // precede every other op in the window.
+            // precede every other op in the window. Abandoned operations
+            // left the window, so they no longer block the fold.
             let Some(candidate) = window
                 .values()
                 .filter(|o| o.is_complete())
@@ -486,12 +705,29 @@ impl StreamingChecker {
             if !settled {
                 break;
             }
-            let (_, actual) = candidate.returned.expect("candidate is complete");
-            let next: BTreeSet<Payload> = states
+            let (returned_at, actual) = candidate.returned.expect("candidate is complete");
+            // Close the state set under abandoned writes that may take
+            // effect before the candidate (anything invoked before the
+            // candidate's return); the mask consumes a write per branch.
+            let mut closed = states.clone();
+            let mut frontier: Vec<(u64, Payload)> = closed.iter().copied().collect();
+            while let Some((mask, s)) = frontier.pop() {
+                for (i, a) in abandoned.iter().enumerate() {
+                    if mask & (1 << i) != 0 || a.invoked_at >= returned_at {
+                        continue;
+                    }
+                    let s2 = spec.apply_write(s, a.op.payload().expect("write carries a payload"));
+                    let entry = (mask | (1 << i), s2);
+                    if closed.insert(entry) {
+                        frontier.push(entry);
+                    }
+                }
+            }
+            let next: BTreeSet<(u64, Payload)> = closed
                 .iter()
-                .filter_map(|&s| {
+                .filter_map(|&(mask, s)| {
                     let (s2, expected) = spec.step(s, candidate.op);
-                    (expected == actual).then_some(s2)
+                    (expected == actual).then_some((mask, s2))
                 })
                 .collect();
             if next.is_empty() {
@@ -508,6 +744,10 @@ impl StreamingChecker {
             }
             *states = next;
             window.remove(&candidate.id);
+            retired.push(candidate.id);
+        }
+        for id in retired {
+            self.retire(id);
         }
         self.bump_peak();
     }
@@ -756,6 +996,269 @@ mod tests {
         let outcome = stream(Condition::WsRegularity, register(), &bad).into_outcome();
         let violation = outcome.violation.expect("first bad read is reported");
         assert!(violation.explanation.contains("read returned 9"));
+    }
+
+    #[test]
+    fn abandoned_reads_stop_pinning_the_fold_window() {
+        // A crashed reader's pending read would otherwise pin every
+        // later-overlapping write in the window forever.
+        let spec = register();
+        for condition in [Condition::WsRegularity, Condition::Atomicity] {
+            let mut checker = StreamingChecker::new(condition, spec);
+            checker.observe(&Event::Invoke {
+                time: 1,
+                client: ClientId::new(9),
+                high_op: HighOpId::new(0),
+                op: HighOp::Read,
+            });
+            let mut t = 2;
+            let feed_writes = |checker: &mut StreamingChecker, t: &mut Time, base: u64| {
+                for i in 0..100u64 {
+                    checker.observe(&Event::Invoke {
+                        time: *t,
+                        client: ClientId::new(0),
+                        high_op: HighOpId::new(base + i),
+                        op: HighOp::Write(base + i),
+                    });
+                    checker.observe(&Event::Return {
+                        time: *t + 1,
+                        client: ClientId::new(0),
+                        high_op: HighOpId::new(base + i),
+                        response: HighResponse::WriteAck,
+                    });
+                    *t += 2;
+                }
+            };
+            feed_writes(&mut checker, &mut t, 1);
+            assert!(
+                checker.window_len() > 100,
+                "{condition}: the pending read pins the window"
+            );
+            // The engine learns the client crashed: the window drains.
+            checker.observe(&Event::ClientCrash {
+                time: t,
+                client: ClientId::new(9),
+            });
+            assert!(
+                checker.window_len() <= 2,
+                "{condition}: window still {} after abandon",
+                checker.window_len()
+            );
+            feed_writes(&mut checker, &mut t, 1000);
+            assert!(
+                checker.window_len() <= 2,
+                "{condition}: abandoned read pins the window again"
+            );
+            let outcome = checker.into_outcome();
+            assert!(
+                outcome.is_consistent(),
+                "{condition}: {:?}",
+                outcome.violation
+            );
+        }
+    }
+
+    #[test]
+    fn abandoned_writes_keep_extending_the_legal_window() {
+        // Crashed writer with a pending write of 2: a later read may return
+        // 1 (write never took effect) or 2 (it did) but nothing else —
+        // exactly the offline verdict on the final schedule.
+        for (ret, ok) in [(1u64, true), (2, true), (7, false)] {
+            let mut h = HighHistory::default();
+            h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+            h.push_pending(1, HighOp::Write(2), 2);
+            h.push_complete(2, HighOp::Read, HighResponse::ReadValue(ret), 4, 5);
+            let offline = check_ws_regular(&h, &register()).is_ok();
+            assert_eq!(offline, ok);
+
+            let mut checker = StreamingChecker::new(Condition::WsRegularity, register());
+            let events = [
+                Event::Invoke {
+                    time: 0,
+                    client: ClientId::new(0),
+                    high_op: HighOpId::new(0),
+                    op: HighOp::Write(1),
+                },
+                Event::Return {
+                    time: 1,
+                    client: ClientId::new(0),
+                    high_op: HighOpId::new(0),
+                    response: HighResponse::WriteAck,
+                },
+                Event::Invoke {
+                    time: 2,
+                    client: ClientId::new(1),
+                    high_op: HighOpId::new(1),
+                    op: HighOp::Write(2),
+                },
+                // The writer crashes; its write is abandoned but may still
+                // take effect.
+                Event::ClientCrash {
+                    time: 3,
+                    client: ClientId::new(1),
+                },
+                Event::Invoke {
+                    time: 4,
+                    client: ClientId::new(2),
+                    high_op: HighOpId::new(2),
+                    op: HighOp::Read,
+                },
+                Event::Return {
+                    time: 5,
+                    client: ClientId::new(2),
+                    high_op: HighOpId::new(2),
+                    response: HighResponse::ReadValue(ret),
+                },
+            ];
+            for e in &events {
+                checker.observe(e);
+            }
+            let outcome = checker.into_outcome();
+            assert!(outcome.complete);
+            assert_eq!(outcome.violation.is_none(), ok, "read of {ret}");
+        }
+    }
+
+    #[test]
+    fn writes_after_an_abandoned_write_break_write_sequentiality() {
+        // Offline, a forever-pending write is concurrent with every later
+        // write, so the WS conditions hold vacuously from then on — the
+        // online verdict must agree even though the abandoned write left
+        // the open map.
+        let mut checker = StreamingChecker::new(Condition::WsRegularity, register());
+        checker.observe(&Event::Invoke {
+            time: 0,
+            client: ClientId::new(0),
+            high_op: HighOpId::new(0),
+            op: HighOp::Write(1),
+        });
+        checker.observe(&Event::ClientCrash {
+            time: 1,
+            client: ClientId::new(0),
+        });
+        checker.observe(&Event::Invoke {
+            time: 2,
+            client: ClientId::new(1),
+            high_op: HighOpId::new(1),
+            op: HighOp::Write(2),
+        });
+        checker.observe(&Event::Return {
+            time: 3,
+            client: ClientId::new(1),
+            high_op: HighOpId::new(1),
+            response: HighResponse::WriteAck,
+        });
+        // Any read value is fine now: not write-sequential.
+        checker.observe(&Event::Invoke {
+            time: 4,
+            client: ClientId::new(2),
+            high_op: HighOpId::new(2),
+            op: HighOp::Read,
+        });
+        checker.observe(&Event::Return {
+            time: 5,
+            client: ClientId::new(2),
+            high_op: HighOpId::new(2),
+            response: HighResponse::ReadValue(42),
+        });
+        let outcome = checker.into_outcome();
+        assert!(outcome.is_consistent(), "{:?}", outcome.violation);
+    }
+
+    #[test]
+    fn abandoned_writes_may_linearize_anywhere_atomically() {
+        let spec = register();
+        // Committed prefix is 0; the crashed writer's write of 5 may take
+        // effect between the two reads — read 0 then read 5 is atomic.
+        let feed = |values: [u64; 2]| {
+            let mut checker = StreamingChecker::new(Condition::Atomicity, spec);
+            checker.observe(&Event::Invoke {
+                time: 0,
+                client: ClientId::new(0),
+                high_op: HighOpId::new(0),
+                op: HighOp::Write(5),
+            });
+            checker.observe(&Event::ClientCrash {
+                time: 1,
+                client: ClientId::new(0),
+            });
+            for (i, v) in values.into_iter().enumerate() {
+                let id = HighOpId::new(1 + i as u64);
+                checker.observe(&Event::Invoke {
+                    time: 2 + 2 * i as Time,
+                    client: ClientId::new(1),
+                    high_op: id,
+                    op: HighOp::Read,
+                });
+                checker.observe(&Event::Return {
+                    time: 3 + 2 * i as Time,
+                    client: ClientId::new(1),
+                    high_op: id,
+                    response: HighResponse::ReadValue(v),
+                });
+            }
+            checker.into_outcome()
+        };
+        assert!(feed([0, 5]).is_consistent());
+        assert!(feed([5, 5]).is_consistent());
+        assert!(feed([0, 0]).is_consistent());
+        // New-old inversion against the abandoned write is still caught.
+        let inverted = feed([5, 0]);
+        assert!(inverted.complete);
+        assert!(inverted.violation.is_some());
+        // A value nobody wrote is still caught.
+        let wild = feed([0, 7]);
+        assert!(wild.violation.is_some());
+    }
+
+    #[test]
+    fn retired_ops_are_tracked_only_on_request() {
+        let spec = register();
+        let mut h = HighHistory::default();
+        h.push_complete(0, HighOp::Write(1), HighResponse::WriteAck, 0, 1);
+        h.push_complete(1, HighOp::Read, HighResponse::ReadValue(1), 2, 3);
+        h.push_complete(0, HighOp::Write(2), HighResponse::WriteAck, 4, 5);
+        // Untracked by default.
+        let mut untracked = stream(Condition::WsRegularity, spec, &h);
+        assert!(untracked.take_retired().is_empty());
+        // Tracked: the first write folds once the read invoked after it
+        // returns, and every checked read retires immediately.
+        let mut checker = StreamingChecker::new(Condition::WsRegularity, spec);
+        checker.set_track_retired(true);
+        let events = [
+            Event::Invoke {
+                time: 0,
+                client: ClientId::new(0),
+                high_op: HighOpId::new(0),
+                op: HighOp::Write(1),
+            },
+            Event::Return {
+                time: 1,
+                client: ClientId::new(0),
+                high_op: HighOpId::new(0),
+                response: HighResponse::WriteAck,
+            },
+            Event::Invoke {
+                time: 2,
+                client: ClientId::new(1),
+                high_op: HighOpId::new(1),
+                op: HighOp::Read,
+            },
+            Event::Return {
+                time: 3,
+                client: ClientId::new(1),
+                high_op: HighOpId::new(1),
+                response: HighResponse::ReadValue(1),
+            },
+        ];
+        for e in &events {
+            checker.observe(e);
+        }
+        let retired = checker.take_retired();
+        assert!(retired.contains(&HighOpId::new(0)), "{retired:?}");
+        assert!(retired.contains(&HighOpId::new(1)), "{retired:?}");
+        assert!(checker.take_retired().is_empty(), "drained");
+        assert!(checker.into_outcome().is_consistent());
     }
 
     #[test]

@@ -1,0 +1,1619 @@
+//! Sharded multi-process sweep campaigns with deterministic merge and
+//! resume.
+//!
+//! [`crate::sweep::run_sweep`] scales across threads in one process; a
+//! *campaign* scales the same case space across OS processes (and, since
+//! the on-disk format is the whole protocol, across machines sharing a
+//! spool directory). The case space of a [`SweepConfig`] is split into
+//! contiguous case-index *shards*; each shard is run by a worker process
+//! that writes an index-keyed JSON report into the spool; the coordinator
+//! merges the shard reports back into one [`crate::sweep::SweepReport`]
+//! that is **byte-identical** to a single-process
+//! [`crate::sweep::run_sweep`] of the same config.
+//!
+//! ## The spool directory
+//!
+//! A campaign lives in one directory:
+//!
+//! | file | written by | contents |
+//! |---|---|---|
+//! | `config.txt` | coordinator, once | the canonical [`SweepConfig`] text ([`config_to_text`]) |
+//! | `manifest.txt` | coordinator | versioned [`ShardManifest`]: config fingerprint, shard ranges, per-shard status/attempts |
+//! | `shard-NNNN.json` | worker `NNNN` | the shard's [`crate::sweep::SweepReport::to_json`] (global case indices) |
+//! | `shard-NNNN.progress` | worker `NNNN` | `done total` case counts, updated as the shard runs |
+//!
+//! Workers never write the manifest; shard reports are written to a
+//! temporary file and renamed into place, so a half-written report is never
+//! mistaken for a finished shard. The coordinator rewrites the manifest the
+//! same way. A campaign killed at *any* point therefore resumes cleanly:
+//! [`run_campaign`] revalidates every shard marked done (the report file
+//! must exist, parse, and cover exactly the shard's range), reuses the
+//! valid ones, and re-runs only the rest.
+//!
+//! ## Determinism
+//!
+//! Every sweep case is a self-contained [`crate::Scenario`] value; a shard
+//! is a pure function of `(config, range)`. The merge slots parsed results
+//! by case index, so shard count, worker scheduling and completion order
+//! never leak into the merged report — the property test suite checks
+//! byte-identity of JSON and CSV against [`crate::sweep::run_sweep`] for arbitrary
+//! partitions and shuffled completion orders.
+//!
+//! ## Quickstart
+//!
+//! ```text
+//! # 96-case default grid, 4 shards, 2 worker processes, resumable spool:
+//! cargo run --release -p regemu-bench --bin campaign_coordinator -- \
+//!     --spool /tmp/campaign --shards 4 --workers 2 --json report.json
+//! # Interrupted? Run the same command again: completed shards are reused.
+//! ```
+//!
+//! Workers can also be pointed at the spool manually (e.g. from other
+//! machines over a shared filesystem):
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin campaign_worker -- \
+//!     --spool /tmp/campaign --shard 2
+//! ```
+
+use crate::runner::ConsistencyCheck;
+use crate::scenario::{CrashPlanSpec, RecordingModeSpec, SchedulerSpec};
+use crate::sweep::{run_sweep_range, CaseResult, EmulationKind, SweepConfig, WorkloadSpec};
+use regemu_bounds::Params;
+use std::fmt;
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// Version tag of the on-disk manifest/config formats.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors raised by the campaign layer.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// An I/O error on the spool directory.
+    Io(std::io::Error),
+    /// A spool file exists but cannot be parsed.
+    Malformed {
+        /// Which file is broken.
+        file: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// The spool was initialized for a different [`SweepConfig`].
+    ConfigMismatch {
+        /// Fingerprint recorded in the manifest.
+        manifest: String,
+        /// Fingerprint of the config handed to the campaign.
+        config: String,
+    },
+    /// A shard index outside the manifest's shard count.
+    UnknownShard(usize),
+    /// A shard kept failing past the attempt budget.
+    ShardFailed {
+        /// The failing shard.
+        shard: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Last observed failure.
+        reason: String,
+    },
+    /// The merged case set does not cover the config's case space.
+    IncompleteMerge {
+        /// First case index with no result.
+        missing_index: usize,
+    },
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "spool I/O error: {e}"),
+            CampaignError::Malformed { file, reason } => {
+                write!(f, "malformed spool file {file}: {reason}")
+            }
+            CampaignError::ConfigMismatch { manifest, config } => write!(
+                f,
+                "spool belongs to a different sweep config \
+                 (manifest fingerprint {manifest}, config fingerprint {config}); \
+                 use a fresh spool directory"
+            ),
+            CampaignError::UnknownShard(i) => write!(f, "shard {i} is not in the manifest"),
+            CampaignError::ShardFailed {
+                shard,
+                attempts,
+                reason,
+            } => write!(f, "shard {shard} failed {attempts} attempt(s): {reason}"),
+            CampaignError::IncompleteMerge { missing_index } => {
+                write!(f, "merge incomplete: no result for case {missing_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
+fn malformed(file: &Path, reason: impl Into<String>) -> CampaignError {
+    CampaignError::Malformed {
+        file: file.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+// --------------------------------------------------------------------------
+// Canonical config text and fingerprint
+// --------------------------------------------------------------------------
+
+/// FNV-1a 64-bit — dependency-free, stable across platforms.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes a [`SweepConfig`] as canonical line-based text.
+///
+/// Every axis is rendered through its stable label/name, so the text (and
+/// with it the [`config_fingerprint`]) identifies the *case space* of the
+/// config. `threads` is deliberately excluded: worker-pool size never
+/// affects results, so resuming a campaign with a different thread count is
+/// legal.
+pub fn config_to_text(config: &SweepConfig) -> String {
+    let mut out = format!("regemu-sweep-config v{FORMAT_VERSION}\n");
+    let join = |items: Vec<String>| items.join(" ");
+    out.push_str(&format!(
+        "grid {}\n",
+        join(
+            config
+                .grid
+                .iter()
+                .map(|p| format!("{}/{}/{}", p.k, p.f, p.n))
+                .collect()
+        )
+    ));
+    out.push_str(&format!(
+        "emulations {}\n",
+        join(
+            config
+                .emulations
+                .iter()
+                .map(|e| e.name().to_string())
+                .collect()
+        )
+    ));
+    out.push_str(&format!(
+        "workloads {}\n",
+        join(config.workloads.iter().map(WorkloadSpec::label).collect())
+    ));
+    out.push_str(&format!(
+        "schedulers {}\n",
+        join(
+            config
+                .schedulers
+                .iter()
+                .map(|s| s.name().to_string())
+                .collect()
+        )
+    ));
+    out.push_str(&format!(
+        "crash-plans {}\n",
+        join(
+            config
+                .crash_plans
+                .iter()
+                .map(|c| c.name().to_string())
+                .collect()
+        )
+    ));
+    out.push_str(&format!(
+        "recordings {}\n",
+        join(config.recordings.iter().map(|r| r.label()).collect())
+    ));
+    out.push_str(&format!(
+        "seeds {}\n",
+        join(config.seeds.iter().map(u64::to_string).collect())
+    ));
+    out.push_str(&format!("check {}\n", config.check.name()));
+    out.push_str(&format!("max-steps-per-op {}\n", config.max_steps_per_op));
+    out
+}
+
+/// Parses the canonical text produced by [`config_to_text`].
+///
+/// The returned config has `threads = 0` (one worker thread per core);
+/// campaign workers override it from their own CLI.
+pub fn config_from_text(text: &str) -> Result<SweepConfig, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty config")?;
+    if header != format!("regemu-sweep-config v{FORMAT_VERSION}") {
+        return Err(format!("unsupported config header {header:?}"));
+    }
+    let mut config = SweepConfig {
+        grid: Vec::new(),
+        emulations: Vec::new(),
+        workloads: Vec::new(),
+        schedulers: Vec::new(),
+        crash_plans: Vec::new(),
+        recordings: Vec::new(),
+        seeds: Vec::new(),
+        check: ConsistencyCheck::None,
+        max_steps_per_op: 100_000,
+        threads: 0,
+    };
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+        let values: Vec<&str> = rest.split_whitespace().collect();
+        match key {
+            "grid" => {
+                for v in values {
+                    let parts: Vec<&str> = v.split('/').collect();
+                    let [k, f, n] = parts.as_slice() else {
+                        return Err(format!("bad grid point {v:?}"));
+                    };
+                    let parse =
+                        |s: &str| s.parse::<usize>().map_err(|_| format!("bad number {s:?}"));
+                    let params = Params::new(parse(k)?, parse(f)?, parse(n)?)
+                        .map_err(|e| format!("invalid grid point {v:?}: {e}"))?;
+                    config.grid.push(params);
+                }
+            }
+            "emulations" => {
+                for v in values {
+                    config.emulations.push(
+                        EmulationKind::from_name(v).ok_or(format!("unknown emulation {v:?}"))?,
+                    );
+                }
+            }
+            "workloads" => {
+                for v in values {
+                    config.workloads.push(
+                        WorkloadSpec::from_label(v).ok_or(format!("unknown workload {v:?}"))?,
+                    );
+                }
+            }
+            "schedulers" => {
+                for v in values {
+                    config.schedulers.push(
+                        SchedulerSpec::from_name(v).ok_or(format!("unknown scheduler {v:?}"))?,
+                    );
+                }
+            }
+            "crash-plans" => {
+                for v in values {
+                    config.crash_plans.push(
+                        CrashPlanSpec::from_name(v).ok_or(format!("unknown crash plan {v:?}"))?,
+                    );
+                }
+            }
+            "recordings" => {
+                for v in values {
+                    config.recordings.push(
+                        RecordingModeSpec::from_label(v)
+                            .ok_or(format!("unknown recording mode {v:?}"))?,
+                    );
+                }
+            }
+            "seeds" => {
+                for v in values {
+                    config
+                        .seeds
+                        .push(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+                }
+            }
+            "check" => {
+                let v = values.first().ok_or("check needs a value")?;
+                config.check =
+                    ConsistencyCheck::from_name(v).ok_or(format!("unknown check {v:?}"))?;
+            }
+            "max-steps-per-op" => {
+                let v = values.first().ok_or("max-steps-per-op needs a value")?;
+                config.max_steps_per_op =
+                    v.parse().map_err(|_| format!("bad step budget {v:?}"))?;
+            }
+            other => return Err(format!("unknown config key {other:?}")),
+        }
+    }
+    Ok(config)
+}
+
+/// A stable 64-bit fingerprint of the config's case space, as 16 hex
+/// digits. Two configs with the same fingerprint expand to the same cases,
+/// so their shards and reports are interchangeable.
+pub fn config_fingerprint(config: &SweepConfig) -> String {
+    format!("{:016x}", fnv64(config_to_text(config).as_bytes()))
+}
+
+// --------------------------------------------------------------------------
+// Shard planning and the manifest
+// --------------------------------------------------------------------------
+
+/// A contiguous case-index range `start..end` forming one shard.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRange {
+    /// Shard number (position in the manifest).
+    pub index: usize,
+    /// First case index of the shard (inclusive).
+    pub start: usize,
+    /// One past the last case index of the shard.
+    pub end: usize,
+}
+
+impl ShardRange {
+    /// Number of cases in the shard.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Returns `true` for a shard with no cases.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Splits `case_count` cases into `shards` contiguous, balanced ranges (the
+/// first `case_count % shards` ranges hold one extra case). A shard count
+/// larger than the case count is clamped, so no shard is empty unless the
+/// case space itself is.
+pub fn plan_shards(case_count: usize, shards: usize) -> Vec<ShardRange> {
+    let shards = shards.max(1).min(case_count.max(1));
+    let base = case_count / shards;
+    let extra = case_count % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for index in 0..shards {
+        let len = base + usize::from(index < extra);
+        ranges.push(ShardRange {
+            index,
+            start,
+            end: start + len,
+        });
+        start += len;
+    }
+    ranges
+}
+
+/// Lifecycle state of a shard, as persisted in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStatus {
+    /// Not successfully completed yet.
+    Pending,
+    /// Completed: its report file is in the spool.
+    Done,
+}
+
+impl ShardStatus {
+    fn name(self) -> &'static str {
+        match self {
+            ShardStatus::Pending => "pending",
+            ShardStatus::Done => "done",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "pending" => Some(ShardStatus::Pending),
+            "done" => Some(ShardStatus::Done),
+            _ => None,
+        }
+    }
+}
+
+/// One shard's entry in the manifest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard's case range.
+    pub range: ShardRange,
+    /// Current status.
+    pub status: ShardStatus,
+    /// Worker attempts consumed so far (successful or not).
+    pub attempts: u32,
+}
+
+/// The versioned, on-disk state of a campaign: which config it runs (by
+/// fingerprint), how the case space is sharded, and how far each shard got.
+///
+/// The manifest is the resume point *and* the wire protocol: any process
+/// that can read the spool directory can pick up a pending shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    /// Fingerprint of the config ([`config_fingerprint`]).
+    pub fingerprint: String,
+    /// Total number of cases in the campaign.
+    pub case_count: usize,
+    /// Per-shard ranges and states, in shard order.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl ShardManifest {
+    /// Plans a fresh manifest for `config` split into `shards` shards.
+    pub fn plan(config: &SweepConfig, shards: usize) -> Self {
+        ShardManifest {
+            fingerprint: config_fingerprint(config),
+            case_count: config.case_count(),
+            shards: plan_shards(config.case_count(), shards)
+                .into_iter()
+                .map(|range| ShardEntry {
+                    range,
+                    status: ShardStatus::Pending,
+                    attempts: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the manifest as its on-disk text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "regemu-campaign-manifest v{FORMAT_VERSION}\nfingerprint {}\ncases {}\nshards {}\n",
+            self.fingerprint,
+            self.case_count,
+            self.shards.len()
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {} {} {} {} {}\n",
+                s.range.index,
+                s.range.start,
+                s.range.end,
+                s.status.name(),
+                s.attempts
+            ));
+        }
+        out
+    }
+
+    /// Parses the on-disk manifest text.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty manifest")?;
+        if header != format!("regemu-campaign-manifest v{FORMAT_VERSION}") {
+            return Err(format!("unsupported manifest header {header:?}"));
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or(format!("missing {name} line"))?;
+            line.strip_prefix(&format!("{name} "))
+                .map(str::to_string)
+                .ok_or(format!("expected {name} line, got {line:?}"))
+        };
+        let fingerprint = field("fingerprint")?;
+        let case_count: usize = field("cases")?
+            .parse()
+            .map_err(|_| "bad case count".to_string())?;
+        let shard_count: usize = field("shards")?
+            .parse()
+            .map_err(|_| "bad shard count".to_string())?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let ["shard", index, start, end, status, attempts] = parts.as_slice() else {
+                return Err(format!("bad shard line {line:?}"));
+            };
+            let parse = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number {s:?}"));
+            shards.push(ShardEntry {
+                range: ShardRange {
+                    index: parse(index)?,
+                    start: parse(start)?,
+                    end: parse(end)?,
+                },
+                status: ShardStatus::from_name(status)
+                    .ok_or(format!("unknown status {status:?}"))?,
+                attempts: attempts
+                    .parse()
+                    .map_err(|_| format!("bad attempt count {attempts:?}"))?,
+            });
+        }
+        if shards.len() != shard_count {
+            return Err(format!(
+                "manifest declares {shard_count} shards but lists {}",
+                shards.len()
+            ));
+        }
+        // The ranges must partition 0..case_count in order.
+        let mut expected_start = 0;
+        for (i, s) in shards.iter().enumerate() {
+            if s.range.index != i || s.range.start != expected_start || s.range.end < s.range.start
+            {
+                return Err(format!("shard {i} range is not a partition: {:?}", s.range));
+            }
+            expected_start = s.range.end;
+        }
+        if expected_start != case_count {
+            return Err(format!(
+                "shards cover {expected_start} cases, manifest declares {case_count}"
+            ));
+        }
+        Ok(ShardManifest {
+            fingerprint,
+            case_count,
+            shards,
+        })
+    }
+
+    /// Loads the manifest from a spool directory, or `None` if the spool
+    /// has no manifest yet.
+    pub fn load(spool: &Path) -> Result<Option<Self>, CampaignError> {
+        let path = manifest_path(spool);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        ShardManifest::from_text(&text)
+            .map(Some)
+            .map_err(|reason| malformed(&path, reason))
+    }
+
+    /// Atomically writes the manifest into the spool (temp file + rename),
+    /// so a coordinator killed mid-write never leaves a torn manifest.
+    pub fn store(&self, spool: &Path) -> Result<(), CampaignError> {
+        write_atomically(&manifest_path(spool), &self.to_text())
+    }
+
+    /// Returns `true` once every shard is done.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|s| s.status == ShardStatus::Done)
+    }
+
+    /// Shards not yet done, in shard order.
+    pub fn incomplete(&self) -> impl Iterator<Item = &ShardEntry> {
+        self.shards.iter().filter(|s| s.status != ShardStatus::Done)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Spool layout
+// --------------------------------------------------------------------------
+
+/// Path of the manifest inside a spool directory.
+pub fn manifest_path(spool: &Path) -> PathBuf {
+    spool.join("manifest.txt")
+}
+
+/// Path of the canonical config text inside a spool directory.
+pub fn config_path(spool: &Path) -> PathBuf {
+    spool.join("config.txt")
+}
+
+/// Path of a shard's JSON report inside a spool directory.
+pub fn shard_report_path(spool: &Path, shard: usize) -> PathBuf {
+    spool.join(format!("shard-{shard:04}.json"))
+}
+
+/// Path of a shard's `done total` progress counter inside a spool
+/// directory.
+pub fn shard_progress_path(spool: &Path, shard: usize) -> PathBuf {
+    spool.join(format!("shard-{shard:04}.progress"))
+}
+
+fn write_atomically(path: &Path, contents: &str) -> Result<(), CampaignError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Initializes (or resumes) a spool directory for `config` split into
+/// `shards` shards.
+///
+/// A fresh directory gets a `config.txt` and a pending manifest. An
+/// existing spool is *resumed*: its manifest is loaded and returned as-is —
+/// completed shards keep their status — after verifying that it belongs to
+/// the same config ([`CampaignError::ConfigMismatch`] otherwise). The shard
+/// count of an existing manifest wins over the `shards` argument: shard
+/// ranges are frozen at campaign creation.
+pub fn init_spool(
+    spool: &Path,
+    config: &SweepConfig,
+    shards: usize,
+) -> Result<ShardManifest, CampaignError> {
+    fs::create_dir_all(spool)?;
+    let fingerprint = config_fingerprint(config);
+    if let Some(manifest) = ShardManifest::load(spool)? {
+        if manifest.fingerprint != fingerprint {
+            return Err(CampaignError::ConfigMismatch {
+                manifest: manifest.fingerprint,
+                config: fingerprint,
+            });
+        }
+        return Ok(manifest);
+    }
+    write_atomically(&config_path(spool), &config_to_text(config))?;
+    let manifest = ShardManifest::plan(config, shards);
+    manifest.store(spool)?;
+    Ok(manifest)
+}
+
+/// Loads the campaign's [`SweepConfig`] from a spool directory.
+pub fn load_config(spool: &Path) -> Result<SweepConfig, CampaignError> {
+    let path = config_path(spool);
+    let text = fs::read_to_string(&path)?;
+    config_from_text(&text).map_err(|reason| malformed(&path, reason))
+}
+
+// --------------------------------------------------------------------------
+// Worker
+// --------------------------------------------------------------------------
+
+/// Number of cases a worker runs between progress-file updates.
+const PROGRESS_CHUNK: usize = 8;
+
+/// Runs one shard of the campaign in `spool`: the entry point of the
+/// `campaign_worker` binary, also called in-process by [`run_campaign`]
+/// when no worker binary is configured.
+///
+/// Reads the config and manifest from the spool, runs the shard's case
+/// range with `threads` sweep threads (`0` = one per core), streams `done
+/// total` counts into the shard's progress file, and atomically publishes
+/// the shard report. Re-running a shard simply overwrites its report with
+/// identical bytes — shards are pure functions of `(config, range)`.
+///
+/// # Errors
+///
+/// Fails if the spool is missing or malformed, or the shard index is not
+/// in the manifest.
+pub fn run_shard(spool: &Path, shard: usize, threads: usize) -> Result<ShardRange, CampaignError> {
+    let mut config = load_config(spool)?;
+    config.threads = threads;
+    let manifest =
+        ShardManifest::load(spool)?.ok_or_else(|| malformed(&manifest_path(spool), "missing"))?;
+    if manifest.fingerprint != config_fingerprint(&config) {
+        return Err(CampaignError::ConfigMismatch {
+            manifest: manifest.fingerprint,
+            config: config_fingerprint(&config),
+        });
+    }
+    let entry = manifest
+        .shards
+        .get(shard)
+        .ok_or(CampaignError::UnknownShard(shard))?;
+    let range = entry.range;
+
+    let mut results: Vec<CaseResult> = Vec::with_capacity(range.len());
+    let progress = shard_progress_path(spool, shard);
+    let _ = fs::write(&progress, format!("0 {}\n", range.len()));
+    let mut at = range.start;
+    while at < range.end {
+        let to = (at + PROGRESS_CHUNK).min(range.end);
+        let chunk = run_sweep_range(&config, at, to);
+        results.extend(chunk.results().iter().cloned());
+        at = to;
+        // Progress is advisory: a failed write must not fail the shard.
+        let _ = fs::write(&progress, format!("{} {}\n", at - range.start, range.len()));
+    }
+
+    let report = crate::sweep::SweepReport::from_results(results);
+    write_atomically(&shard_report_path(spool, shard), &report.to_json())?;
+    Ok(range)
+}
+
+// --------------------------------------------------------------------------
+// Shard-report parsing (the merge's input)
+// --------------------------------------------------------------------------
+
+/// A minimal JSON value — just enough to read back the reports this crate
+/// writes (the offline serde shim cannot deserialize, so the campaign
+/// layer parses its own output format).
+enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_opt_string(&self) -> Option<Option<String>> {
+        match self {
+            Json::Null => Some(None),
+            Json::Str(s) => Some(Some(s.clone())),
+            _ => None,
+        }
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> Self {
+        JsonParser {
+            bytes: text.as_bytes(),
+            at: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.at)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.at += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.at)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? != b {
+            return Err(format!("expected {:?} at byte {}", char::from(b), self.at));
+        }
+        self.at += 1;
+        Ok(())
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.at..].starts_with(lit.as_bytes()) {
+            self.at += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            _ => {
+                if self.eat_literal("null") {
+                    Ok(Json::Null)
+                } else if self.eat_literal("true") {
+                    Ok(Json::Bool(true))
+                } else if self.eat_literal("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(format!("unexpected token at byte {}", self.at))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.at += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.at += 1,
+                b'}' => {
+                    self.at += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.at += 1,
+                b']' => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.at)
+                .ok_or("unterminated string".to_string())?;
+            self.at += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.at)
+                        .ok_or("unterminated escape".to_string())?;
+                    self.at += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .ok_or("truncated \\u escape".to_string())?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "non-ASCII \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.at += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or(format!("invalid code point {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown escape \\{}", char::from(other))),
+                    }
+                }
+                _ => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = self.at - 1;
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8 sequence".to_string())?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|e| format!("bad UTF-8: {e}"))?,
+                    );
+                    self.at = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.at;
+        while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
+            self.at += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("digits are ASCII");
+        text.parse()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+}
+
+fn case_from_json(case: &Json, file: &Path) -> Result<CaseResult, CampaignError> {
+    let field = |key: &str| {
+        case.get(key)
+            .ok_or_else(|| malformed(file, format!("case missing field {key:?}")))
+    };
+    let num = |key: &str| -> Result<u64, CampaignError> {
+        field(key)?
+            .as_u64()
+            .ok_or_else(|| malformed(file, format!("field {key:?} is not a number")))
+    };
+    let text = |key: &str| -> Result<String, CampaignError> {
+        Ok(field(key)?
+            .as_str()
+            .ok_or_else(|| malformed(file, format!("field {key:?} is not a string")))?
+            .to_string())
+    };
+    let opt_text = |key: &str| -> Result<Option<String>, CampaignError> {
+        field(key)?
+            .as_opt_string()
+            .ok_or_else(|| malformed(file, format!("field {key:?} is not a string or null")))
+    };
+
+    let emulation_name = text("emulation")?;
+    let emulation = EmulationKind::from_name(&emulation_name)
+        .ok_or_else(|| malformed(file, format!("unknown emulation {emulation_name:?}")))?;
+    let workload_label = text("workload")?;
+    let workload = WorkloadSpec::from_label(&workload_label)
+        .ok_or_else(|| malformed(file, format!("unknown workload {workload_label:?}")))?;
+    let scheduler_name = text("scheduler")?;
+    let scheduler = SchedulerSpec::from_name(&scheduler_name)
+        .ok_or_else(|| malformed(file, format!("unknown scheduler {scheduler_name:?}")))?;
+    let crashes_name = text("crashes")?;
+    let crashes = CrashPlanSpec::from_name(&crashes_name)
+        .ok_or_else(|| malformed(file, format!("unknown crash plan {crashes_name:?}")))?;
+    let recording_label = text("recording")?;
+    let recording = RecordingModeSpec::from_label(&recording_label)
+        .ok_or_else(|| malformed(file, format!("unknown recording mode {recording_label:?}")))?;
+    let params = Params::new(num("k")? as usize, num("f")? as usize, num("n")? as usize)
+        .map_err(|e| malformed(file, format!("invalid case parameters: {e}")))?;
+    let consistent = match field("consistent")? {
+        Json::Bool(b) => *b,
+        _ => return Err(malformed(file, "field \"consistent\" is not a boolean")),
+    };
+
+    Ok(CaseResult {
+        case: crate::sweep::SweepCase {
+            index: num("index")? as usize,
+            params,
+            emulation,
+            workload,
+            scheduler,
+            crashes,
+            recording,
+            seed: num("seed")?,
+        },
+        provisioned_objects: num("provisioned")? as usize,
+        resource_consumption: num("consumption")? as usize,
+        covered: num("covered")? as usize,
+        point_contention: num("contention")? as usize,
+        low_level_triggers: num("triggers")?,
+        low_level_responses: num("responses")?,
+        completed_ops: num("completed")? as usize,
+        consistent,
+        coverage: text("coverage")?,
+        violation: opt_text("violation")?,
+        error: opt_text("error")?,
+    })
+}
+
+/// Parses the case results out of a report's [`crate::sweep::SweepReport::to_json`] text.
+///
+/// Round-trips exactly: `parse(report.to_json())` rebuilds results whose
+/// re-serialization is byte-identical — the property the deterministic
+/// merge rests on.
+pub fn report_cases_from_json(json: &str, file: &Path) -> Result<Vec<CaseResult>, CampaignError> {
+    let mut parser = JsonParser::new(json);
+    let doc = parser.value().map_err(|reason| malformed(file, reason))?;
+    let cases = doc
+        .get("cases")
+        .ok_or_else(|| malformed(file, "missing \"cases\" array"))?;
+    let Json::Arr(items) = cases else {
+        return Err(malformed(file, "\"cases\" is not an array"));
+    };
+    items.iter().map(|c| case_from_json(c, file)).collect()
+}
+
+/// Reads and validates one shard's report file: it must parse and must
+/// cover exactly the shard's case range, in order.
+pub fn load_shard_report(
+    spool: &Path,
+    range: ShardRange,
+) -> Result<Vec<CaseResult>, CampaignError> {
+    let path = shard_report_path(spool, range.index);
+    let mut text = String::new();
+    fs::File::open(&path)?.read_to_string(&mut text)?;
+    let cases = report_cases_from_json(&text, &path)?;
+    if cases.len() != range.len() {
+        return Err(malformed(
+            &path,
+            format!(
+                "shard holds {} cases, range needs {}",
+                cases.len(),
+                range.len()
+            ),
+        ));
+    }
+    for (offset, case) in cases.iter().enumerate() {
+        if case.case.index != range.start + offset {
+            return Err(malformed(
+                &path,
+                format!(
+                    "case at position {offset} has index {}, expected {}",
+                    case.case.index,
+                    range.start + offset
+                ),
+            ));
+        }
+    }
+    Ok(cases)
+}
+
+/// Deterministically merges every shard report in `spool` into the full
+/// [`crate::sweep::SweepReport`], in case-index order.
+///
+/// The merge is a pure reassembly: results are slotted by case index, so
+/// the output is byte-identical ([`crate::sweep::SweepReport::to_json`] /
+/// [`crate::sweep::SweepReport::to_csv`]) to a single-process [`crate::sweep::run_sweep`] of the same
+/// config, regardless of shard count or completion order.
+///
+/// # Errors
+///
+/// Fails if the spool is malformed or any case of the campaign's case
+/// space has no result yet.
+pub fn merge_shards(spool: &Path) -> Result<crate::sweep::SweepReport, CampaignError> {
+    let manifest =
+        ShardManifest::load(spool)?.ok_or_else(|| malformed(&manifest_path(spool), "missing"))?;
+    let mut slots: Vec<Option<CaseResult>> = vec![None; manifest.case_count];
+    for entry in &manifest.shards {
+        for case in load_shard_report(spool, entry.range)? {
+            let index = case.case.index;
+            slots[index] = Some(case);
+        }
+    }
+    let mut results = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.into_iter().enumerate() {
+        results.push(slot.ok_or(CampaignError::IncompleteMerge { missing_index: i })?);
+    }
+    Ok(crate::sweep::SweepReport::from_results(results))
+}
+
+// --------------------------------------------------------------------------
+// The coordinator
+// --------------------------------------------------------------------------
+
+/// How the coordinator executes shards.
+#[derive(Clone, Debug)]
+pub enum WorkerMode {
+    /// Run shards inside the coordinator process, one at a time (each
+    /// shard still uses the config's sweep thread pool). The zero-setup
+    /// path used by `sweep_grid --shards`.
+    InProcess,
+    /// Spawn the given `campaign_worker` binary as a separate OS process
+    /// per shard.
+    Spawn(PathBuf),
+}
+
+/// Options of a campaign run.
+#[derive(Clone, Debug)]
+pub struct CampaignOptions {
+    /// Spool directory holding the manifest, config and shard reports.
+    pub spool: PathBuf,
+    /// Number of shards to split the case space into (ignored when
+    /// resuming: the existing manifest's plan wins).
+    pub shards: usize,
+    /// Maximum number of concurrently running worker processes.
+    pub workers: usize,
+    /// Attempt budget per shard before the campaign fails.
+    pub max_attempts: u32,
+    /// Sweep threads per worker (`0` = one per core).
+    pub worker_threads: usize,
+    /// How shards are executed.
+    pub worker: WorkerMode,
+    /// Stop after completing this many shards in *this* invocation,
+    /// leaving the campaign resumable — deterministic stand-in for a
+    /// mid-campaign kill, used by the resume tests and the CI smoke job.
+    pub exit_after: Option<usize>,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl CampaignOptions {
+    /// Reasonable defaults: in-process workers, 4 shards, 2 at a time,
+    /// 3 attempts.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        CampaignOptions {
+            spool: spool.into(),
+            shards: 4,
+            workers: 2,
+            max_attempts: 3,
+            worker_threads: 0,
+            worker: WorkerMode::InProcess,
+            exit_after: None,
+            quiet: false,
+        }
+    }
+}
+
+/// What a [`run_campaign`] invocation did.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The merged report — `Some` once every shard is done, `None` when
+    /// the invocation stopped early ([`CampaignOptions::exit_after`]).
+    pub report: Option<crate::sweep::SweepReport>,
+    /// Total shards in the campaign.
+    pub shards_total: usize,
+    /// Shards executed by this invocation.
+    pub shards_run: usize,
+    /// Shards whose existing report was reused (resume).
+    pub shards_reused: usize,
+    /// Worker attempts that failed and were retried.
+    pub retries: u32,
+}
+
+/// Reads a shard's `done total` progress file; zeroes when absent.
+fn read_progress(spool: &Path, shard: usize) -> (usize, usize) {
+    let Ok(text) = fs::read_to_string(shard_progress_path(spool, shard)) else {
+        return (0, 0);
+    };
+    let mut parts = text.split_whitespace();
+    let done = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    let total = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+    (done, total)
+}
+
+struct ProgressPrinter {
+    quiet: bool,
+    last: String,
+}
+
+impl ProgressPrinter {
+    fn emit(&mut self, line: String) {
+        if self.quiet || line == self.last {
+            return;
+        }
+        eprintln!("{line}");
+        self.last = line;
+    }
+}
+
+/// Runs (or resumes) a sharded campaign of `config` to completion:
+/// initializes the spool, revalidates and reuses completed shards, executes
+/// the incomplete ones — with a bounded retry budget and live progress on
+/// stderr — and merges the shard reports into the final [`crate::sweep::SweepReport`].
+///
+/// # Errors
+///
+/// Fails on spool I/O or format errors, on a config mismatch with an
+/// existing spool, or when a shard exhausts its attempt budget.
+pub fn run_campaign(
+    config: &SweepConfig,
+    options: &CampaignOptions,
+) -> Result<CampaignOutcome, CampaignError> {
+    let spool = options.spool.as_path();
+    let mut manifest = init_spool(spool, config, options.shards)?;
+
+    // Revalidate shards marked done: a report that is missing or torn (the
+    // worker was killed mid-campaign) sends its shard back to pending.
+    let mut shards_reused = 0;
+    for i in 0..manifest.shards.len() {
+        if manifest.shards[i].status == ShardStatus::Done {
+            if load_shard_report(spool, manifest.shards[i].range).is_ok() {
+                shards_reused += 1;
+            } else {
+                manifest.shards[i].status = ShardStatus::Pending;
+            }
+        }
+    }
+    manifest.store(spool)?;
+
+    let mut progress = ProgressPrinter {
+        quiet: options.quiet,
+        last: String::new(),
+    };
+    let pending: Vec<usize> = manifest.incomplete().map(|s| s.range.index).collect();
+    let shards_total = manifest.shards.len();
+    let budget = options.max_attempts.max(1);
+    let mut shards_run = 0;
+    let mut retries = 0;
+    let exit_after = options.exit_after.unwrap_or(usize::MAX);
+
+    match &options.worker {
+        WorkerMode::InProcess => {
+            for &shard in &pending {
+                if shards_run >= exit_after {
+                    break;
+                }
+                let range = manifest.shards[shard].range;
+                // Same attempt budget as the spawn path; attempts are
+                // persisted *before* each try so a coordinator killed
+                // mid-shard resumes with the consumed attempt on record.
+                loop {
+                    manifest.shards[shard].attempts += 1;
+                    manifest.store(spool)?;
+                    match run_shard(spool, shard, options.worker_threads) {
+                        Ok(_) => break,
+                        Err(e) => {
+                            retries += 1;
+                            if manifest.shards[shard].attempts >= budget {
+                                return Err(CampaignError::ShardFailed {
+                                    shard,
+                                    attempts: manifest.shards[shard].attempts,
+                                    reason: e.to_string(),
+                                });
+                            }
+                            progress.emit(format!(
+                                "campaign: shard {shard} failed ({e}); retrying \
+                                 (attempt {} of {budget})",
+                                manifest.shards[shard].attempts + 1
+                            ));
+                        }
+                    }
+                }
+                manifest.shards[shard].status = ShardStatus::Done;
+                manifest.store(spool)?;
+                shards_run += 1;
+                let done = manifest
+                    .shards
+                    .iter()
+                    .filter(|s| s.status == ShardStatus::Done)
+                    .count();
+                progress.emit(format!(
+                    "campaign: shard {shard} done ({} cases); {done}/{shards_total} shards",
+                    range.len()
+                ));
+            }
+        }
+        WorkerMode::Spawn(bin) => {
+            let mut queue: std::collections::VecDeque<usize> = pending.iter().copied().collect();
+            let mut running: Vec<(usize, Child)> = Vec::new();
+            let kill_all = |running: &mut Vec<(usize, Child)>| {
+                for (_, child) in running.iter_mut() {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                }
+                running.clear();
+            };
+            loop {
+                // Top up the worker pool. A spawn failure must not leak the
+                // workers already running.
+                while running.len() < options.workers.max(1) {
+                    let Some(shard) = queue.pop_front() else {
+                        break;
+                    };
+                    manifest.shards[shard].attempts += 1;
+                    manifest.store(spool)?;
+                    let spawned = Command::new(bin)
+                        .arg("--spool")
+                        .arg(spool)
+                        .arg("--shard")
+                        .arg(shard.to_string())
+                        .arg("--threads")
+                        .arg(options.worker_threads.to_string())
+                        .stdin(Stdio::null())
+                        .stdout(Stdio::null())
+                        .spawn();
+                    match spawned {
+                        Ok(child) => running.push((shard, child)),
+                        Err(e) => {
+                            kill_all(&mut running);
+                            return Err(CampaignError::ShardFailed {
+                                shard,
+                                attempts: manifest.shards[shard].attempts,
+                                reason: format!("cannot spawn worker {}: {e}", bin.display()),
+                            });
+                        }
+                    }
+                }
+                if running.is_empty() {
+                    break;
+                }
+
+                std::thread::sleep(Duration::from_millis(30));
+
+                // Reap finished workers. A fatal verdict is deferred until
+                // every child has been kept or reaped, so no child can slip
+                // past an early return and keep writing into the spool.
+                let mut still_running: Vec<(usize, Child)> = Vec::new();
+                let mut fatal: Option<CampaignError> = None;
+                for (shard, mut child) in running.drain(..) {
+                    if fatal.is_some() {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        continue;
+                    }
+                    let verdict: Result<(), String> = match child.try_wait() {
+                        Ok(None) => {
+                            still_running.push((shard, child));
+                            continue;
+                        }
+                        Ok(Some(status)) if status.success() => {
+                            load_shard_report(spool, manifest.shards[shard].range)
+                                .map(|_| ())
+                                .map_err(|e| e.to_string())
+                        }
+                        Ok(Some(status)) => Err(format!("worker exited with {status}")),
+                        Err(e) => {
+                            // Unknown child state: kill it so a requeued
+                            // shard can never have two concurrent writers.
+                            let _ = child.kill();
+                            let _ = child.wait();
+                            Err(format!("cannot poll worker: {e}"))
+                        }
+                    };
+                    match verdict {
+                        Ok(()) => {
+                            manifest.shards[shard].status = ShardStatus::Done;
+                            // A store failure is fatal, but deferred like any
+                            // other so the remaining children are reaped.
+                            if let Err(e) = manifest.store(spool) {
+                                fatal = Some(e);
+                                continue;
+                            }
+                            shards_run += 1;
+                        }
+                        Err(reason) => {
+                            retries += 1;
+                            if manifest.shards[shard].attempts >= budget {
+                                fatal = Some(CampaignError::ShardFailed {
+                                    shard,
+                                    attempts: manifest.shards[shard].attempts,
+                                    reason,
+                                });
+                            } else {
+                                progress.emit(format!(
+                                    "campaign: shard {shard} failed ({reason}); retrying \
+                                     (attempt {} of {budget})",
+                                    manifest.shards[shard].attempts + 1
+                                ));
+                                queue.push_back(shard);
+                            }
+                        }
+                    }
+                }
+                running = still_running;
+                if let Some(e) = fatal {
+                    kill_all(&mut running);
+                    return Err(e);
+                }
+
+                // Stream progress: shard states plus live case counts.
+                let done_shards = manifest
+                    .shards
+                    .iter()
+                    .filter(|s| s.status == ShardStatus::Done)
+                    .count();
+                let mut cases_done: usize = manifest
+                    .shards
+                    .iter()
+                    .filter(|s| s.status == ShardStatus::Done)
+                    .map(|s| s.range.len())
+                    .sum();
+                for (shard, _) in &running {
+                    cases_done += read_progress(spool, *shard).0;
+                }
+                progress.emit(format!(
+                    "campaign: {done_shards}/{shards_total} shards, \
+                     {cases_done}/{} cases, {} running",
+                    manifest.case_count,
+                    running.len()
+                ));
+
+                if shards_run >= exit_after {
+                    kill_all(&mut running);
+                    break;
+                }
+            }
+        }
+    }
+
+    let report = if manifest.is_complete() {
+        Some(merge_shards(spool)?)
+    } else {
+        None
+    };
+    Ok(CampaignOutcome {
+        report,
+        shards_total,
+        shards_run,
+        shards_reused,
+        retries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::run_sweep;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("regemu-campaign-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn config_text_round_trips_and_fingerprints_ignore_threads() {
+        let mut config = SweepConfig::standard();
+        config.schedulers = SchedulerSpec::ALL.to_vec();
+        config.crash_plans = CrashPlanSpec::ALL.to_vec();
+        config.recordings = vec![
+            RecordingModeSpec::Full,
+            RecordingModeSpec::Digest,
+            RecordingModeSpec::Ring(256),
+        ];
+        config.workloads.push(WorkloadSpec::ReadHeavy {
+            writes: 3,
+            reads_per_write: 2,
+            readers: 2,
+        });
+        config
+            .workloads
+            .push(WorkloadSpec::ConcurrentReadWrite { rounds: 2 });
+        let text = config_to_text(&config);
+        let parsed = config_from_text(&text).unwrap();
+        assert_eq!(config_to_text(&parsed), text);
+        assert_eq!(parsed.case_count(), config.case_count());
+        assert_eq!(parsed.cases(), config.cases());
+
+        let mut threaded = config.clone();
+        threaded.threads = 7;
+        assert_eq!(config_fingerprint(&threaded), config_fingerprint(&config));
+        let mut other = config;
+        other.seeds.push(99);
+        assert_ne!(config_fingerprint(&other), config_fingerprint(&threaded));
+    }
+
+    #[test]
+    fn workload_labels_round_trip() {
+        let specs = [
+            WorkloadSpec::WriteSequential {
+                rounds: 2,
+                read_after_each: true,
+            },
+            WorkloadSpec::WriteSequential {
+                rounds: 10,
+                read_after_each: false,
+            },
+            WorkloadSpec::ReadHeavy {
+                writes: 3,
+                reads_per_write: 4,
+                readers: 2,
+            },
+            WorkloadSpec::RandomMixed {
+                readers: 2,
+                total: 12,
+                write_percent: 50,
+            },
+            WorkloadSpec::ConcurrentReadWrite { rounds: 3 },
+        ];
+        for spec in specs {
+            assert_eq!(WorkloadSpec::from_label(&spec.label()), Some(spec));
+        }
+        assert_eq!(WorkloadSpec::from_label("nope"), None);
+        assert_eq!(WorkloadSpec::from_label("write-seq/rX"), None);
+    }
+
+    #[test]
+    fn shard_plans_partition_the_case_space() {
+        for (count, shards) in [(24, 4), (7, 3), (5, 9), (1, 1), (0, 4), (100, 7)] {
+            let plan = plan_shards(count, shards);
+            assert_eq!(plan[0].start, 0);
+            assert_eq!(plan.last().unwrap().end, count);
+            for w in plan.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            let lens: Vec<usize> = plan.iter().map(ShardRange::len).collect();
+            let max = lens.iter().max().unwrap();
+            let min = lens.iter().min().unwrap();
+            assert!(max - min <= 1, "unbalanced plan {lens:?}");
+            if count > 0 {
+                assert!(plan.iter().all(|r| !r.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_text_round_trips_and_rejects_corruption() {
+        let config = SweepConfig::quick();
+        let mut manifest = ShardManifest::plan(&config, 4);
+        manifest.shards[1].status = ShardStatus::Done;
+        manifest.shards[1].attempts = 2;
+        let text = manifest.to_text();
+        assert_eq!(ShardManifest::from_text(&text).unwrap(), manifest);
+        assert!(ShardManifest::from_text("garbage").is_err());
+        let truncated: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(ShardManifest::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn shard_reports_round_trip_through_json() {
+        let mut config = SweepConfig::quick();
+        config.grid.truncate(1);
+        config.threads = 1;
+        let report = run_sweep(&config);
+        let json = report.to_json();
+        let parsed = report_cases_from_json(&json, Path::new("test")).unwrap();
+        let rebuilt = crate::sweep::SweepReport::from_results(parsed);
+        assert_eq!(rebuilt, report);
+        assert_eq!(rebuilt.to_json(), json);
+        assert_eq!(rebuilt.to_csv(), report.to_csv());
+    }
+
+    #[test]
+    fn in_process_campaign_matches_run_sweep_byte_for_byte() {
+        let dir = tmp_dir("inproc");
+        let mut config = SweepConfig::quick();
+        config.threads = 2;
+        let mut options = CampaignOptions::new(&dir);
+        options.shards = 4;
+        options.worker_threads = 2;
+        options.quiet = true;
+        let outcome = run_campaign(&config, &options).unwrap();
+        assert_eq!(outcome.shards_run, 4);
+        assert_eq!(outcome.shards_reused, 0);
+        let merged = outcome.report.expect("campaign completed");
+        let single = run_sweep(&config);
+        assert_eq!(merged.to_json(), single.to_json());
+        assert_eq!(merged.to_csv(), single.to_csv());
+
+        // Running again is a pure resume: nothing re-runs.
+        let again = run_campaign(&config, &options).unwrap();
+        assert_eq!(again.shards_run, 0);
+        assert_eq!(again.shards_reused, 4);
+        assert_eq!(again.report.unwrap().to_json(), single.to_json());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_campaigns_resume_from_the_manifest() {
+        let dir = tmp_dir("resume");
+        let mut config = SweepConfig::quick();
+        config.threads = 1;
+        let mut options = CampaignOptions::new(&dir);
+        options.shards = 4;
+        options.worker_threads = 1;
+        options.quiet = true;
+        options.exit_after = Some(2);
+        let first = run_campaign(&config, &options).unwrap();
+        assert!(first.report.is_none());
+        assert_eq!(first.shards_run, 2);
+        let manifest = ShardManifest::load(&dir).unwrap().unwrap();
+        assert_eq!(manifest.incomplete().count(), 2);
+        // A torn shard report (killed mid-write) must not count as done.
+        fs::write(shard_report_path(&dir, 0), "{\"cases\": [").unwrap();
+        options.exit_after = None;
+        let second = run_campaign(&config, &options).unwrap();
+        assert_eq!(second.shards_reused, 1, "shard 1 reused, shard 0 torn");
+        assert_eq!(second.shards_run, 3, "two pending plus the torn one");
+        let merged = second.report.expect("campaign completed");
+        assert_eq!(merged.to_json(), run_sweep(&config).to_json());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spools_reject_foreign_configs() {
+        let dir = tmp_dir("mismatch");
+        let config = SweepConfig::quick();
+        init_spool(&dir, &config, 2).unwrap();
+        let mut other = config;
+        other.seeds = vec![1234];
+        match init_spool(&dir, &other, 2) {
+            Err(CampaignError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

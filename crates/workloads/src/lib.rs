@@ -66,6 +66,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod generator;
 pub mod runner;
 pub mod scenario;
@@ -76,7 +77,8 @@ pub use generator::{Issuer, Workload, WorkloadOp};
 pub use runner::{CheckCoverage, ConsistencyCheck, RunReport};
 pub use scenario::{drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec};
 pub use sweep::{
-    run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
+    run_sweep, run_sweep_range, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport,
+    WorkloadSpec,
 };
 pub use table::{small_sweep, standard_sweep, TextTable};
 
@@ -88,7 +90,8 @@ pub mod prelude {
         drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec,
     };
     pub use crate::sweep::{
-        run_sweep, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport, WorkloadSpec,
+        run_sweep, run_sweep_range, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport,
+        WorkloadSpec,
     };
     pub use crate::table::{small_sweep, standard_sweep, TextTable};
 }

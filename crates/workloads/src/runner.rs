@@ -35,6 +35,37 @@ pub enum ConsistencyCheck {
     Atomic,
 }
 
+impl ConsistencyCheck {
+    /// Every check kind, in escalation order.
+    pub const ALL: [ConsistencyCheck; 4] = [
+        ConsistencyCheck::None,
+        ConsistencyCheck::WsSafe,
+        ConsistencyCheck::WsRegular,
+        ConsistencyCheck::Atomic,
+    ];
+
+    /// Stable short name used in config files and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ConsistencyCheck::None => "none",
+            ConsistencyCheck::WsSafe => "ws-safe",
+            ConsistencyCheck::WsRegular => "ws-regular",
+            ConsistencyCheck::Atomic => "atomic",
+        }
+    }
+
+    /// The inverse of [`ConsistencyCheck::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        ConsistencyCheck::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
+impl fmt::Display for ConsistencyCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// How much of the run the consistency verdict is based on.
 ///
 /// Bounded-memory recording modes ([`regemu_fpsm::RecordingMode`]) can limit

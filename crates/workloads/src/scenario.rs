@@ -53,8 +53,8 @@ use regemu_adversary::strategy::{CoverWrites, SilenceServers};
 use regemu_bounds::Params;
 use regemu_core::{Emulation, EmulationKind};
 use regemu_fpsm::{
-    AdversarialScheduler, ClientId, CrashPlan, FairDriver, History, RecordingMode,
-    RoundRobinScheduler, RunMetrics, Scheduler, ServerId, SimError, Simulation,
+    AdversarialScheduler, ClientId, CrashPlan, DelayedScheduler, FairDriver, History,
+    RecordingMode, RoundRobinScheduler, RunMetrics, Scheduler, ServerId, SimError, Simulation,
 };
 use regemu_spec::{
     check_linearizable, check_ws_regular, check_ws_safe, Condition, HighHistory, SequentialSpec,
@@ -85,6 +85,11 @@ pub enum SchedulerSpec {
     Fair,
     /// Deterministic client rotation ([`RoundRobinScheduler`]).
     RoundRobin,
+    /// Deterministic seed-derived per-message delivery delays
+    /// ([`DelayedScheduler`] with its default delay bound): a message-delay
+    /// *distribution* over the network, under which responses overtake each
+    /// other in bursts.
+    Delayed,
     /// Fair scheduling, but write responses from the `f` highest-numbered
     /// servers are withheld forever (the `Ad_i` move;
     /// [`regemu_adversary::CoverWrites`]).
@@ -96,9 +101,10 @@ pub enum SchedulerSpec {
 
 impl SchedulerSpec {
     /// Every scheduler kind, in sweep-axis order.
-    pub const ALL: [SchedulerSpec; 4] = [
+    pub const ALL: [SchedulerSpec; 5] = [
         SchedulerSpec::Fair,
         SchedulerSpec::RoundRobin,
+        SchedulerSpec::Delayed,
         SchedulerSpec::CoverAdversary,
         SchedulerSpec::SilenceAdversary,
     ];
@@ -111,6 +117,10 @@ impl SchedulerSpec {
             SchedulerSpec::RoundRobin => {
                 Box::new(RoundRobinScheduler::new(seed).with_crash_plan(crash_plan))
             }
+            SchedulerSpec::Delayed => Box::new(
+                DelayedScheduler::new(seed, DelayedScheduler::DEFAULT_MAX_DELAY)
+                    .with_crash_plan(crash_plan),
+            ),
             SchedulerSpec::CoverAdversary => Box::new(
                 AdversarialScheduler::new(seed, Box::new(CoverWrites::highest(params.n, params.f)))
                     .with_crash_plan(crash_plan),
@@ -130,6 +140,7 @@ impl SchedulerSpec {
         match self {
             SchedulerSpec::Fair => "fair",
             SchedulerSpec::RoundRobin => "round-robin",
+            SchedulerSpec::Delayed => "delayed",
             SchedulerSpec::CoverAdversary => "adversary-cover",
             SchedulerSpec::SilenceAdversary => "adversary-silence",
         }
@@ -232,6 +243,7 @@ pub struct Scenario {
     seed: u64,
     max_steps_per_op: u64,
     drain: bool,
+    evict_intervals: bool,
 }
 
 impl Scenario {
@@ -251,6 +263,7 @@ impl Scenario {
             seed: 0xC0FFEE,
             max_steps_per_op: 100_000,
             drain: false,
+            evict_intervals: false,
         }
     }
 
@@ -334,6 +347,22 @@ impl Scenario {
         self
     }
 
+    /// Evicts high-level intervals from the recording's digest as soon as
+    /// the online checker has folded them out of its window, bounding the
+    /// interval digest by the run's point contention instead of its length.
+    ///
+    /// Only effective when the run is checked online (a bounded
+    /// [`Scenario::recording`] mode with a [`Scenario::check`] selected) —
+    /// without an online checker nothing ever signals that an interval is
+    /// done. The price: [`RunReport::history`] then contains only the
+    /// intervals still live at the end of the run, so leave this off when
+    /// the report's full high-level schedule matters. Metrics and verdicts
+    /// are unaffected.
+    pub fn evict_folded_intervals(mut self) -> Self {
+        self.evict_intervals = true;
+        self
+    }
+
     /// The parameter point of the scenario.
     pub fn params(&self) -> Params {
         self.params
@@ -364,7 +393,10 @@ impl Scenario {
             CrashChoice::Explicit(plan) => plan.clone(),
         };
         let scheduler = self.scheduler.build(self.seed, crash_plan, self.params);
-        let engine = Engine::with_recording(emulation.as_ref(), self.recording, self.check);
+        let mut engine = Engine::with_recording(emulation.as_ref(), self.recording, self.check);
+        if self.evict_intervals {
+            engine.enable_interval_eviction();
+        }
         ScenarioRun {
             emulation,
             scheduler,
@@ -474,6 +506,32 @@ impl ScenarioRun {
         self.engine.sim.crash_server(server)
     }
 
+    /// Crashes a client mid-run. Its in-flight high-level operation (if
+    /// any) stays pending forever and its remaining workload operations are
+    /// skipped; when the run is checked online the checker is told the
+    /// operation is *abandoned*
+    /// ([`regemu_spec::StreamingChecker::abandon`]), so it stops pinning
+    /// later-overlapping operations in the checker's window while the
+    /// verdict still accounts for the pending operation exactly as the
+    /// offline checkers would.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the client is unknown.
+    pub fn crash_client(&mut self, client: ClientId) -> Result<(), SimError> {
+        let first_crash = !self.engine.sim.is_client_crashed(client);
+        let in_flight = self.engine.sim.current_high_op(client).is_some();
+        self.engine.sim.crash_client(client)?;
+        if first_crash && in_flight {
+            self.engine.abandoned_ops += 1;
+        }
+        // The crash event reaches the checker through the regular stream
+        // feed; do it now so the abandonment is not deferred to the next
+        // delivery step.
+        self.engine.feed_checker();
+        Ok(())
+    }
+
     /// Finalizes the run: captures metrics, extracts the high-level schedule
     /// and verifies the configured consistency condition — offline over the
     /// full history under [`RecordingModeSpec::Full`], from the online
@@ -513,8 +571,14 @@ pub(crate) struct Engine {
     reader_clients: Vec<Option<ClientId>>,
     /// Next workload operation to issue.
     cursor: usize,
-    /// A `sequential` operation that must complete before the cursor moves.
-    wait_for: Option<regemu_fpsm::HighOpId>,
+    /// A `sequential` operation that must complete before the cursor moves
+    /// (with its issuing client, so a crash of that client can release the
+    /// wait — the operation will never complete).
+    wait_for: Option<(regemu_fpsm::HighOpId, ClientId)>,
+    /// High-level operations whose client crashed while they were in
+    /// flight: they never complete and must not count against run
+    /// completion.
+    abandoned_ops: usize,
     /// Completion count at the last observed progress (for stuck detection).
     last_completed: usize,
     /// Deliveries since the last completed high-level operation.
@@ -528,6 +592,9 @@ pub(crate) struct Engine {
     checker: Option<StreamingChecker>,
     /// Sequence number of the next event the checker has not seen.
     checker_cursor: u64,
+    /// When set, intervals the checker has folded out of its window are
+    /// evicted from the history's digest right after every feed.
+    evict_intervals: bool,
 }
 
 impl Engine {
@@ -557,12 +624,24 @@ impl Engine {
             reader_clients: Vec::new(),
             cursor: 0,
             wait_for: None,
+            abandoned_ops: 0,
             last_completed: 0,
             steps_since_progress: 0,
             quiesced: false,
             recording,
             checker,
             checker_cursor: 0,
+            evict_intervals: false,
+        }
+    }
+
+    /// Turns on interval-digest eviction: operations the online checker is
+    /// done with are dropped from the history's interval digest. No-op
+    /// without an online checker (there is no fold signal to act on).
+    pub(crate) fn enable_interval_eviction(&mut self) {
+        if let Some(checker) = self.checker.as_mut() {
+            checker.set_track_retired(true);
+            self.evict_intervals = true;
         }
     }
 
@@ -585,6 +664,11 @@ impl Engine {
             None => checker.note_gap(),
         }
         self.checker_cursor = history.total_events();
+        if self.evict_intervals {
+            for high_op in checker.take_retired() {
+                self.sim.evict_interval(high_op);
+            }
+        }
     }
 
     fn client_for(&mut self, emulation: &dyn Emulation, issuer: Issuer) -> ClientId {
@@ -619,14 +703,24 @@ impl Engine {
         workload: &Workload,
     ) -> Result<(), SimError> {
         while self.cursor < workload.ops().len() {
-            if let Some(w) = self.wait_for {
+            if let Some((w, issuer)) = self.wait_for {
                 if self.sim.result_of(w).is_none() {
-                    return Ok(());
+                    if !self.sim.is_client_crashed(issuer) {
+                        return Ok(());
+                    }
+                    // The issuer crashed: the operation will never
+                    // complete, so waiting for it would wedge the run.
                 }
                 self.wait_for = None;
             }
             let step = workload.ops()[self.cursor];
             let client = self.client_for(emulation, step.issuer);
+            if self.sim.is_client_crashed(client) {
+                // A dead client issues nothing: its remaining workload
+                // operations are skipped.
+                self.cursor += 1;
+                continue;
+            }
             if !self.sim.is_client_idle(client) {
                 // The client's previous operation is still in flight; a
                 // client's schedule must be sequential.
@@ -635,14 +729,14 @@ impl Engine {
             let high_op = self.sim.invoke(client, step.op)?;
             self.cursor += 1;
             if step.sequential {
-                self.wait_for = Some(high_op);
+                self.wait_for = Some((high_op, client));
             }
         }
         Ok(())
     }
 
     fn all_issued_complete(&self) -> bool {
-        self.sim.completed_high_count() == self.sim.invoked_high_count()
+        self.sim.completed_high_count() + self.abandoned_ops == self.sim.invoked_high_count()
     }
 
     fn finished(&self, workload: &Workload, drain: bool) -> bool {
@@ -1044,6 +1138,132 @@ mod tests {
         assert_eq!(run.history().peak_retained_events(), 0);
         assert_eq!(run.history().retained_events(), 0);
         assert!(run.history().total_events() > 0);
+    }
+
+    #[test]
+    fn crashed_clients_abandon_their_ops_and_the_run_completes() {
+        // Writer 0 crashes while its second write is in flight; the rest of
+        // the workload (other clients) must still complete, the report must
+        // count the abandoned op as pending, and the online verdict must
+        // stay complete — the abandoned write no longer pins the checker's
+        // window.
+        use crate::generator::WorkloadOp;
+        use regemu_fpsm::HighOp;
+        let steps = vec![
+            WorkloadOp {
+                issuer: Issuer::Writer(0),
+                op: HighOp::Write(1),
+                sequential: true,
+            },
+            WorkloadOp {
+                issuer: Issuer::Writer(0),
+                op: HighOp::Write(2),
+                sequential: false,
+            },
+            WorkloadOp {
+                issuer: Issuer::Reader(0),
+                op: HighOp::Read,
+                sequential: true,
+            },
+            // Skipped: the writer is dead by the time the cursor gets here.
+            WorkloadOp {
+                issuer: Issuer::Writer(0),
+                op: HighOp::Write(3),
+                sequential: true,
+            },
+            WorkloadOp {
+                issuer: Issuer::Reader(1),
+                op: HighOp::Read,
+                sequential: true,
+            },
+        ];
+        for recording in [RecordingModeSpec::Full, RecordingModeSpec::Ring(1024)] {
+            let scenario = Scenario::new(params(2, 1, 4))
+                .workload_steps(Workload::from_steps(steps.clone()))
+                .recording(recording)
+                .check(ConsistencyCheck::WsRegular)
+                .seed(12);
+            let mut run = scenario.build();
+            // Drive until the second write is in flight, then kill writer 0.
+            while run.completed_ops() < 1 {
+                run.step().unwrap();
+            }
+            while run.sim().invoked_high_count() < 2 {
+                run.step().unwrap();
+            }
+            let writer = ClientId::new(0);
+            assert!(run.sim().current_high_op(writer).is_some());
+            run.crash_client(writer).unwrap();
+            assert!(run.sim().is_client_crashed(writer));
+            run.run().unwrap_or_else(|e| panic!("{recording}: {e}"));
+            let report = run.into_report();
+            // Both reads completed; write 3 was skipped; write 2 is pending.
+            assert_eq!(report.completed_ops, 3, "{recording}");
+            let pending: Vec<_> = report
+                .history
+                .ops()
+                .iter()
+                .filter(|o| !o.is_complete())
+                .collect();
+            assert_eq!(pending.len(), 1, "{recording}");
+            assert_eq!(pending[0].op, HighOp::Write(2));
+            assert!(
+                report.is_fully_checked(),
+                "{recording}: {:?}",
+                report.check_coverage
+            );
+            assert!(
+                report.is_consistent(),
+                "{recording}: {:?}",
+                report.check_violation
+            );
+        }
+    }
+
+    #[test]
+    fn folded_interval_eviction_bounds_the_digest() {
+        let base = Scenario::new(params(2, 1, 4))
+            .workload(WorkloadSpec::RandomMixed {
+                readers: 2,
+                total: 200,
+                write_percent: 50,
+            })
+            .recording(RecordingModeSpec::Ring(1024))
+            .check(ConsistencyCheck::WsRegular)
+            .seed(33);
+        let mut plain = base.clone().build();
+        plain.run().unwrap();
+        let full_intervals = plain.history().retained_intervals();
+        assert_eq!(full_intervals as u64, plain.history().total_intervals());
+        let plain_metrics = plain.metrics();
+
+        let mut evicting = base.clone().evict_folded_intervals().build();
+        evicting.run().unwrap();
+        let history = evicting.history();
+        assert_eq!(history.total_intervals(), full_intervals as u64);
+        assert!(
+            history.peak_retained_intervals() < full_intervals / 4,
+            "peak {} of {} intervals retained",
+            history.peak_retained_intervals(),
+            full_intervals
+        );
+        // Metrics and the verdict are untouched by eviction.
+        assert_eq!(evicting.metrics(), plain_metrics);
+        let report = evicting.into_report();
+        assert!(report.is_fully_checked());
+        assert!(report.is_consistent(), "{:?}", report.check_violation);
+        assert_eq!(report.completed_ops, 200);
+
+        // Without an online checker the flag is inert.
+        let mut unchecked = base
+            .recording(RecordingModeSpec::Full)
+            .evict_folded_intervals()
+            .build();
+        unchecked.run().unwrap();
+        assert_eq!(
+            unchecked.history().retained_intervals() as u64,
+            unchecked.history().total_intervals()
+        );
     }
 
     #[test]

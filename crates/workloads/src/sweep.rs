@@ -99,6 +99,46 @@ impl WorkloadSpec {
         }
     }
 
+    /// The inverse of [`WorkloadSpec::label`], for CLI flags and the
+    /// campaign config format: `label` round-trips through `from_label`
+    /// exactly for every spec.
+    pub fn from_label(label: &str) -> Option<Self> {
+        if let Some(rest) = label.strip_prefix("write-seq/r") {
+            let (rounds, read_after_each) = match rest.strip_suffix("+read") {
+                Some(r) => (r, true),
+                None => (rest, false),
+            };
+            return Some(WorkloadSpec::WriteSequential {
+                rounds: rounds.parse().ok()?,
+                read_after_each,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("read-heavy/w") {
+            let (writes, rest) = rest.split_once('x')?;
+            let (reads_per_write, readers) = rest.split_once('c')?;
+            return Some(WorkloadSpec::ReadHeavy {
+                writes: writes.parse().ok()?,
+                reads_per_write: reads_per_write.parse().ok()?,
+                readers: readers.parse().ok()?,
+            });
+        }
+        if let Some(rest) = label.strip_prefix("mixed/") {
+            let (total, rest) = rest.split_once("ops-")?;
+            let (write_percent, readers) = rest.split_once("pct-c")?;
+            return Some(WorkloadSpec::RandomMixed {
+                readers: readers.parse().ok()?,
+                total: total.parse().ok()?,
+                write_percent: write_percent.parse().ok()?,
+            });
+        }
+        if let Some(rounds) = label.strip_prefix("concurrent/r") {
+            return Some(WorkloadSpec::ConcurrentReadWrite {
+                rounds: rounds.parse().ok()?,
+            });
+        }
+        None
+    }
+
     /// Stable short label used in reports.
     pub fn label(&self) -> String {
         match *self {
@@ -383,6 +423,16 @@ pub struct SweepReport {
 }
 
 impl SweepReport {
+    /// Assembles a report from already-measured results.
+    ///
+    /// The caller is responsible for supplying the results in
+    /// [`SweepConfig::cases`] order — this is how the campaign layer
+    /// reassembles a report from per-shard files, after slotting every
+    /// parsed result by its case index.
+    pub fn from_results(results: Vec<CaseResult>) -> Self {
+        SweepReport { results }
+    }
+
     /// The per-case results, in [`SweepConfig::cases`] order.
     pub fn results(&self) -> &[CaseResult] {
         &self.results
@@ -537,6 +587,28 @@ fn csv_field(s: &str) -> String {
 /// count, including 1.
 pub fn run_sweep(config: &SweepConfig) -> SweepReport {
     let cases = config.cases();
+    run_cases(config, &cases)
+}
+
+/// Runs a contiguous case-index range of `config`'s case space — one
+/// *shard* of the sweep — over the same worker pool as [`run_sweep`].
+///
+/// The returned report holds the cases of `start..end` (clamped to the case
+/// count), with their global case indices intact: concatenating the reports
+/// of a partition of `0..case_count` in range order reassembles the exact
+/// [`run_sweep`] report. This is the unit of work of the campaign layer
+/// ([`crate::campaign`]).
+pub fn run_sweep_range(config: &SweepConfig, start: usize, end: usize) -> SweepReport {
+    let cases = config.cases();
+    let end = end.min(cases.len());
+    let start = start.min(end);
+    run_cases(config, &cases[start..end])
+}
+
+/// Work-stealing pool shared by [`run_sweep`] and [`run_sweep_range`]: each
+/// case is hermetic, results land in slots indexed by position, so the
+/// output is identical for any worker count.
+fn run_cases(config: &SweepConfig, cases: &[SweepCase]) -> SweepReport {
     let workers = config.worker_count(cases.len());
     let slots: Mutex<Vec<Option<CaseResult>>> = Mutex::new(vec![None; cases.len()]);
     let cursor = AtomicUsize::new(0);
@@ -605,7 +677,7 @@ mod tests {
         config.threads = 1;
         let single = run_sweep(&config);
         assert_eq!(single.len(), config.case_count());
-        assert_eq!(single.len(), 2 * 4 * 1 * 4 * 1 * 1);
+        assert_eq!(single.len(), 2 * 4 * SchedulerSpec::ALL.len());
         assert!(single.all_consistent(), "{:?}", single.failures().next());
         config.threads = 4;
         let multi = run_sweep(&config);

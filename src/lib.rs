@@ -15,7 +15,9 @@
 //! * [`adversary`] — the executable lower-bound adversary (`Ad_i`, Lemma 1
 //!   campaigns, the partition argument);
 //! * [`workloads`] — the [`Scenario`] pipeline, workload generators and
-//!   sweeps.
+//!   sweeps;
+//! * [`campaign`] — sharded multi-process sweep campaigns over a spool
+//!   directory, with deterministic merge and resume.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `regemu-bench` crate for the binaries that regenerate every table and
@@ -66,6 +68,7 @@ pub use regemu_fpsm as fpsm;
 pub use regemu_spec as spec;
 pub use regemu_workloads as workloads;
 
+pub use regemu_workloads::campaign;
 pub use regemu_workloads::{Scenario, ScenarioRun};
 
 /// One-stop import for applications and examples.

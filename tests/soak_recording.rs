@@ -102,6 +102,31 @@ fn soak(ops: usize, expect_million: bool) {
     assert!(ring.is_fully_checked(), "{:?}", ring.check_coverage);
     assert!(ring.is_consistent(), "{:?}", ring.check_violation);
 
+    // With folded-interval eviction the *interval digest* is bounded too:
+    // retained intervals track the checker's window (point contention), not
+    // the number of high-level operations, while metrics and the online
+    // verdict are untouched.
+    let mut evicting = scenario(
+        ops,
+        RecordingModeSpec::Ring(RING_CAPACITY),
+        ConsistencyCheck::WsRegular,
+    )
+    .evict_folded_intervals()
+    .build();
+    evicting.run().expect("evicting soak scenario completes");
+    let peak_intervals = evicting.history().peak_retained_intervals();
+    let total_intervals = evicting.history().total_intervals();
+    eprintln!("soak({ops} ops): interval digest peak {peak_intervals} of {total_intervals}");
+    assert_eq!(total_intervals, ops as u64);
+    assert!(
+        peak_intervals <= 64,
+        "interval digest grew to {peak_intervals} (of {total_intervals}) despite eviction"
+    );
+    let evicting_report = evicting.into_report();
+    assert_eq!(evicting_report.metrics, full.metrics);
+    assert!(evicting_report.is_fully_checked());
+    assert!(evicting_report.is_consistent());
+
     // Golden values (tier-1 metrics): the space-optimal construction uses
     // exactly its provisioned layout, which is the Theorem 3 closed form.
     let params = Params::new(2, 1, 4).unwrap();
