@@ -1,0 +1,151 @@
+//! `fuzz_campaign` — coverage-guided schedule fuzzing and trace replay.
+//!
+//! ```text
+//! # Fuzz: explore schedules, shrink the first failure to a trace file.
+//! cargo run --release -p regemu-bench --bin fuzz_campaign -- \
+//!     [--params k,f,n] [--emulation NAME] [--workload LABEL] [--check NAME] \
+//!     [--seed S] [--budget B] [--stop-on-failure] [--out FILE] [--trace FILE]
+//!
+//! # Replay: re-execute a recorded trace and re-derive its verdict.
+//! cargo run --release -p regemu-bench --bin fuzz_campaign -- replay TRACE
+//! ```
+//!
+//! Fuzz mode writes the deterministic campaign report to `--out` (`-` =
+//! stdout, the default) and, when a failure is found, the shrunk repro to
+//! `--trace` as a `regemu-trace v1` file plus the failure report to stderr.
+//! Replay mode prints the verdict of the replayed schedule.
+//!
+//! Exit status: `0` when the campaign is clean (or the replay passes), `2`
+//! when a failure is found (or the replay fails), `1` on usage or I/O
+//! errors. The same seed always produces the same report, the same shrunk
+//! trace and the same exit status.
+
+use regemu_bench::cli::write_output;
+use regemu_workloads::fuzz::{
+    fuzz_and_shrink, replay, FuzzConfig, FuzzEmulation, RecordedSchedule,
+};
+use regemu_workloads::{ConsistencyCheck, WorkloadSpec};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fuzz_campaign: {msg}");
+    eprintln!(
+        "usage: fuzz_campaign [--params k,f,n] [--emulation NAME] [--workload LABEL] \
+         [--check NAME] [--seed S] [--budget B] [--stop-on-failure] [--out FILE] [--trace FILE]"
+    );
+    eprintln!("       fuzz_campaign replay TRACE");
+    std::process::exit(1);
+}
+
+fn run_replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read trace {path}: {e}")));
+    let schedule = RecordedSchedule::from_text(&text)
+        .unwrap_or_else(|e| fail(&format!("malformed trace {path}: {e}")));
+    let outcome = replay(&schedule).unwrap_or_else(|e| fail(&format!("cannot replay: {e}")));
+    println!("verdict {}", outcome.verdict);
+    std::process::exit(if outcome.kind.is_some() { 2 } else { 0 });
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("replay") {
+        args.next();
+        let path = args
+            .next()
+            .unwrap_or_else(|| fail("replay needs a trace file"));
+        if args.next().is_some() {
+            fail("replay takes exactly one trace file");
+        }
+        run_replay(&path);
+    }
+
+    let mut params = regemu_bounds::Params::new(1, 1, 3).expect("default parameters");
+    let mut config_edits: Vec<Box<dyn FnOnce(FuzzConfig) -> FuzzConfig>> = Vec::new();
+    let mut out = "-".to_string();
+    let mut trace_path: Option<String> = None;
+
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--params" => {
+                let v = value("--params");
+                let parts: Vec<usize> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("invalid parameter {s:?}")))
+                    })
+                    .collect();
+                if parts.len() != 3 {
+                    fail("--params needs k,f,n");
+                }
+                params = regemu_bounds::Params::new(parts[0], parts[1], parts[2])
+                    .unwrap_or_else(|e| fail(&format!("invalid parameters: {e}")));
+            }
+            "--emulation" => {
+                let v = value("--emulation");
+                let emulation = FuzzEmulation::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown emulation {v:?}")));
+                config_edits.push(Box::new(move |c| c.emulation(emulation)));
+            }
+            "--workload" => {
+                let v = value("--workload");
+                let workload = WorkloadSpec::from_label(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown workload {v:?}")));
+                config_edits.push(Box::new(move |c| c.workload(workload)));
+            }
+            "--check" => {
+                let v = value("--check");
+                let check = ConsistencyCheck::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown check {v:?}")));
+                config_edits.push(Box::new(move |c| c.check(check)));
+            }
+            "--seed" => {
+                let v = value("--seed");
+                let seed: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid seed {v:?}")));
+                config_edits.push(Box::new(move |c| c.seed(seed)));
+            }
+            "--budget" => {
+                let v = value("--budget");
+                let budget: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid budget {v:?}")));
+                config_edits.push(Box::new(move |c| c.budget(budget)));
+            }
+            "--stop-on-failure" => config_edits.push(Box::new(|c| c.stop_on_failure())),
+            "--out" => out = value("--out"),
+            "--trace" => trace_path = Some(value("--trace")),
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+
+    let mut config = FuzzConfig::new(params);
+    for edit in config_edits {
+        config = edit(config);
+    }
+
+    let (report, shrunk) = fuzz_and_shrink(config);
+    write_output(&out, &report.to_text(), "fuzz report");
+    match shrunk {
+        Some(failure) => {
+            eprint!("{}", failure.to_text());
+            if let Some(path) = trace_path {
+                write_output(&path, &failure.trace.to_text(), "shrunk trace");
+                eprintln!("replay with: {}", failure.replay_command(&path));
+            }
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!(
+                "fuzz_campaign: clean — {} iterations, corpus {}",
+                report.iterations, report.corpus_size
+            );
+        }
+    }
+}

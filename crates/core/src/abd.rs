@@ -56,6 +56,10 @@ pub struct AbdClient {
     /// Routing table from base object to the driver responsible for it.
     object_to_driver: BTreeMap<ObjectId, usize>,
     phase: Phase,
+    /// Fault injection (see [`AbdClient::skipping_update`]): when `true`,
+    /// writes acknowledge after the query phase without running the update
+    /// round.
+    skip_update: bool,
 }
 
 impl AbdClient {
@@ -89,7 +93,18 @@ impl AbdClient {
             drivers,
             object_to_driver,
             phase: Phase::Idle,
+            skip_update: false,
         }
+    }
+
+    /// Fault injection for fuzzer validation (`regemu_core::faulty`): the
+    /// returned client acknowledges high-level writes right after the query
+    /// phase, *skipping the update round entirely*, so the written value
+    /// never reaches any server. This breaks even WS-Safety and exists only
+    /// so the schedule fuzzer has a known bug to find.
+    pub fn skipping_update(mut self) -> Self {
+        self.skip_update = true;
+        self
     }
 
     fn quorum_size(&self) -> usize {
@@ -151,6 +166,12 @@ impl ClientProtocol for AbdClient {
                 let op = *op;
                 match op {
                     HighOp::Write(payload) => {
+                        if self.skip_update {
+                            // Injected fault: acknowledge without writing.
+                            self.phase = Phase::Idle;
+                            ctx.complete(HighResponse::WriteAck);
+                            return;
+                        }
                         let writer = self.writer_index.expect("writes require a writer index");
                         let ts = timestamp::next(best.ts, writer);
                         self.start_update(Value::new(ts, payload), HighResponse::WriteAck, ctx);

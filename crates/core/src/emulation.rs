@@ -190,7 +190,7 @@ impl AbdMaxRegisterEmulation {
         }
     }
 
-    fn drivers(&self) -> Vec<Box<dyn MaxDriver>> {
+    pub(crate) fn drivers(&self) -> Vec<Box<dyn MaxDriver>> {
         self.objects
             .iter()
             .enumerate()
@@ -198,6 +198,14 @@ impl AbdMaxRegisterEmulation {
                 Box::new(NativeMaxDriver::new(ServerId::new(s), *b)) as Box<dyn MaxDriver>
             })
             .collect()
+    }
+
+    pub(crate) fn quorum_params(&self) -> Params {
+        self.quorum_params
+    }
+
+    pub(crate) fn read_write_back(&self) -> bool {
+        self.read_write_back
     }
 }
 

@@ -53,6 +53,7 @@
 pub mod abd;
 pub mod drivers;
 pub mod emulation;
+pub mod faulty;
 pub mod layout;
 pub mod quorum;
 pub mod shared_memory;
@@ -65,6 +66,7 @@ pub use emulation::{
     all_emulations, register_based_emulations, AbdCasEmulation, AbdMaxRegisterEmulation, Emulation,
     EmulationKind, RegisterBankEmulation, SpaceOptimalEmulation,
 };
+pub use faulty::FaultyKind;
 pub use layout::RegisterLayout;
 pub use shared_memory::{
     CasMaxRegister, CollectMaxRegister, CollectWriter, FetchMaxRegister, SharedMaxRegister,
@@ -79,6 +81,7 @@ pub mod prelude {
         all_emulations, AbdCasEmulation, AbdMaxRegisterEmulation, Emulation, EmulationKind,
         RegisterBankEmulation, SpaceOptimalEmulation,
     };
+    pub use crate::faulty::FaultyKind;
     pub use crate::layout::RegisterLayout;
     pub use crate::shared_memory::{
         CasMaxRegister, CollectMaxRegister, FetchMaxRegister, SharedMaxRegister,

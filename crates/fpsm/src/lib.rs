@@ -75,7 +75,7 @@ pub use op::{BaseOp, BaseResponse, HighOp, HighResponse};
 pub use scheduler::{
     AdversarialScheduler, BlockStrategy, DelayedScheduler, RoundRobinScheduler, Scheduler,
 };
-pub use sim::{DeliveryOutcome, PendingOp, SimConfig, Simulation};
+pub use sim::{DecisionRecord, DeliveryOutcome, PendingOp, SimConfig, Simulation};
 pub use topology::Topology;
 pub use value::{Payload, Value};
 
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::scheduler::{
         AdversarialScheduler, BlockStrategy, DelayedScheduler, RoundRobinScheduler, Scheduler,
     };
-    pub use crate::sim::{SimConfig, Simulation};
+    pub use crate::sim::{DecisionRecord, SimConfig, Simulation};
     pub use crate::topology::Topology;
     pub use crate::value::{Payload, Value};
 }

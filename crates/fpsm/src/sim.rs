@@ -169,6 +169,26 @@ impl PendingSlab {
     }
 }
 
+/// One scheduler decision, recorded at delivery time.
+///
+/// When decision tracing is enabled ([`Simulation::enable_decision_trace`]),
+/// every [`Simulation::deliver`] call records which of the currently
+/// deliverable operations was chosen: `choice` is the rank of the delivered
+/// operation among [`Simulation::deliverable_ops`] (ascending op-id order)
+/// and `candidates` is how many deliverable operations there were. The
+/// resulting stream is a scheduler-independent encoding of the interleaving —
+/// replaying the same ranks against the same scenario reproduces the run
+/// exactly, whichever scheduler originally produced it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Simulation time immediately before the delivery.
+    pub time: Time,
+    /// Rank of the delivered operation among the deliverable ones.
+    pub choice: u32,
+    /// Number of deliverable operations at that moment.
+    pub candidates: u32,
+}
+
 /// State of a single client inside the simulation.
 struct ClientSlot {
     protocol: Box<dyn ClientProtocol>,
@@ -196,6 +216,8 @@ pub struct Simulation {
     history: History,
     time: Time,
     next_op_id: u64,
+    /// Per-delivery scheduler decisions; recorded only when enabled.
+    decision_trace: Option<Vec<DecisionRecord>>,
 }
 
 impl Simulation {
@@ -218,7 +240,24 @@ impl Simulation {
             history: History::new(),
             time: 0,
             next_op_id: 0,
+            decision_trace: None,
         }
+    }
+
+    /// Starts recording one [`DecisionRecord`] per delivery.
+    ///
+    /// Off by default: ranking the chosen operation costs a scan of the
+    /// pending set on every delivery, which ordinary runs should not pay.
+    /// Enabling mid-run records from the next delivery onward.
+    pub fn enable_decision_trace(&mut self) {
+        if self.decision_trace.is_none() {
+            self.decision_trace = Some(Vec::new());
+        }
+    }
+
+    /// The scheduler decisions recorded so far (empty when tracing is off).
+    pub fn decision_trace(&self) -> &[DecisionRecord] {
+        self.decision_trace.as_deref().unwrap_or(&[])
     }
 
     /// The topology this simulation runs over.
@@ -446,6 +485,25 @@ impl Simulation {
         let pending = *self.pending.get(op_id).ok_or(SimError::UnknownOp(op_id))?;
         if self.is_server_crashed(pending.server) {
             return Err(SimError::ServerCrashed(pending.server));
+        }
+        if self.decision_trace.is_some() {
+            let mut choice = 0u32;
+            let mut candidates = 0u32;
+            for p in self.deliverable_ops() {
+                if p.op_id < op_id {
+                    choice += 1;
+                }
+                candidates += 1;
+            }
+            let record = DecisionRecord {
+                time: self.time,
+                choice,
+                candidates,
+            };
+            self.decision_trace
+                .as_mut()
+                .expect("checked above")
+                .push(record);
         }
         // Apply to the object: this is the operation's linearization point.
         let response = self.objects[pending.object.index()].apply(&pending.op)?;

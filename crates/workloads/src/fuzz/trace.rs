@@ -1,0 +1,281 @@
+//! The `regemu-trace` text format: a self-contained, portable schedule.
+//!
+//! A [`RecordedSchedule`] captures everything needed to re-execute one run —
+//! the parameter point, the emulation (clean or seeded-bug), the workload
+//! shape and prefix length, the check, both seeds, the server crash plan and
+//! the delivery-order decision stream. The line-based format mirrors the
+//! campaign config spool: one `key value` pair per line, order fixed,
+//! `end`-terminated, so files diff cleanly and external tools can emit them.
+//!
+//! ```text
+//! regemu-trace v1
+//! params 1 1 3
+//! emulation space-optimal
+//! workload write-seq/r1+read
+//! workload-len 2
+//! check ws-regular
+//! workload-seed 61525
+//! tail-seed 0
+//! max-steps 50000
+//! crash 4 2
+//! decisions 0 2 1
+//! end
+//! ```
+//!
+//! `crash` lines repeat (zero or more, one per crashed server); `decisions`
+//! is a single line holding the whole rank stream (possibly empty). See
+//! [`RecordedSchedule::to_text`] / [`RecordedSchedule::from_text`].
+
+use super::{FuzzCase, FuzzConfig, FuzzEmulation};
+use crate::runner::ConsistencyCheck;
+use crate::sweep::WorkloadSpec;
+use regemu_bounds::Params;
+use regemu_fpsm::Time;
+
+/// A recorded adversary schedule, exportable and importable as text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedSchedule {
+    /// The `(k, f, n)` parameter point.
+    pub params: Params,
+    /// Name of the emulation under test (clean or faulty).
+    pub emulation: String,
+    /// The workload shape.
+    pub workload: WorkloadSpec,
+    /// Number of workload operations the run issues.
+    pub workload_len: usize,
+    /// The consistency condition to verify.
+    pub check: ConsistencyCheck,
+    /// Seed the workload is instantiated with (the campaign master seed).
+    pub workload_seed: u64,
+    /// Seed of the scheduler's fair tail.
+    pub tail_seed: u64,
+    /// Per-operation delivery budget before the run is declared stuck.
+    pub max_steps_per_op: u64,
+    /// Server crashes as `(time, server index)` pairs.
+    pub crashes: Vec<(Time, usize)>,
+    /// The delivery-order decision stream.
+    pub decisions: Vec<u32>,
+}
+
+impl RecordedSchedule {
+    /// Captures a case under its config.
+    pub fn from_parts(config: &FuzzConfig, case: &FuzzCase) -> Self {
+        RecordedSchedule {
+            params: config.params,
+            emulation: config.emulation.name().to_string(),
+            workload: config.workload,
+            workload_len: case.workload_len,
+            check: config.check,
+            workload_seed: config.seed,
+            tail_seed: case.seed,
+            max_steps_per_op: config.max_steps_per_op,
+            crashes: case.crashes.clone(),
+            decisions: case.decisions.clone(),
+        }
+    }
+
+    /// The variable part of the schedule, ready for the executor.
+    pub fn case(&self) -> FuzzCase {
+        FuzzCase {
+            decisions: self.decisions.clone(),
+            crashes: self.crashes.clone(),
+            workload_len: self.workload_len,
+            seed: self.tail_seed,
+        }
+    }
+
+    /// Rebuilds the invariant part of the schedule as a [`FuzzConfig`]
+    /// (budget 0 — a trace describes one run, not a campaign).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the emulation name is unknown.
+    pub fn config(&self) -> Result<FuzzConfig, String> {
+        let emulation = FuzzEmulation::from_name(&self.emulation)
+            .ok_or_else(|| format!("unknown emulation {:?}", self.emulation))?;
+        Ok(FuzzConfig {
+            params: self.params,
+            emulation,
+            workload: self.workload,
+            check: self.check,
+            seed: self.workload_seed,
+            budget: 0,
+            max_steps_per_op: self.max_steps_per_op,
+            stop_on_failure: false,
+        })
+    }
+
+    /// Serializes the schedule to the `regemu-trace v1` text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("regemu-trace v1\n");
+        out.push_str(&format!(
+            "params {} {} {}\n",
+            self.params.k, self.params.f, self.params.n
+        ));
+        out.push_str(&format!("emulation {}\n", self.emulation));
+        out.push_str(&format!("workload {}\n", self.workload.label()));
+        out.push_str(&format!("workload-len {}\n", self.workload_len));
+        out.push_str(&format!("check {}\n", self.check.name()));
+        out.push_str(&format!("workload-seed {}\n", self.workload_seed));
+        out.push_str(&format!("tail-seed {}\n", self.tail_seed));
+        out.push_str(&format!("max-steps {}\n", self.max_steps_per_op));
+        for &(time, server) in &self.crashes {
+            out.push_str(&format!("crash {time} {server}\n"));
+        }
+        out.push_str("decisions");
+        for d in &self.decisions {
+            out.push_str(&format!(" {d}"));
+        }
+        out.push_str("\nend\n");
+        out
+    }
+
+    /// Parses the `regemu-trace v1` text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace")?;
+        if header.trim() != "regemu-trace v1" {
+            return Err(format!("unsupported trace header {header:?}"));
+        }
+
+        fn field<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+            let line = line.ok_or_else(|| format!("missing {key} line"))?.trim();
+            line.strip_prefix(key)
+                .map(str::trim)
+                .ok_or_else(|| format!("expected {key} line, found {line:?}"))
+        }
+        fn num<T: std::str::FromStr>(value: &str, key: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("malformed {key} value {value:?}"))
+        }
+
+        let params_line = field(lines.next(), "params")?;
+        let mut parts = params_line.split_whitespace();
+        let k: usize = num(parts.next().ok_or("params needs k f n")?, "params k")?;
+        let f: usize = num(parts.next().ok_or("params needs k f n")?, "params f")?;
+        let n: usize = num(parts.next().ok_or("params needs k f n")?, "params n")?;
+        let params = Params::new(k, f, n).map_err(|e| format!("invalid params: {e}"))?;
+
+        let emulation = field(lines.next(), "emulation")?.to_string();
+        let workload_label = field(lines.next(), "workload")?;
+        let workload = WorkloadSpec::from_label(workload_label)
+            .ok_or_else(|| format!("unknown workload {workload_label:?}"))?;
+        let workload_len = num(field(lines.next(), "workload-len")?, "workload-len")?;
+        let check_name = field(lines.next(), "check")?;
+        let check = ConsistencyCheck::from_name(check_name)
+            .ok_or_else(|| format!("unknown check {check_name:?}"))?;
+        let workload_seed = num(field(lines.next(), "workload-seed")?, "workload-seed")?;
+        let tail_seed = num(field(lines.next(), "tail-seed")?, "tail-seed")?;
+        let max_steps_per_op = num(field(lines.next(), "max-steps")?, "max-steps")?;
+
+        let mut crashes = Vec::new();
+        let mut decisions = Vec::new();
+        let mut saw_decisions = false;
+        for line in lines.by_ref() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("crash ") {
+                let mut parts = rest.split_whitespace();
+                let time: Time = num(parts.next().ok_or("crash needs time server")?, "crash")?;
+                let server: usize = num(parts.next().ok_or("crash needs time server")?, "crash")?;
+                crashes.push((time, server));
+            } else if let Some(rest) = line.strip_prefix("decisions") {
+                for token in rest.split_whitespace() {
+                    decisions.push(num(token, "decisions")?);
+                }
+                saw_decisions = true;
+                break;
+            } else {
+                return Err(format!("unexpected line {line:?}"));
+            }
+        }
+        if !saw_decisions {
+            return Err("missing decisions line".to_string());
+        }
+        match lines.next().map(str::trim) {
+            Some("end") => {}
+            other => return Err(format!("expected end, found {other:?}")),
+        }
+
+        Ok(RecordedSchedule {
+            params,
+            emulation,
+            workload,
+            workload_len,
+            check,
+            workload_seed,
+            tail_seed,
+            max_steps_per_op,
+            crashes,
+            decisions,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RecordedSchedule {
+        RecordedSchedule {
+            params: Params::new(2, 1, 4).unwrap(),
+            emulation: "space-optimal".to_string(),
+            workload: WorkloadSpec::WriteSequential {
+                rounds: 1,
+                read_after_each: true,
+            },
+            workload_len: 3,
+            check: ConsistencyCheck::WsRegular,
+            workload_seed: 17,
+            tail_seed: 4,
+            max_steps_per_op: 50_000,
+            crashes: vec![(5, 3), (9, 2)],
+            decisions: vec![0, 2, 1, 7],
+        }
+    }
+
+    #[test]
+    fn text_round_trips_byte_identically() {
+        let schedule = sample();
+        let text = schedule.to_text();
+        let parsed = RecordedSchedule::from_text(&text).unwrap();
+        assert_eq!(parsed, schedule);
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn empty_schedules_round_trip_too() {
+        let mut schedule = sample();
+        schedule.crashes.clear();
+        schedule.decisions.clear();
+        let parsed = RecordedSchedule::from_text(&schedule.to_text()).unwrap();
+        assert_eq!(parsed, schedule);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_with_a_reason() {
+        assert!(RecordedSchedule::from_text("").is_err());
+        assert!(RecordedSchedule::from_text("regemu-trace v2\n").is_err());
+        let mut text = sample().to_text();
+        text = text.replace("check ws-regular", "check bogus");
+        let err = RecordedSchedule::from_text(&text).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+        let truncated = sample().to_text().replace("end\n", "");
+        assert!(RecordedSchedule::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn faulty_emulations_resolve_through_config() {
+        let mut schedule = sample();
+        schedule.emulation = "faulty-skipped-update".to_string();
+        let config = schedule.config().unwrap();
+        assert_eq!(config.emulation.name(), "faulty-skipped-update");
+        schedule.emulation = "no-such-thing".to_string();
+        assert!(schedule.config().is_err());
+    }
+}

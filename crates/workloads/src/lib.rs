@@ -15,7 +15,10 @@
 //!   threads and aggregate the measurements into a deterministic
 //!   [`sweep::SweepReport`] (JSON/CSV serializable);
 //! * [`table`] — parameter sweeps and plain-text table rendering used by the
-//!   experiment binaries in `regemu-bench`.
+//!   experiment binaries in `regemu-bench`;
+//! * [`fuzz`] — coverage-guided schedule fuzzing with record/replay traces
+//!   ([`fuzz::RecordedSchedule`]) and automatic failure shrinking
+//!   ([`fuzz::shrink_failure`]).
 //!
 //! ## The scenario contract
 //!
@@ -67,12 +70,17 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod fuzz;
 pub mod generator;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
 pub mod table;
 
+pub use fuzz::{
+    fuzz_and_shrink, replay, FailureKind, FailureReport, FuzzCase, FuzzConfig, FuzzEmulation,
+    FuzzReport, Fuzzer, RecordedSchedule,
+};
 pub use generator::{Issuer, Workload, WorkloadOp};
 pub use runner::{CheckCoverage, ConsistencyCheck, RunReport};
 pub use scenario::{drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec};
@@ -84,6 +92,10 @@ pub use table::{small_sweep, standard_sweep, TextTable};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
+    pub use crate::fuzz::{
+        fuzz_and_shrink, replay, FailureKind, FailureReport, FuzzCase, FuzzConfig, FuzzEmulation,
+        FuzzReport, Fuzzer, RecordedSchedule,
+    };
     pub use crate::generator::{Issuer, Workload, WorkloadOp};
     pub use crate::runner::{CheckCoverage, ConsistencyCheck, RunReport};
     pub use crate::scenario::{

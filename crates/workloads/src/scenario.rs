@@ -167,16 +167,29 @@ pub enum CrashPlanSpec {
     /// exactly the fault budget the construction must tolerate. Quorum-
     /// critical low server ids survive, and the times land inside the run.
     CrashF,
+    /// Crash *clients* instead of servers: the last writer at logical time
+    /// 10 and the first reader at logical time 20. A crashed client's
+    /// in-flight operation stays pending forever (abandoned) and its
+    /// remaining workload operations are skipped; client crashes are outside
+    /// the server fault budget, so the construction must stay consistent
+    /// under any scheduler.
+    CrashClients,
 }
 
 impl CrashPlanSpec {
     /// Every crash-plan kind, in sweep-axis order.
-    pub const ALL: [CrashPlanSpec; 2] = [CrashPlanSpec::None, CrashPlanSpec::CrashF];
+    pub const ALL: [CrashPlanSpec; 3] = [
+        CrashPlanSpec::None,
+        CrashPlanSpec::CrashF,
+        CrashPlanSpec::CrashClients,
+    ];
 
-    /// Builds the concrete [`CrashPlan`] for a parameter point.
+    /// Builds the concrete server [`CrashPlan`] for a parameter point.
+    /// [`CrashPlanSpec::CrashClients`] crashes no servers — its client
+    /// crashes are delivered through [`CrashPlanSpec::client_crashes`].
     pub fn instantiate(self, params: Params) -> CrashPlan {
         match self {
-            CrashPlanSpec::None => CrashPlan::none(),
+            CrashPlanSpec::None | CrashPlanSpec::CrashClients => CrashPlan::none(),
             CrashPlanSpec::CrashF => {
                 let mut plan = CrashPlan::none();
                 for i in 0..params.f {
@@ -188,11 +201,25 @@ impl CrashPlanSpec {
         }
     }
 
+    /// The client crashes the plan injects, as `(time, issuer)` pairs. A
+    /// crash fires once the simulation clock passes `time` *and* the
+    /// issuer's client has been registered by the workload (a client that
+    /// never issues anything cannot crash — there is nothing to crash).
+    pub fn client_crashes(self, params: Params) -> Vec<(regemu_fpsm::Time, Issuer)> {
+        match self {
+            CrashPlanSpec::None | CrashPlanSpec::CrashF => Vec::new(),
+            CrashPlanSpec::CrashClients => {
+                vec![(10, Issuer::Writer(params.k - 1)), (20, Issuer::Reader(0))]
+            }
+        }
+    }
+
     /// Stable short name used in reports.
     pub fn name(self) -> &'static str {
         match self {
             CrashPlanSpec::None => "none",
             CrashPlanSpec::CrashF => "crash-f",
+            CrashPlanSpec::CrashClients => "crash-clients",
         }
     }
 
@@ -397,6 +424,9 @@ impl Scenario {
         if self.evict_intervals {
             engine.enable_interval_eviction();
         }
+        if let CrashChoice::Spec(spec) = &self.crashes {
+            engine.set_client_crash_plan(spec.client_crashes(self.params));
+        }
         ScenarioRun {
             emulation,
             scheduler,
@@ -519,17 +549,7 @@ impl ScenarioRun {
     ///
     /// Fails if the client is unknown.
     pub fn crash_client(&mut self, client: ClientId) -> Result<(), SimError> {
-        let first_crash = !self.engine.sim.is_client_crashed(client);
-        let in_flight = self.engine.sim.current_high_op(client).is_some();
-        self.engine.sim.crash_client(client)?;
-        if first_crash && in_flight {
-            self.engine.abandoned_ops += 1;
-        }
-        // The crash event reaches the checker through the regular stream
-        // feed; do it now so the abandonment is not deferred to the next
-        // delivery step.
-        self.engine.feed_checker();
-        Ok(())
+        self.engine.crash_client(client)
     }
 
     /// Finalizes the run: captures metrics, extracts the high-level schedule
@@ -595,6 +615,9 @@ pub(crate) struct Engine {
     /// When set, intervals the checker has folded out of its window are
     /// evicted from the history's digest right after every feed.
     evict_intervals: bool,
+    /// Client crashes to inject: `(time, issuer)` pairs, fired once the
+    /// clock passes `time` and the issuer's client is registered.
+    client_crash_plan: Vec<(regemu_fpsm::Time, Issuer)>,
 }
 
 impl Engine {
@@ -632,6 +655,69 @@ impl Engine {
             checker,
             checker_cursor: 0,
             evict_intervals: false,
+            client_crash_plan: Vec::new(),
+        }
+    }
+
+    /// Installs the client crashes to inject during the run.
+    pub(crate) fn set_client_crash_plan(&mut self, plan: Vec<(regemu_fpsm::Time, Issuer)>) {
+        self.client_crash_plan = plan;
+    }
+
+    /// Read access to the simulation under the engine.
+    pub(crate) fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Mutable access to the simulation under the engine (used by the fuzz
+    /// executor to enable decision tracing before the first delivery).
+    pub(crate) fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Crashes a client: its in-flight high-level operation (if any) is
+    /// counted as abandoned and the online checker is told immediately.
+    pub(crate) fn crash_client(&mut self, client: ClientId) -> Result<(), SimError> {
+        let first_crash = !self.sim.is_client_crashed(client);
+        let in_flight = self.sim.current_high_op(client).is_some();
+        self.sim.crash_client(client)?;
+        if first_crash && in_flight {
+            self.abandoned_ops += 1;
+        }
+        // The crash event reaches the checker through the regular stream
+        // feed; do it now so the abandonment is not deferred to the next
+        // delivery step.
+        self.feed_checker();
+        Ok(())
+    }
+
+    /// Fires every due entry of the client-crash plan. An entry is due once
+    /// the clock passed its time and its issuer has a registered client;
+    /// entries for clients the workload never registers stay pending
+    /// forever, deterministically.
+    fn inject_due_client_crashes(&mut self) {
+        if self.client_crash_plan.is_empty() {
+            return;
+        }
+        let now = self.sim.time();
+        let mut i = 0;
+        while i < self.client_crash_plan.len() {
+            let (at, issuer) = self.client_crash_plan[i];
+            let registered = match issuer {
+                Issuer::Writer(w) => {
+                    let slot = w % self.writer_clients.len();
+                    self.writer_clients[slot]
+                }
+                Issuer::Reader(r) => self.reader_clients.get(r).copied().flatten(),
+            };
+            match registered {
+                Some(client) if now >= at => {
+                    self.client_crash_plan.remove(i);
+                    self.crash_client(client)
+                        .expect("a registered client is a known client");
+                }
+                _ => i += 1,
+            }
         }
     }
 
@@ -754,6 +840,7 @@ impl Engine {
         drain: bool,
     ) -> Result<bool, SimError> {
         self.issue_ready(emulation, workload)?;
+        self.inject_due_client_crashes();
         if self.finished(workload, drain) {
             return Ok(false);
         }
@@ -1016,6 +1103,44 @@ mod tests {
             .run()
             .unwrap();
         assert!(report.is_consistent());
+    }
+
+    #[test]
+    fn crash_clients_spec_abandons_and_stays_consistent() {
+        let p = params(2, 1, 4);
+        assert_eq!(CrashPlanSpec::CrashClients.instantiate(p).remaining(), 0);
+        assert_eq!(
+            CrashPlanSpec::CrashClients.client_crashes(p),
+            vec![(10, Issuer::Writer(1)), (20, Issuer::Reader(0))]
+        );
+        // A long enough workload that both crash times land mid-run.
+        let report = Scenario::new(p)
+            .workload(WorkloadSpec::WriteSequential {
+                rounds: 3,
+                read_after_each: true,
+            })
+            .crashes(CrashPlanSpec::CrashClients)
+            .seed(11)
+            .run()
+            .unwrap();
+        assert!(report.is_consistent(), "{:?}", report.check_violation);
+        assert!(report.is_fully_checked());
+        // The crashed clients stopped issuing: fewer ops complete than the
+        // workload describes, but the run still terminates cleanly.
+        assert!(report.completed_ops > 0);
+        assert!(report.completed_ops < 12);
+        // Identical scenario values replay the identical run.
+        let again = Scenario::new(p)
+            .workload(WorkloadSpec::WriteSequential {
+                rounds: 3,
+                read_after_each: true,
+            })
+            .crashes(CrashPlanSpec::CrashClients)
+            .seed(11)
+            .run()
+            .unwrap();
+        assert_eq!(report.history, again.history);
+        assert_eq!(report.completed_ops, again.completed_ops);
     }
 
     #[test]

@@ -695,7 +695,7 @@ mod tests {
         config.crash_plans = CrashPlanSpec::ALL.to_vec();
         config.threads = 2;
         let report = run_sweep(&config);
-        assert_eq!(report.len(), 48);
+        assert_eq!(report.len(), 24 * CrashPlanSpec::ALL.len());
         assert!(report.all_consistent(), "{:?}", report.failures().next());
     }
 

@@ -17,7 +17,10 @@
 //! * [`workloads`] — the [`Scenario`] pipeline, workload generators and
 //!   sweeps;
 //! * [`campaign`] — sharded multi-process sweep campaigns over a spool
-//!   directory, with deterministic merge and resume.
+//!   directory, with deterministic merge and resume;
+//! * [`fuzz`] — coverage-guided schedule fuzzing: record/replay traces
+//!   ([`fuzz::RecordedSchedule`]), corpus exploration ([`fuzz::Fuzzer`]) and
+//!   automatic failure shrinking ([`fuzz::shrink_failure`]).
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `regemu-bench` crate for the binaries that regenerate every table and
@@ -69,6 +72,7 @@ pub use regemu_spec as spec;
 pub use regemu_workloads as workloads;
 
 pub use regemu_workloads::campaign;
+pub use regemu_workloads::fuzz;
 pub use regemu_workloads::{Scenario, ScenarioRun};
 
 /// One-stop import for applications and examples.

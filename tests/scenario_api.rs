@@ -46,7 +46,10 @@ fn sweeps_cross_scheduler_and_crash_plan_axes_deterministically() {
     config.threads = 1;
     let single = run_sweep(&config);
     assert_eq!(single.len(), config.case_count());
-    assert_eq!(single.len(), 2 * 4 * SchedulerSpec::ALL.len() * 2);
+    assert_eq!(
+        single.len(),
+        2 * 4 * SchedulerSpec::ALL.len() * CrashPlanSpec::ALL.len()
+    );
     assert!(single.all_consistent(), "{:?}", single.failures().next());
     config.threads = 4;
     let multi = run_sweep(&config);
