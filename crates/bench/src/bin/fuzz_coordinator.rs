@@ -1,0 +1,302 @@
+//! `fuzz_coordinator` — drive a sharded multi-process fuzz campaign over a
+//! spool directory, with corpus exchange, deterministic failure merge and
+//! resume.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin fuzz_coordinator -- \
+//!     --spool DIR [OPTIONS]
+//!
+//! OPTIONS (campaign):
+//!   --spool DIR         spool directory (manifest, config, corpus, failures)
+//!   --shards N          shard count for a fresh campaign (default 4;
+//!                       resuming keeps the existing manifest's plan)
+//!   --workers M         concurrent worker processes (default 2)
+//!   --retries R         attempt budget per (shard, generation) unit
+//!                       (default 3)
+//!   --worker-bin PATH   fuzz_worker binary (default: next to this one)
+//!   --in-process        run units inside this process instead of spawning
+//!   --exit-after N      stop after completing N units (kill simulation;
+//!                       rerun the same command to resume)
+//!   --merge-only        only merge existing failure files, run nothing
+//!   --quiet             no progress lines
+//!   --out FILE          write the campaign report (- for stdout, default)
+//!   --failures FILE     write the merged failure artifact (- for stdout)
+//!
+//! OPTIONS (fuzz config, for a fresh spool):
+//!   --params k,f,n      parameter point (default 1,1,3)
+//!   --emulation NAME    construction or seeded bug (default space-optimal)
+//!   --workload LABEL    workload shape (default write-seq/r1+read)
+//!   --check NAME        consistency condition (default ws-regular)
+//!   --seed S            campaign master seed
+//!   --budget B          TOTAL iteration budget across all streams
+//!   --streams N         fuzzing streams (default 8; the determinism unit)
+//!   --generations G     corpus-exchange generations per stream (default 2)
+//! ```
+//!
+//! The merged failure artifact is **byte-identical** for any shard count,
+//! worker count or completion order, and a killed campaign resumes from the
+//! manifest: rerunning the same command re-runs only incomplete units.
+//!
+//! Exit status: `0` when the campaign completed clean, `2` when the merged
+//! failure set is non-empty, `3` when paused via `--exit-after`, `1` on
+//! usage or I/O errors.
+
+use regemu_bench::cli::write_output;
+use regemu_workloads::campaign::WorkerMode;
+use regemu_workloads::fuzz::campaign::{
+    fuzz_config_fingerprint, load_fuzz_config, merge_fuzz_campaign, run_fuzz_campaign,
+    FuzzCampaignConfig, FuzzCampaignOptions,
+};
+use regemu_workloads::fuzz::{FuzzConfig, FuzzEmulation};
+use regemu_workloads::{ConsistencyCheck, WorkloadSpec};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fuzz_coordinator: {msg}");
+    eprintln!(
+        "usage: fuzz_coordinator --spool DIR [--shards N] [--workers M] [--retries R] \
+         [--worker-bin PATH] [--in-process] [--exit-after N] [--merge-only] [--quiet] \
+         [--out FILE] [--failures FILE] [--params k,f,n] [--emulation NAME] \
+         [--workload LABEL] [--check NAME] [--seed S] [--budget B] [--streams N] \
+         [--generations G]"
+    );
+    std::process::exit(1);
+}
+
+fn default_worker_bin() -> PathBuf {
+    let Ok(me) = std::env::current_exe() else {
+        return PathBuf::from("fuzz_worker");
+    };
+    let mut bin = me;
+    bin.set_file_name(format!("fuzz_worker{}", std::env::consts::EXE_SUFFIX));
+    bin
+}
+
+fn main() {
+    let mut spool: Option<PathBuf> = None;
+    let mut shards: usize = 4;
+    let mut workers: usize = 2;
+    let mut retries: u32 = 3;
+    let mut worker_bin: Option<PathBuf> = None;
+    let mut in_process = false;
+    let mut exit_after: Option<usize> = None;
+    let mut merge_only = false;
+    let mut quiet = false;
+    let mut out = "-".to_string();
+    let mut failures_out: Option<String> = None;
+
+    let mut params = regemu_bounds::Params::new(1, 1, 3).expect("default parameters");
+    let mut fuzz_edits: Vec<Box<dyn FnOnce(FuzzConfig) -> FuzzConfig>> = Vec::new();
+    let mut streams: Option<usize> = None;
+    let mut generations: Option<usize> = None;
+    let mut any_config_flag = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        let parse_usize = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid {flag} value {v:?}")))
+        };
+        match arg.as_str() {
+            "--spool" => spool = Some(PathBuf::from(value("--spool"))),
+            "--shards" => shards = parse_usize("--shards", value("--shards")).max(1),
+            "--workers" => workers = parse_usize("--workers", value("--workers")).max(1),
+            "--retries" => {
+                retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --retries value"));
+            }
+            "--worker-bin" => worker_bin = Some(PathBuf::from(value("--worker-bin"))),
+            "--in-process" => in_process = true,
+            "--exit-after" => {
+                exit_after = Some(parse_usize("--exit-after", value("--exit-after")));
+            }
+            "--merge-only" => merge_only = true,
+            "--quiet" => quiet = true,
+            "--out" => out = value("--out"),
+            "--failures" => failures_out = Some(value("--failures")),
+            "--params" => {
+                any_config_flag = true;
+                let v = value("--params");
+                let parts: Vec<usize> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("invalid parameter {s:?}")))
+                    })
+                    .collect();
+                if parts.len() != 3 {
+                    fail("--params needs k,f,n");
+                }
+                params = regemu_bounds::Params::new(parts[0], parts[1], parts[2])
+                    .unwrap_or_else(|e| fail(&format!("invalid parameters: {e}")));
+            }
+            "--emulation" => {
+                any_config_flag = true;
+                let v = value("--emulation");
+                let emulation = FuzzEmulation::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown emulation {v:?}")));
+                fuzz_edits.push(Box::new(move |c| c.emulation(emulation)));
+            }
+            "--workload" => {
+                any_config_flag = true;
+                let v = value("--workload");
+                let workload = WorkloadSpec::from_label(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown workload {v:?}")));
+                fuzz_edits.push(Box::new(move |c| c.workload(workload)));
+            }
+            "--check" => {
+                any_config_flag = true;
+                let v = value("--check");
+                let check = ConsistencyCheck::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown check {v:?}")));
+                fuzz_edits.push(Box::new(move |c| c.check(check)));
+            }
+            "--seed" => {
+                any_config_flag = true;
+                let v = value("--seed");
+                let seed: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid seed {v:?}")));
+                fuzz_edits.push(Box::new(move |c| c.seed(seed)));
+            }
+            "--budget" => {
+                any_config_flag = true;
+                let budget = parse_usize("--budget", value("--budget"));
+                fuzz_edits.push(Box::new(move |c| c.budget(budget)));
+            }
+            "--streams" => {
+                any_config_flag = true;
+                streams = Some(parse_usize("--streams", value("--streams")));
+            }
+            "--generations" => {
+                any_config_flag = true;
+                generations = Some(parse_usize("--generations", value("--generations")));
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let spool = spool.unwrap_or_else(|| fail("--spool is required"));
+
+    let cli_config = || -> FuzzCampaignConfig {
+        let mut fuzz = FuzzConfig::new(params);
+        for edit in fuzz_edits {
+            fuzz = edit(fuzz);
+        }
+        let mut config = FuzzCampaignConfig::new(fuzz);
+        if let Some(streams) = streams {
+            config = config.streams(streams);
+        }
+        if let Some(generations) = generations {
+            config = config.generations(generations);
+        }
+        config
+    };
+
+    let emit = |report: &regemu_workloads::fuzz::FuzzCampaignReport| {
+        write_output(&out, &report.to_text(), "fuzz campaign report");
+        if let Some(path) = &failures_out {
+            write_output(path, &report.failures_text(), "merged failures");
+        }
+        if report.found() {
+            eprintln!(
+                "fuzz_coordinator: {} distinct failure(s) in the merged set",
+                report.failures.len()
+            );
+            std::process::exit(2);
+        }
+        eprintln!(
+            "fuzz_coordinator: clean — {} iterations, {} corpus entries published",
+            report.iterations, report.corpus_published
+        );
+    };
+
+    if merge_only {
+        let report = merge_fuzz_campaign(&spool).unwrap_or_else(|e| {
+            eprintln!("fuzz_coordinator: merge failed: {e}");
+            std::process::exit(1);
+        });
+        emit(&report);
+        return;
+    }
+
+    // A resumed spool dictates the config; a fresh one takes it from the
+    // CLI flags. Config flags that contradict an existing spool are an
+    // error, not a silent re-run of the old campaign.
+    let config = match load_fuzz_config(&spool) {
+        Ok(config) => {
+            if any_config_flag {
+                let cli = cli_config();
+                if fuzz_config_fingerprint(&cli) != fuzz_config_fingerprint(&config) {
+                    fail(&format!(
+                        "spool {} was created for a different fuzz config than the flags \
+                         passed; drop the config flags to resume it, or use a fresh --spool",
+                        spool.display()
+                    ));
+                }
+            }
+            eprintln!(
+                "fuzz_coordinator: resuming spool {} ({} streams x {} generations)",
+                spool.display(),
+                config.streams,
+                config.generations
+            );
+            config
+        }
+        Err(_) => cli_config(),
+    };
+
+    let mut options = FuzzCampaignOptions::new(&spool);
+    options.shards = shards;
+    options.workers = workers;
+    options.max_attempts = retries.max(1);
+    options.worker = if in_process {
+        WorkerMode::InProcess
+    } else {
+        let bin = worker_bin.unwrap_or_else(default_worker_bin);
+        if !bin.exists() {
+            fail(&format!(
+                "worker binary {} not found; build it (cargo build -p regemu-bench) or pass \
+                 --worker-bin / --in-process",
+                bin.display()
+            ));
+        }
+        WorkerMode::Spawn(bin)
+    };
+    options.exit_after = exit_after;
+    options.quiet = quiet;
+
+    let started = Instant::now();
+    let outcome = run_fuzz_campaign(&config, &options).unwrap_or_else(|e| {
+        eprintln!("fuzz_coordinator: {e}");
+        std::process::exit(1);
+    });
+    let elapsed = started.elapsed();
+    let done = if outcome.report.is_some() {
+        outcome.units_total
+    } else {
+        outcome.units_run + outcome.units_reused
+    };
+    eprintln!(
+        "fuzz campaign: {done}/{} units done in {elapsed:.2?} ({} run now, {} reused, \
+         {} retried)",
+        outcome.units_total, outcome.units_run, outcome.units_reused, outcome.retries,
+    );
+
+    match outcome.report {
+        Some(report) => emit(&report),
+        None => {
+            eprintln!(
+                "fuzz campaign stopped early (--exit-after); rerun the same command to resume"
+            );
+            // Distinguish "paused" from success so scripts notice.
+            std::process::exit(3);
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! `fuzz_worker` — run one `(shard, generation)` unit of a sharded fuzz
+//! campaign against a spool directory.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin fuzz_worker -- \
+//!     --spool DIR --shard I --gen G
+//! ```
+//!
+//! The worker reads the campaign's config and manifest from the spool
+//! (written by `fuzz_coordinator` or
+//! [`regemu_workloads::fuzz::campaign::init_fuzz_spool`]), runs every
+//! fuzzing stream of shard `I` through generation `G`, and publishes the
+//! generation's corpus entries, shrunk failure files, and — last, so the
+//! unit is atomic — the `fuzz-shard-IIII-GG.txt` completion report. All
+//! files are written temp-file+rename with deterministic contents, so a
+//! killed or repeated worker is harmless: the re-run republishes
+//! byte-identical files. It never writes the manifest.
+//!
+//! Exit status: `0` on success, `1` on failure (the coordinator retries up
+//! to its attempt budget), `2` on usage errors.
+
+use regemu_workloads::fuzz::run_fuzz_shard_gen;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("fuzz_worker: {msg}");
+    eprintln!("usage: fuzz_worker --spool DIR --shard I --gen G");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spool: Option<PathBuf> = None;
+    let mut shard: Option<usize> = None;
+    let mut gen: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        let parse = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid {flag} value {v:?}")))
+        };
+        match arg.as_str() {
+            "--spool" => spool = Some(PathBuf::from(value("--spool"))),
+            "--shard" => shard = Some(parse("--shard", value("--shard"))),
+            "--gen" => gen = Some(parse("--gen", value("--gen"))),
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let spool = spool.unwrap_or_else(|| fail("--spool is required"));
+    let shard = shard.unwrap_or_else(|| fail("--shard is required"));
+    let gen = gen.unwrap_or_else(|| fail("--gen is required"));
+
+    // Test hook for the coordinator's retry path: when the named marker
+    // file does not exist yet, create it and die once.
+    if let Ok(marker) = std::env::var("REGEMU_WORKER_FAIL_ONCE") {
+        let marker = PathBuf::from(marker);
+        if !marker.exists() {
+            let _ = std::fs::write(&marker, b"failed once\n");
+            eprintln!("fuzz_worker: injected one-shot failure (REGEMU_WORKER_FAIL_ONCE)");
+            std::process::exit(1);
+        }
+    }
+
+    match run_fuzz_shard_gen(&spool, shard, gen) {
+        Ok(()) => {
+            eprintln!("fuzz_worker: shard {shard} generation {gen} done");
+        }
+        Err(e) => {
+            eprintln!("fuzz_worker: shard {shard} generation {gen} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

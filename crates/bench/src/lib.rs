@@ -33,7 +33,10 @@
 /// `campaign_coordinator`): the flags that shape a
 /// [`regemu_workloads::SweepConfig`] are identical across them.
 pub mod cli {
-    use regemu_workloads::{CrashPlanSpec, RecordingModeSpec, SchedulerSpec, SweepConfig};
+    use regemu_bounds::Params;
+    use regemu_workloads::{
+        CrashPlanSpec, RecordingModeSpec, SchedulerSpec, SweepConfig, WorkloadSpec,
+    };
 
     /// Incrementally collected sweep-config flags.
     ///
@@ -46,6 +49,8 @@ pub mod cli {
         crash_f: bool,
         threads: Option<usize>,
         seeds: Option<Vec<u64>>,
+        grid: Option<Vec<Params>>,
+        workloads: Option<Vec<WorkloadSpec>>,
         schedulers: Option<Vec<SchedulerSpec>>,
         crash_plans: Option<Vec<CrashPlanSpec>>,
         recordings: Option<Vec<RecordingModeSpec>>,
@@ -53,6 +58,7 @@ pub mod cli {
 
     /// The usage fragment documenting the flags [`ConfigFlags`] accepts.
     pub const CONFIG_USAGE: &str = "[--quick] [--threads N] [--seeds a,b,..] \
+         [--grid k/f/n,k/f/n,..] [--workload label,label,..] \
          [--schedulers a,b,..] [--crash-plans a,b,..] [--crash-f] [--recording a,b,..]";
 
     impl ConfigFlags {
@@ -86,6 +92,47 @@ pub mod cli {
                         return Err("--seeds needs at least one seed".to_string());
                     }
                     self.seeds = Some(parsed);
+                }
+                "--grid" => {
+                    let v = value("--grid")?;
+                    let parsed: Vec<Params> = v
+                        .split(',')
+                        .map(|point| {
+                            let nums: Vec<usize> = point
+                                .trim()
+                                .split('/')
+                                .map(|s| {
+                                    s.parse()
+                                        .map_err(|_| format!("invalid grid point {point:?}"))
+                                })
+                                .collect::<Result<_, _>>()?;
+                            let [k, f, n] = nums.as_slice() else {
+                                return Err(format!(
+                                    "grid point {point:?} must be k/f/n (e.g. 2/1/4)"
+                                ));
+                            };
+                            Params::new(*k, *f, *n)
+                                .map_err(|e| format!("invalid grid point {point:?}: {e}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if parsed.is_empty() {
+                        return Err("--grid needs at least one k/f/n point".to_string());
+                    }
+                    self.grid = Some(parsed);
+                }
+                "--workload" => {
+                    let v = value("--workload")?;
+                    let parsed: Vec<WorkloadSpec> = v
+                        .split(',')
+                        .map(|s| {
+                            WorkloadSpec::from_label(s.trim())
+                                .ok_or(format!("unknown workload {s:?}"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if parsed.is_empty() {
+                        return Err("--workload needs at least one label".to_string());
+                    }
+                    self.workloads = Some(parsed);
                 }
                 "--schedulers" => {
                     let v = value("--schedulers")?;
@@ -161,6 +208,12 @@ pub mod cli {
             }
             if let Some(seeds) = self.seeds {
                 config.seeds = seeds;
+            }
+            if let Some(grid) = self.grid {
+                config.grid = grid;
+            }
+            if let Some(workloads) = self.workloads {
+                config.workloads = workloads;
             }
             if let Some(schedulers) = self.schedulers {
                 config.schedulers = schedulers;
@@ -532,9 +585,59 @@ pub mod experiments {
 
 #[cfg(test)]
 mod tests {
+    use super::cli::ConfigFlags;
     use super::experiments::*;
     use regemu_bounds::Params;
     use regemu_workloads::small_sweep;
+
+    /// Drives [`ConfigFlags`] the way the binaries do: every argument is
+    /// offered to `accept`, the rest would belong to the binary.
+    fn parse_flags(args: &[&str]) -> Result<regemu_workloads::SweepConfig, String> {
+        let mut flags = ConfigFlags::default();
+        let mut iter = args.iter().map(|s| s.to_string());
+        while let Some(arg) = iter.next() {
+            if !flags.accept(&arg, &mut iter)? {
+                return Err(format!("unexpected non-config argument {arg:?}"));
+            }
+        }
+        flags.into_config()
+    }
+
+    #[test]
+    fn grid_flag_overrides_the_parameter_grid() {
+        let config = parse_flags(&["--grid", "1/1/3,2/1/4"]).unwrap();
+        assert_eq!(
+            config.grid,
+            vec![Params::new(1, 1, 3).unwrap(), Params::new(2, 1, 4).unwrap()]
+        );
+        // The rest of the standard config is untouched.
+        assert_eq!(
+            config.workloads,
+            regemu_workloads::SweepConfig::standard().workloads
+        );
+    }
+
+    #[test]
+    fn workload_flag_overrides_the_workload_list() {
+        let config = parse_flags(&["--workload", "write-seq/r2+read"]).unwrap();
+        assert_eq!(config.workloads.len(), 1);
+        assert_eq!(config.workloads[0].label(), "write-seq/r2+read");
+        assert_eq!(config.grid, regemu_workloads::SweepConfig::standard().grid);
+    }
+
+    #[test]
+    fn malformed_grid_and_workload_flags_are_rejected() {
+        for args in [
+            ["--grid", "2/4"].as_slice(),        // not k/f/n
+            &["--grid", "1/x/3"],                // non-numeric
+            &["--grid", "1/2/3"],                // violates n >= 2f + 1
+            &["--grid", ""],                     // empty
+            &["--workload", "no-such-workload"], // unknown label
+            &["--workload", ""],                 // empty
+        ] {
+            assert!(parse_flags(args).is_err(), "{args:?} must be rejected");
+        }
+    }
 
     #[test]
     fn table1_has_one_row_per_sweep_point() {

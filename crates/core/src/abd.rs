@@ -60,6 +60,12 @@ pub struct AbdClient {
     /// writes acknowledge after the query phase without running the update
     /// round.
     skip_update: bool,
+    /// Fault injection (see [`AbdClient::dropping_acks_after`]): when set,
+    /// the client silently drops every response after it has processed this
+    /// many deliveries — in-flight operations wedge forever.
+    drop_acks_after: Option<u64>,
+    /// Responses processed so far (only tracked for the dropped-acks fault).
+    processed: u64,
 }
 
 impl AbdClient {
@@ -94,6 +100,8 @@ impl AbdClient {
             object_to_driver,
             phase: Phase::Idle,
             skip_update: false,
+            drop_acks_after: None,
+            processed: 0,
         }
     }
 
@@ -104,6 +112,17 @@ impl AbdClient {
     /// so the schedule fuzzer has a known bug to find.
     pub fn skipping_update(mut self) -> Self {
         self.skip_update = true;
+        self
+    }
+
+    /// Fault injection for the liveness (stuck) oracle
+    /// (`regemu_core::faulty`): the returned client processes its first
+    /// `threshold` response deliveries normally and silently drops every
+    /// later one, so an operation still in flight past the threshold never
+    /// completes. Safety is untouched — the run simply wedges — which makes
+    /// this the seeded bug only a stuck detector can catch.
+    pub fn dropping_acks_after(mut self, threshold: u64) -> Self {
+        self.drop_acks_after = Some(threshold);
         self
     }
 
@@ -144,6 +163,12 @@ impl ClientProtocol for AbdClient {
     }
 
     fn on_response(&mut self, delivery: Delivery, ctx: &mut Context<'_>) {
+        if let Some(threshold) = self.drop_acks_after {
+            if self.processed >= threshold {
+                return;
+            }
+            self.processed += 1;
+        }
         let Some(&driver_index) = self.object_to_driver.get(&delivery.object) else {
             return;
         };

@@ -248,6 +248,7 @@ impl Scheduler for RoundRobinScheduler {
 pub struct DelayedScheduler {
     seed: u64,
     max_delay: u64,
+    perturbation: Vec<u64>,
     crash_plan: CrashPlan,
     steps: u64,
 }
@@ -262,6 +263,7 @@ impl DelayedScheduler {
         DelayedScheduler {
             seed,
             max_delay,
+            perturbation: Vec::new(),
             crash_plan: CrashPlan::none(),
             steps: 0,
         }
@@ -273,15 +275,32 @@ impl DelayedScheduler {
         self
     }
 
+    /// Adds a deterministic *perturbation* on top of the seed-derived
+    /// delays: operation `op` gains `ticks[op.index() % ticks.len()]`
+    /// extra ticks of delay (no-op when `ticks` is empty). The fuzzer uses
+    /// this as a mutation operator — nudging individual delay buckets
+    /// shifts whole bursts of deliveries without losing determinism, since
+    /// the total delay stays a pure function of `(seed, ticks, op)`.
+    pub fn with_perturbation(mut self, ticks: Vec<u64>) -> Self {
+        self.perturbation = ticks;
+        self
+    }
+
     /// Number of delivery steps executed so far.
     pub fn steps(&self) -> u64 {
         self.steps
     }
 
-    /// The deterministic delay (in ticks) assigned to operation `op`.
+    /// The deterministic delay (in ticks) assigned to operation `op`,
+    /// including any perturbation from [`DelayedScheduler::with_perturbation`].
     pub fn delay_of(&self, op: OpId) -> u64 {
+        let extra = if self.perturbation.is_empty() {
+            0
+        } else {
+            self.perturbation[op.index() as usize % self.perturbation.len()]
+        };
         if self.max_delay == 0 {
-            return 0;
+            return extra;
         }
         // SplitMix64 finalizer over seed ⊕ op id: uniform enough for a delay
         // distribution, dependency-free, and stable across platforms.
@@ -291,7 +310,7 @@ impl DelayedScheduler {
         x ^= x >> 27;
         x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        x % (self.max_delay + 1)
+        x % (self.max_delay + 1) + extra
     }
 }
 
@@ -550,6 +569,28 @@ mod tests {
             assert_eq!(*delivered, op);
         }
         assert_eq!(sched.steps(), 3);
+    }
+
+    #[test]
+    fn delayed_scheduler_perturbation_is_deterministic_and_shifts_buckets() {
+        let run = |ticks: Vec<u64>| {
+            let (mut sim, objs) = build(5, 2);
+            let w = spawn_write(&mut sim, objs);
+            let mut sched = DelayedScheduler::new(3, 7).with_perturbation(ticks);
+            sched.run_until_complete(&mut sim, w, 100).unwrap();
+            sched.run_until_quiescent(&mut sim, 100).unwrap();
+            sim.history().events().copied().collect::<Vec<_>>()
+        };
+        // Empty perturbation is the unperturbed scheduler, and any fixed
+        // perturbation replays byte-identically.
+        assert_eq!(run(vec![]), run(vec![]));
+        assert_eq!(run(vec![5, 0, 11]), run(vec![5, 0, 11]));
+        // Nudging delay buckets reorders deliveries.
+        assert_ne!(run(vec![]), run(vec![5, 0, 11]));
+        // The extra ticks survive max_delay == 0 (base delay zero).
+        let sched = DelayedScheduler::new(5, 0).with_perturbation(vec![2, 9]);
+        assert_eq!(sched.delay_of(OpId::new(42)), 2);
+        assert_eq!(sched.delay_of(OpId::new(43)), 9);
     }
 
     #[test]

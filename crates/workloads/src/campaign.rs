@@ -141,7 +141,7 @@ impl From<std::io::Error> for CampaignError {
     }
 }
 
-fn malformed(file: &Path, reason: impl Into<String>) -> CampaignError {
+pub(crate) fn malformed(file: &Path, reason: impl Into<String>) -> CampaignError {
     CampaignError::Malformed {
         file: file.display().to_string(),
         reason: reason.into(),
@@ -153,7 +153,7 @@ fn malformed(file: &Path, reason: impl Into<String>) -> CampaignError {
 // --------------------------------------------------------------------------
 
 /// FNV-1a 64-bit — dependency-free, stable across platforms.
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -602,7 +602,7 @@ pub fn shard_progress_path(spool: &Path, shard: usize) -> PathBuf {
     spool.join(format!("shard-{shard:04}.progress"))
 }
 
-fn write_atomically(path: &Path, contents: &str) -> Result<(), CampaignError> {
+pub(crate) fn write_atomically(path: &Path, contents: &str) -> Result<(), CampaignError> {
     let tmp = path.with_extension("tmp");
     fs::write(&tmp, contents)?;
     fs::rename(&tmp, path)?;

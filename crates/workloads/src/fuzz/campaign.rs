@@ -1,0 +1,1309 @@
+//! Campaign-scale fuzzing: sharded corpus search with deterministic merge.
+//!
+//! A single [`Fuzzer`] explores in one process; a *fuzz campaign* shards a
+//! total iteration budget over worker processes on the same spool-directory
+//! protocol the sweep campaigns use (`crate::campaign`). The unit of
+//! determinism is the **stream**: a campaign runs a fixed number of logical
+//! fuzzing streams (frozen in the manifest at init, like a sweep campaign's
+//! case shards), stream `s` seeded from the master seed and `s`, so every
+//! stream's exploration is a pure function of the campaign config. Shards
+//! are contiguous stream ranges; how streams are grouped into shards, which
+//! worker runs them, and in what order never changes any stream's output —
+//! which is what makes the merged failure set **byte-identical** across
+//! shard counts, worker interleavings, and kill/resume cycles.
+//!
+//! ## Corpus exchange
+//!
+//! Streams run their budget in *generations*. At the end of each
+//! generation, a worker publishes the corpus entries its streams admitted
+//! during that generation as one `corpus-SSSS-GG-NNNN.trace` file each
+//! (stream, generation, admission sequence — written temp-file+rename, so a
+//! torn entry is never visible). The coordinator barriers between
+//! generations: generation `g` starts only after *every* shard finished
+//! generation `g - 1`. A stream opening generation `g` therefore ingests a
+//! fixed, manifest-determined set — all published entries of generations
+//! `< g`, in `(stream, generation, sequence)` order — so corpus admission
+//! stays a pure function of the manifest state, and cross-pollination
+//! between shards costs no determinism.
+//!
+//! ## The spool directory
+//!
+//! | file | written by | contents |
+//! |---|---|---|
+//! | `fuzz-config.txt` | coordinator, once | canonical [`FuzzCampaignConfig`] text |
+//! | `fuzz-manifest.txt` | coordinator | [`FuzzManifest`]: fingerprint, stream ranges, per-shard generation progress |
+//! | `corpus-SSSS-GG-NNNN.trace` | workers | one published corpus entry (`regemu-trace v1`) |
+//! | `failures-SSSS-GG.txt` | workers | the generation's shrunk failure reports for stream `SSSS` |
+//! | `fuzz-shard-NNNN-GG.txt` | workers | per-`(shard, generation)` completion report |
+//!
+//! Because every `(shard, generation)` unit is a pure function of the spool
+//! contents at its barrier, a killed worker is re-run idempotently: it
+//! republishes byte-identical files. Resume revalidates completion reports
+//! exactly like the sweep campaign revalidates shard reports.
+//!
+//! ## The merged failure set
+//!
+//! [`merge_fuzz_campaign`] collects every shrunk failure from every
+//! `failures-*.txt`, deduplicates by the shrunk trace text (shrinking is a
+//! deterministic fixed point, so equal repros are byte-equal), normalizes
+//! `found-at` to the minimum across duplicates, and orders by
+//! `(kind label, trace text)`. The resulting
+//! [`FuzzCampaignReport::failures_text`] is the campaign's canonical
+//! artifact: the CI determinism job diffs it across 1-shard and 4-shard
+//! runs of the same config.
+
+use super::shrink::{shrink_failure, FailureReport};
+use super::trace::RecordedSchedule;
+use super::{FailureKind, FuzzCase, FuzzConfig, FuzzEmulation, Fuzzer};
+use crate::campaign::{
+    fnv64, malformed, plan_shards, write_atomically, CampaignError, ShardRange, WorkerMode,
+};
+use crate::runner::ConsistencyCheck;
+use crate::sweep::WorkloadSpec;
+use regemu_bounds::Params;
+use regemu_spec::Condition;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+/// Version tag of the fuzz-campaign spool formats.
+pub const FUZZ_FORMAT_VERSION: u32 = 1;
+
+/// What a fuzz campaign explores and how the exploration is split.
+///
+/// [`FuzzCampaignConfig::fuzz`] holds the *total* iteration budget; streams
+/// split it (first `budget % streams` streams get one extra iteration), and
+/// each stream splits its slice across generations the same way.
+#[derive(Clone, Debug)]
+pub struct FuzzCampaignConfig {
+    /// The underlying fuzz config. `budget` is the campaign-wide total;
+    /// `stop_on_failure` is ignored (streams always spend their slice, so
+    /// the merged artifact never depends on who found a failure first).
+    pub fuzz: FuzzConfig,
+    /// Number of independent fuzzing streams (the determinism unit).
+    pub streams: usize,
+    /// Number of corpus-exchange generations per stream.
+    pub generations: usize,
+}
+
+impl FuzzCampaignConfig {
+    /// A campaign over `fuzz` with the default split: 8 streams, 2
+    /// generations.
+    pub fn new(fuzz: FuzzConfig) -> Self {
+        FuzzCampaignConfig {
+            fuzz,
+            streams: 8,
+            generations: 2,
+        }
+    }
+
+    /// Sets the stream count (at least 1).
+    pub fn streams(mut self, streams: usize) -> Self {
+        self.streams = streams.max(1);
+        self
+    }
+
+    /// Sets the generation count (at least 1).
+    pub fn generations(mut self, generations: usize) -> Self {
+        self.generations = generations.max(1);
+        self
+    }
+
+    /// The seed of stream `s`: the master seed and the stream index mixed
+    /// through the SplitMix64 finalizer, so streams explore independently.
+    pub fn stream_seed(&self, stream: usize) -> u64 {
+        let mut x = self
+            .fuzz
+            .seed
+            .wrapping_add((stream as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// The iteration budget of stream `s` (its slice of the total).
+    pub fn stream_budget(&self, stream: usize) -> usize {
+        plan_shards(self.fuzz.budget, self.streams)
+            .get(stream)
+            .map(ShardRange::len)
+            .unwrap_or(0)
+    }
+
+    /// The iteration budget of generation `g` within stream `s`.
+    pub fn generation_budget(&self, stream: usize, generation: usize) -> usize {
+        plan_shards(self.stream_budget(stream), self.generations)
+            .get(generation)
+            .map(ShardRange::len)
+            .unwrap_or(0)
+    }
+
+    /// The [`FuzzConfig`] stream `s` runs: the campaign config with the
+    /// stream's derived seed and slice of the budget.
+    pub fn stream_config(&self, stream: usize) -> FuzzConfig {
+        let mut config = self.fuzz.clone();
+        config.seed = self.stream_seed(stream);
+        config.budget = self.stream_budget(stream);
+        config.stop_on_failure = false;
+        config
+    }
+}
+
+/// Serializes a [`FuzzCampaignConfig`] as canonical line-based text.
+pub fn fuzz_config_to_text(config: &FuzzCampaignConfig) -> String {
+    format!(
+        "regemu-fuzz-campaign-config v{FUZZ_FORMAT_VERSION}\n\
+         params {} {} {}\n\
+         emulation {}\n\
+         workload {}\n\
+         check {}\n\
+         seed {}\n\
+         budget {}\n\
+         max-steps {}\n\
+         streams {}\n\
+         generations {}\n",
+        config.fuzz.params.k,
+        config.fuzz.params.f,
+        config.fuzz.params.n,
+        config.fuzz.emulation,
+        config.fuzz.workload.label(),
+        config.fuzz.check.name(),
+        config.fuzz.seed,
+        config.fuzz.budget,
+        config.fuzz.max_steps_per_op,
+        config.streams,
+        config.generations,
+    )
+}
+
+/// Parses the canonical [`FuzzCampaignConfig`] text.
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn fuzz_config_from_text(text: &str) -> Result<FuzzCampaignConfig, String> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty fuzz-campaign config")?;
+    if header != format!("regemu-fuzz-campaign-config v{FUZZ_FORMAT_VERSION}") {
+        return Err(format!("unsupported config header {header:?}"));
+    }
+    let mut field = |name: &str| -> Result<String, String> {
+        let line = lines.next().ok_or(format!("missing {name} line"))?;
+        line.strip_prefix(&format!("{name} "))
+            .map(str::to_string)
+            .ok_or(format!("expected {name} line, got {line:?}"))
+    };
+    let params_raw = field("params")?;
+    let mut parts = params_raw.split_whitespace();
+    let mut next_num = |what: &str| -> Result<usize, String> {
+        parts
+            .next()
+            .ok_or_else(|| "params needs k f n".to_string())?
+            .parse()
+            .map_err(|_| format!("bad params {what}"))
+    };
+    let (k, f, n) = (next_num("k")?, next_num("f")?, next_num("n")?);
+    let params = Params::new(k, f, n).map_err(|e| format!("invalid params: {e}"))?;
+    let emulation_name = field("emulation")?;
+    let emulation = FuzzEmulation::from_name(&emulation_name)
+        .ok_or_else(|| format!("unknown emulation {emulation_name:?}"))?;
+    let workload_label = field("workload")?;
+    let workload = WorkloadSpec::from_label(&workload_label)
+        .ok_or_else(|| format!("unknown workload {workload_label:?}"))?;
+    let check_name = field("check")?;
+    let check = ConsistencyCheck::from_name(&check_name)
+        .ok_or_else(|| format!("unknown check {check_name:?}"))?;
+    let num = |v: String, what: &str| -> Result<u64, String> {
+        v.parse().map_err(|_| format!("bad {what} value {v:?}"))
+    };
+    let seed = num(field("seed")?, "seed")?;
+    let budget = num(field("budget")?, "budget")? as usize;
+    let max_steps_per_op = num(field("max-steps")?, "max-steps")?;
+    let streams = num(field("streams")?, "streams")?.max(1) as usize;
+    let generations = num(field("generations")?, "generations")?.max(1) as usize;
+    let mut fuzz = FuzzConfig::new(params)
+        .emulation(emulation)
+        .workload(workload)
+        .check(check)
+        .seed(seed)
+        .budget(budget);
+    fuzz.max_steps_per_op = max_steps_per_op;
+    Ok(FuzzCampaignConfig {
+        fuzz,
+        streams,
+        generations,
+    })
+}
+
+/// Fingerprint identifying the campaign's exploration space.
+pub fn fuzz_config_fingerprint(config: &FuzzCampaignConfig) -> String {
+    format!("{:016x}", fnv64(fuzz_config_to_text(config).as_bytes()))
+}
+
+// --------------------------------------------------------------------------
+// Spool layout
+// --------------------------------------------------------------------------
+
+/// Path of the fuzz-campaign config inside a spool directory.
+pub fn fuzz_config_path(spool: &Path) -> PathBuf {
+    spool.join("fuzz-config.txt")
+}
+
+/// Path of the fuzz-campaign manifest inside a spool directory.
+pub fn fuzz_manifest_path(spool: &Path) -> PathBuf {
+    spool.join("fuzz-manifest.txt")
+}
+
+/// Path of a published corpus entry.
+pub fn corpus_entry_path(spool: &Path, stream: usize, gen: usize, seq: usize) -> PathBuf {
+    spool.join(format!("corpus-{stream:04}-{gen:02}-{seq:04}.trace"))
+}
+
+/// Path of a stream's per-generation failure file.
+pub fn failures_path(spool: &Path, stream: usize, gen: usize) -> PathBuf {
+    spool.join(format!("failures-{stream:04}-{gen:02}.txt"))
+}
+
+/// Path of a `(shard, generation)` completion report.
+pub fn fuzz_shard_report_path(spool: &Path, shard: usize, gen: usize) -> PathBuf {
+    spool.join(format!("fuzz-shard-{shard:04}-{gen:02}.txt"))
+}
+
+// --------------------------------------------------------------------------
+// The manifest
+// --------------------------------------------------------------------------
+
+/// One shard (a contiguous stream range) and its generation progress.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuzzShardEntry {
+    /// The shard's stream range.
+    pub range: ShardRange,
+    /// Generations completed so far (`generations` = shard finished).
+    pub gens_done: usize,
+    /// Worker attempts consumed so far.
+    pub attempts: u32,
+}
+
+/// The versioned, on-disk state of a fuzz campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzManifest {
+    /// Fingerprint of the config ([`fuzz_config_fingerprint`]).
+    pub fingerprint: String,
+    /// Total number of streams.
+    pub streams: usize,
+    /// Generations per stream.
+    pub generations: usize,
+    /// Per-shard stream ranges and progress, in shard order.
+    pub shards: Vec<FuzzShardEntry>,
+}
+
+impl FuzzManifest {
+    /// Plans a fresh manifest for `config` split into `shards` shards.
+    pub fn plan(config: &FuzzCampaignConfig, shards: usize) -> Self {
+        FuzzManifest {
+            fingerprint: fuzz_config_fingerprint(config),
+            streams: config.streams,
+            generations: config.generations,
+            shards: plan_shards(config.streams, shards)
+                .into_iter()
+                .map(|range| FuzzShardEntry {
+                    range,
+                    gens_done: 0,
+                    attempts: 0,
+                })
+                .collect(),
+        }
+    }
+
+    /// Serializes the manifest as its on-disk text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "regemu-fuzz-campaign-manifest v{FUZZ_FORMAT_VERSION}\n\
+             fingerprint {}\nstreams {}\ngenerations {}\nshards {}\n",
+            self.fingerprint,
+            self.streams,
+            self.generations,
+            self.shards.len()
+        );
+        for s in &self.shards {
+            out.push_str(&format!(
+                "shard {} {} {} {} {}\n",
+                s.range.index, s.range.start, s.range.end, s.gens_done, s.attempts
+            ));
+        }
+        out
+    }
+
+    /// Parses the on-disk manifest text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming what is malformed.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty manifest")?;
+        if header != format!("regemu-fuzz-campaign-manifest v{FUZZ_FORMAT_VERSION}") {
+            return Err(format!("unsupported manifest header {header:?}"));
+        }
+        let mut field = |name: &str| -> Result<String, String> {
+            let line = lines.next().ok_or(format!("missing {name} line"))?;
+            line.strip_prefix(&format!("{name} "))
+                .map(str::to_string)
+                .ok_or(format!("expected {name} line, got {line:?}"))
+        };
+        let fingerprint = field("fingerprint")?;
+        let parse = |s: String, what: &str| -> Result<usize, String> {
+            s.parse().map_err(|_| format!("bad {what} {s:?}"))
+        };
+        let streams = parse(field("streams")?, "stream count")?;
+        let generations = parse(field("generations")?, "generation count")?;
+        let shard_count = parse(field("shards")?, "shard count")?;
+        let mut shards = Vec::with_capacity(shard_count);
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split_whitespace().collect();
+            let ["shard", index, start, end, gens_done, attempts] = parts.as_slice() else {
+                return Err(format!("bad shard line {line:?}"));
+            };
+            let parse = |s: &str| s.parse::<usize>().map_err(|_| format!("bad number {s:?}"));
+            shards.push(FuzzShardEntry {
+                range: ShardRange {
+                    index: parse(index)?,
+                    start: parse(start)?,
+                    end: parse(end)?,
+                },
+                gens_done: parse(gens_done)?,
+                attempts: attempts
+                    .parse()
+                    .map_err(|_| format!("bad attempt count {attempts:?}"))?,
+            });
+        }
+        if shards.len() != shard_count {
+            return Err(format!(
+                "manifest declares {shard_count} shards but lists {}",
+                shards.len()
+            ));
+        }
+        let mut expected_start = 0;
+        for (i, s) in shards.iter().enumerate() {
+            if s.range.index != i || s.range.start != expected_start || s.range.end < s.range.start
+            {
+                return Err(format!("shard {i} range is not a partition: {:?}", s.range));
+            }
+            if s.gens_done > generations {
+                return Err(format!("shard {i} claims {} generations", s.gens_done));
+            }
+            expected_start = s.range.end;
+        }
+        if expected_start != streams {
+            return Err(format!(
+                "shards cover {expected_start} streams, manifest declares {streams}"
+            ));
+        }
+        Ok(FuzzManifest {
+            fingerprint,
+            streams,
+            generations,
+            shards,
+        })
+    }
+
+    /// Loads the manifest from a spool directory, or `None` when absent.
+    pub fn load(spool: &Path) -> Result<Option<Self>, CampaignError> {
+        let path = fuzz_manifest_path(spool);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        FuzzManifest::from_text(&text)
+            .map(Some)
+            .map_err(|reason| malformed(&path, reason))
+    }
+
+    /// Atomically writes the manifest into the spool.
+    pub fn store(&self, spool: &Path) -> Result<(), CampaignError> {
+        write_atomically(&fuzz_manifest_path(spool), &self.to_text())
+    }
+
+    /// Returns `true` once every shard has run all generations.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|s| s.gens_done >= self.generations)
+    }
+
+    /// The barrier generation: the next generation some shard still has to
+    /// run (all shards with `gens_done == g` run before any starts `g + 1`).
+    pub fn current_generation(&self) -> Option<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.gens_done)
+            .min()
+            .filter(|&g| g < self.generations)
+    }
+}
+
+/// Initializes (or resumes) a fuzz-campaign spool for `config` split into
+/// `shards` shards. Mirrors `crate::campaign::init_spool`: an existing
+/// manifest wins over the `shards` argument and must match the config's
+/// fingerprint.
+///
+/// # Errors
+///
+/// Fails on spool I/O, a malformed manifest, or a fingerprint mismatch.
+pub fn init_fuzz_spool(
+    spool: &Path,
+    config: &FuzzCampaignConfig,
+    shards: usize,
+) -> Result<FuzzManifest, CampaignError> {
+    fs::create_dir_all(spool)?;
+    let fingerprint = fuzz_config_fingerprint(config);
+    if let Some(manifest) = FuzzManifest::load(spool)? {
+        if manifest.fingerprint != fingerprint {
+            return Err(CampaignError::ConfigMismatch {
+                manifest: manifest.fingerprint,
+                config: fingerprint,
+            });
+        }
+        return Ok(manifest);
+    }
+    write_atomically(&fuzz_config_path(spool), &fuzz_config_to_text(config))?;
+    let manifest = FuzzManifest::plan(config, shards);
+    manifest.store(spool)?;
+    Ok(manifest)
+}
+
+/// Loads the campaign's [`FuzzCampaignConfig`] from a spool directory.
+///
+/// # Errors
+///
+/// Fails when the config file is missing or malformed.
+pub fn load_fuzz_config(spool: &Path) -> Result<FuzzCampaignConfig, CampaignError> {
+    let path = fuzz_config_path(spool);
+    let text = fs::read_to_string(&path)?;
+    fuzz_config_from_text(&text).map_err(|reason| malformed(&path, reason))
+}
+
+// --------------------------------------------------------------------------
+// The worker: one (shard, generation) unit
+// --------------------------------------------------------------------------
+
+/// Reads every corpus entry published for generations `< gen`, in
+/// `(stream, generation, sequence)` order — the fixed ingest set of any
+/// stream opening generation `gen`.
+fn published_before(
+    spool: &Path,
+    streams: usize,
+    gen: usize,
+) -> Result<Vec<FuzzCase>, CampaignError> {
+    let mut cases = Vec::new();
+    for stream in 0..streams {
+        for g in 0..gen {
+            for seq in 0.. {
+                let path = corpus_entry_path(spool, stream, g, seq);
+                let text = match fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                    Err(e) => return Err(e.into()),
+                };
+                let schedule = RecordedSchedule::from_text(&text)
+                    .map_err(|reason| malformed(&path, reason))?;
+                cases.push(schedule.case());
+            }
+        }
+    }
+    Ok(cases)
+}
+
+/// The per-stream outcome of one generation.
+struct StreamGenOutcome {
+    iterations: usize,
+    corpus_added: usize,
+    failures: Vec<FailureReport>,
+}
+
+/// Runs one stream through generations `0..=gen`, re-deriving earlier
+/// generations deterministically (each is a pure function of the spool
+/// state at its barrier), and returns what generation `gen` produced. Also
+/// publishes generation `gen`'s corpus entries and failure file.
+fn run_stream_generation(
+    spool: &Path,
+    config: &FuzzCampaignConfig,
+    stream: usize,
+    gen: usize,
+) -> Result<StreamGenOutcome, CampaignError> {
+    let stream_config = config.stream_config(stream);
+    let mut fuzzer = Fuzzer::new(stream_config.clone());
+    let mut corpus_mark = 0;
+    let mut failure_mark = 0;
+    for g in 0..=gen {
+        if g > 0 {
+            for case in published_before(spool, config.streams, g)? {
+                fuzzer.ingest(case);
+            }
+        }
+        corpus_mark = fuzzer.corpus().len();
+        failure_mark = fuzzer.failures().len();
+        fuzzer.run_iterations(config.generation_budget(stream, g));
+    }
+
+    // Publish generation `gen`: the corpus entries admitted during it...
+    let new_entries: Vec<FuzzCase> = fuzzer.corpus()[corpus_mark..].to_vec();
+    for (seq, case) in new_entries.iter().enumerate() {
+        let schedule = RecordedSchedule::from_parts(&stream_config, case);
+        write_atomically(
+            &corpus_entry_path(spool, stream, gen, seq),
+            &schedule.to_text(),
+        )?;
+    }
+    // ...and the generation's failures, shrunk.
+    let failures: Vec<FailureReport> = fuzzer.failures()[failure_mark..]
+        .iter()
+        .map(|failure| shrink_failure(&stream_config, failure))
+        .collect();
+    let mut text = format!(
+        "regemu-fuzz-failures v{FUZZ_FORMAT_VERSION}\ncount {}\n",
+        failures.len()
+    );
+    for report in &failures {
+        text.push_str(&report.to_text());
+    }
+    write_atomically(&failures_path(spool, stream, gen), &text)?;
+
+    let gen_start = {
+        let mut start = 0;
+        for g in 0..gen {
+            start += config.generation_budget(stream, g);
+        }
+        start
+    };
+    Ok(StreamGenOutcome {
+        iterations: fuzzer.iterations() - gen_start,
+        corpus_added: new_entries.len(),
+        failures,
+    })
+}
+
+/// Runs one `(shard, generation)` unit: every stream in the shard's range
+/// through generation `gen`, publishing corpus entries, failure files, and
+/// finally the unit's completion report. Pure given the spool state at the
+/// generation barrier, and idempotent — re-running republishes
+/// byte-identical files.
+///
+/// # Errors
+///
+/// Fails on spool I/O or when the spool has no (or a malformed) config.
+pub fn run_fuzz_shard_gen(spool: &Path, shard: usize, gen: usize) -> Result<(), CampaignError> {
+    let config = load_fuzz_config(spool)?;
+    let manifest = FuzzManifest::load(spool)?
+        .ok_or_else(|| malformed(&fuzz_manifest_path(spool), "missing manifest".to_string()))?;
+    let entry = manifest
+        .shards
+        .get(shard)
+        .ok_or(CampaignError::UnknownShard(shard))?;
+    let mut report = format!(
+        "regemu-fuzz-shard v{FUZZ_FORMAT_VERSION}\nshard {shard}\ngeneration {gen}\n\
+         streams {} {}\n",
+        entry.range.start, entry.range.end
+    );
+    for stream in entry.range.start..entry.range.end {
+        let outcome = run_stream_generation(spool, &config, stream, gen)?;
+        report.push_str(&format!(
+            "stream {stream} iterations {} corpus {} failures {}\n",
+            outcome.iterations,
+            outcome.corpus_added,
+            outcome.failures.len()
+        ));
+    }
+    report.push_str("end\n");
+    write_atomically(&fuzz_shard_report_path(spool, shard, gen), &report)
+}
+
+/// Validates a `(shard, generation)` completion report: it must exist,
+/// parse, and cover exactly the shard's stream range.
+fn shard_gen_is_done(spool: &Path, range: ShardRange, gen: usize) -> bool {
+    let path = fuzz_shard_report_path(spool, range.index, gen);
+    let Ok(text) = fs::read_to_string(&path) else {
+        return false;
+    };
+    let mut lines = text.lines();
+    if lines.next() != Some(&format!("regemu-fuzz-shard v{FUZZ_FORMAT_VERSION}")[..]) {
+        return false;
+    }
+    if lines.next() != Some(&format!("shard {}", range.index)[..])
+        || lines.next() != Some(&format!("generation {gen}")[..])
+        || lines.next() != Some(&format!("streams {} {}", range.start, range.end)[..])
+    {
+        return false;
+    }
+    let mut expected = range.start;
+    for line in lines {
+        if line == "end" {
+            return expected == range.end;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("stream") || parts.next() != Some(&expected.to_string()[..]) {
+            return false;
+        }
+        expected += 1;
+    }
+    false
+}
+
+// --------------------------------------------------------------------------
+// The merge
+// --------------------------------------------------------------------------
+
+/// One entry of the merged, deduplicated failure set.
+#[derive(Clone, Debug)]
+pub struct MergedFailure {
+    /// The shrunk repro.
+    pub report: FailureReport,
+    /// How many streams found a failure shrinking to this repro.
+    pub occurrences: usize,
+}
+
+/// The outcome of a whole fuzz campaign.
+#[derive(Clone, Debug)]
+pub struct FuzzCampaignReport {
+    /// The campaign config.
+    pub config: FuzzCampaignConfig,
+    /// Total iterations executed across all streams.
+    pub iterations: usize,
+    /// Total corpus entries published across all streams and generations.
+    pub corpus_published: usize,
+    /// The deduplicated failure set, ordered by `(kind, trace text)`.
+    pub failures: Vec<MergedFailure>,
+}
+
+impl FuzzCampaignReport {
+    /// Whether any failure survived the merge.
+    pub fn found(&self) -> bool {
+        !self.failures.is_empty()
+    }
+
+    /// Deterministic summary text.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "regemu-fuzz-campaign-report v{FUZZ_FORMAT_VERSION}\n\
+             params {} {} {}\nemulation {}\nworkload {}\ncheck {}\nseed {}\n\
+             streams {}\ngenerations {}\nbudget {}\niterations {}\n\
+             corpus-published {}\nfailures {}\n",
+            self.config.fuzz.params.k,
+            self.config.fuzz.params.f,
+            self.config.fuzz.params.n,
+            self.config.fuzz.emulation,
+            self.config.fuzz.workload.label(),
+            self.config.fuzz.check.name(),
+            self.config.fuzz.seed,
+            self.config.streams,
+            self.config.generations,
+            self.config.fuzz.budget,
+            self.iterations,
+            self.corpus_published,
+            self.failures.len(),
+        );
+        for f in &self.failures {
+            out.push_str(&format!(
+                "failure kind={} occurrences={} trace-fnv={:016x} verdict={}\n",
+                f.report.kind.label(),
+                f.occurrences,
+                fnv64(f.report.trace.to_text().as_bytes()),
+                f.report.verdict,
+            ));
+        }
+        out
+    }
+
+    /// The canonical merged failure artifact: every deduplicated shrunk
+    /// repro as a full failure report, in merge order. This is the file the
+    /// CI determinism job diffs across shard counts.
+    pub fn failures_text(&self) -> String {
+        let mut out = format!(
+            "regemu-fuzz-campaign-failures v{FUZZ_FORMAT_VERSION}\ncount {}\n",
+            self.failures.len()
+        );
+        for f in &self.failures {
+            out.push_str(&f.report.to_text());
+        }
+        out
+    }
+}
+
+/// Parses one `failures-SSSS-GG.txt` file back into failure reports.
+fn parse_failures_file(path: &Path) -> Result<Vec<FailureReport>, CampaignError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines().peekable();
+    let header = lines.next().unwrap_or_default();
+    if header != format!("regemu-fuzz-failures v{FUZZ_FORMAT_VERSION}") {
+        return Err(malformed(path, format!("bad header {header:?}")));
+    }
+    let count: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("count "))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| malformed(path, "bad count line"))?;
+    let mut reports = Vec::with_capacity(count);
+    for _ in 0..count {
+        if lines.next() != Some(&format!("regemu-failure-report v{FUZZ_FORMAT_VERSION}")[..]) {
+            return Err(malformed(path, "missing failure-report header"));
+        }
+        let kind_label = lines
+            .next()
+            .and_then(|l| l.strip_prefix("kind "))
+            .ok_or_else(|| malformed(path, "missing kind line"))?;
+        let verdict = lines
+            .next()
+            .and_then(|l| l.strip_prefix("verdict "))
+            .ok_or_else(|| malformed(path, "missing verdict line"))?
+            .to_string();
+        let found_at: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("found-at "))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| malformed(path, "bad found-at line"))?;
+        if lines.next().filter(|l| l.starts_with("replay ")).is_none() {
+            return Err(malformed(path, "missing replay line"));
+        }
+        // The embedded trace runs through its own `end` terminator.
+        let mut trace_text = String::new();
+        for line in lines.by_ref() {
+            trace_text.push_str(line);
+            trace_text.push('\n');
+            if line == "end" {
+                break;
+            }
+        }
+        let trace = RecordedSchedule::from_text(&trace_text)
+            .map_err(|reason| malformed(path, format!("embedded trace: {reason}")))?;
+        let kind = match kind_label {
+            "stuck" => FailureKind::Stuck,
+            other => match other.strip_prefix("violation:") {
+                Some("atomicity") => FailureKind::Violation(Condition::Atomicity),
+                Some("WS-Regularity") => FailureKind::Violation(Condition::WsRegularity),
+                Some("WS-Safety") => FailureKind::Violation(Condition::WsSafety),
+                _ => {
+                    return Err(malformed(path, format!("unknown failure kind {other:?}")));
+                }
+            },
+        };
+        reports.push(FailureReport {
+            trace,
+            kind,
+            verdict,
+            found_at,
+        });
+    }
+    Ok(reports)
+}
+
+/// Merges a completed campaign's failure files into the deduplicated,
+/// deterministically ordered failure set and the campaign totals.
+///
+/// # Errors
+///
+/// Fails on spool I/O, malformed files, or when some `(shard, generation)`
+/// unit has not completed.
+pub fn merge_fuzz_campaign(spool: &Path) -> Result<FuzzCampaignReport, CampaignError> {
+    let config = load_fuzz_config(spool)?;
+    let manifest = FuzzManifest::load(spool)?
+        .ok_or_else(|| malformed(&fuzz_manifest_path(spool), "missing manifest".to_string()))?;
+    for entry in &manifest.shards {
+        for gen in 0..manifest.generations {
+            if !shard_gen_is_done(spool, entry.range, gen) {
+                return Err(CampaignError::IncompleteMerge {
+                    missing_index: entry.range.index,
+                });
+            }
+        }
+    }
+
+    let mut iterations = 0;
+    let mut corpus_published = 0;
+    // Dedup by the shrunk trace text; order by (kind label, trace text).
+    let mut merged: BTreeMap<(String, String), MergedFailure> = BTreeMap::new();
+    for stream in 0..manifest.streams {
+        for gen in 0..manifest.generations {
+            for seq in 0.. {
+                if corpus_entry_path(spool, stream, gen, seq).exists() {
+                    corpus_published += 1;
+                } else {
+                    break;
+                }
+            }
+            for report in parse_failures_file(&failures_path(spool, stream, gen))? {
+                let key = (report.kind.label(), report.trace.to_text());
+                merged
+                    .entry(key)
+                    .and_modify(|m| {
+                        m.occurrences += 1;
+                        // Normalize to the earliest discovery, so merge
+                        // order of duplicates cannot leak into the artifact.
+                        if report.found_at < m.report.found_at {
+                            m.report.found_at = report.found_at;
+                        }
+                    })
+                    .or_insert(MergedFailure {
+                        report,
+                        occurrences: 1,
+                    });
+            }
+        }
+        iterations += config.stream_budget(stream);
+    }
+
+    Ok(FuzzCampaignReport {
+        config,
+        iterations,
+        corpus_published,
+        failures: merged.into_values().collect(),
+    })
+}
+
+// --------------------------------------------------------------------------
+// The coordinator
+// --------------------------------------------------------------------------
+
+/// Options of a fuzz-campaign run.
+#[derive(Clone, Debug)]
+pub struct FuzzCampaignOptions {
+    /// Spool directory holding the manifest, config, corpus and failures.
+    pub spool: PathBuf,
+    /// Number of shards to split the stream space into (ignored when
+    /// resuming: the existing manifest's plan wins).
+    pub shards: usize,
+    /// Maximum number of concurrently running worker processes.
+    pub workers: usize,
+    /// Attempt budget per `(shard, generation)` unit.
+    pub max_attempts: u32,
+    /// How units are executed.
+    pub worker: WorkerMode,
+    /// Stop after completing this many `(shard, generation)` units in
+    /// *this* invocation, leaving the campaign resumable.
+    pub exit_after: Option<usize>,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl FuzzCampaignOptions {
+    /// Reasonable defaults: in-process workers, 4 shards, 2 at a time,
+    /// 3 attempts.
+    pub fn new(spool: impl Into<PathBuf>) -> Self {
+        FuzzCampaignOptions {
+            spool: spool.into(),
+            shards: 4,
+            workers: 2,
+            max_attempts: 3,
+            worker: WorkerMode::InProcess,
+            exit_after: None,
+            quiet: false,
+        }
+    }
+}
+
+/// What a [`run_fuzz_campaign`] invocation did.
+#[derive(Debug)]
+pub struct FuzzCampaignOutcome {
+    /// The merged report — `Some` once every unit is done, `None` when the
+    /// invocation stopped early ([`FuzzCampaignOptions::exit_after`]).
+    pub report: Option<FuzzCampaignReport>,
+    /// Total `(shard, generation)` units in the campaign.
+    pub units_total: usize,
+    /// Units executed by this invocation.
+    pub units_run: usize,
+    /// Units whose existing completion report was reused (resume).
+    pub units_reused: usize,
+    /// Worker attempts that failed and were retried.
+    pub retries: u32,
+}
+
+/// Spawns the worker process of one `(shard, generation)` unit.
+fn spawn_unit(
+    bin: &Path,
+    spool: &Path,
+    shard: usize,
+    gen: usize,
+) -> Result<std::process::Child, String> {
+    Command::new(bin)
+        .arg("--spool")
+        .arg(spool)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--gen")
+        .arg(gen.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn worker {}: {e}", bin.display()))
+}
+
+/// Runs (or resumes) a sharded fuzz campaign to completion: initializes the
+/// spool, revalidates completed `(shard, generation)` units, executes the
+/// rest generation by generation (the corpus-exchange barrier), and merges
+/// the failure files into the final [`FuzzCampaignReport`].
+///
+/// Spawned units of the *same* generation run concurrently up to
+/// [`FuzzCampaignOptions::workers`]; the generation barrier is the only
+/// synchronization, and it lives in the manifest, so a killed campaign
+/// resumes exactly where it stopped.
+///
+/// # Errors
+///
+/// Fails on spool I/O or format errors, on a config mismatch with an
+/// existing spool, or when a unit exhausts its attempt budget.
+pub fn run_fuzz_campaign(
+    config: &FuzzCampaignConfig,
+    options: &FuzzCampaignOptions,
+) -> Result<FuzzCampaignOutcome, CampaignError> {
+    let spool = options.spool.as_path();
+    let mut manifest = init_fuzz_spool(spool, config, options.shards)?;
+
+    // Revalidate progress: a unit whose completion report is missing or
+    // torn sends its shard back to that generation.
+    let mut units_reused = 0;
+    for i in 0..manifest.shards.len() {
+        let mut validated = 0;
+        for gen in 0..manifest.shards[i].gens_done {
+            if shard_gen_is_done(spool, manifest.shards[i].range, gen) {
+                validated += 1;
+            } else {
+                break;
+            }
+        }
+        units_reused += validated;
+        manifest.shards[i].gens_done = validated;
+    }
+    manifest.store(spool)?;
+
+    let units_total = manifest.shards.len() * manifest.generations;
+    let budget = options.max_attempts.max(1);
+    let exit_after = options.exit_after.unwrap_or(usize::MAX);
+    let mut units_run = 0;
+    let mut retries = 0;
+
+    'generations: while let Some(gen) = manifest.current_generation() {
+        // Every shard still at `gen` runs it; the concurrency cap only
+        // bounds the process pool, never the outcome.
+        let mut queue: std::collections::VecDeque<usize> = manifest
+            .shards
+            .iter()
+            .filter(|s| s.gens_done == gen)
+            .map(|s| s.range.index)
+            .collect();
+
+        // A unit outcome: Ok = worker finished (report still revalidated),
+        // Err = why it must be retried.
+        struct Settle<'a> {
+            spool: &'a Path,
+            quiet: bool,
+            budget: u32,
+            units_total: usize,
+            gen: usize,
+            units_run: &'a mut usize,
+            retries: &'a mut u32,
+        }
+        impl Settle<'_> {
+            fn settle(
+                &mut self,
+                manifest: &mut FuzzManifest,
+                queue: &mut std::collections::VecDeque<usize>,
+                shard: usize,
+                outcome: Result<(), String>,
+            ) -> Result<(), CampaignError> {
+                let gen = self.gen;
+                let reason = match outcome {
+                    Ok(()) if shard_gen_is_done(self.spool, manifest.shards[shard].range, gen) => {
+                        manifest.shards[shard].gens_done = gen + 1;
+                        manifest.store(self.spool)?;
+                        *self.units_run += 1;
+                        if !self.quiet {
+                            eprintln!(
+                                "fuzz-campaign: shard {shard} generation {gen} done \
+                                 ({}/{} units)",
+                                manifest.shards.iter().map(|s| s.gens_done).sum::<usize>(),
+                                self.units_total
+                            );
+                        }
+                        return Ok(());
+                    }
+                    Ok(()) => "completion report missing or torn".to_string(),
+                    Err(reason) => reason,
+                };
+                *self.retries += 1;
+                if manifest.shards[shard].attempts >= self.budget {
+                    return Err(CampaignError::ShardFailed {
+                        shard,
+                        attempts: manifest.shards[shard].attempts,
+                        reason,
+                    });
+                }
+                if !self.quiet {
+                    eprintln!(
+                        "fuzz-campaign: shard {shard} generation {gen} failed ({reason}); \
+                         retrying (attempt {} of {})",
+                        manifest.shards[shard].attempts + 1,
+                        self.budget
+                    );
+                }
+                queue.push_back(shard);
+                Ok(())
+            }
+        }
+        let mut ctx = Settle {
+            spool,
+            quiet: options.quiet,
+            budget,
+            units_total,
+            gen,
+            units_run: &mut units_run,
+            retries: &mut retries,
+        };
+
+        match &options.worker {
+            WorkerMode::InProcess => {
+                while let Some(shard) = queue.pop_front() {
+                    if *ctx.units_run >= exit_after {
+                        break 'generations;
+                    }
+                    manifest.shards[shard].attempts += 1;
+                    manifest.store(spool)?;
+                    let outcome = run_fuzz_shard_gen(spool, shard, gen).map_err(|e| e.to_string());
+                    ctx.settle(&mut manifest, &mut queue, shard, outcome)?;
+                }
+            }
+            WorkerMode::Spawn(bin) => {
+                let pool = options.workers.max(1);
+                let mut running: Vec<(usize, std::process::Child)> = Vec::new();
+                loop {
+                    if *ctx.units_run >= exit_after {
+                        for (_, mut child) in running {
+                            let _ = child.kill();
+                            let _ = child.wait();
+                        }
+                        break 'generations;
+                    }
+                    while running.len() < pool {
+                        let Some(shard) = queue.pop_front() else {
+                            break;
+                        };
+                        manifest.shards[shard].attempts += 1;
+                        manifest.store(spool)?;
+                        match spawn_unit(bin, spool, shard, gen) {
+                            Ok(child) => running.push((shard, child)),
+                            Err(reason) => {
+                                ctx.settle(&mut manifest, &mut queue, shard, Err(reason))?
+                            }
+                        }
+                    }
+                    if running.is_empty() {
+                        break;
+                    }
+                    let mut progressed = false;
+                    let mut idx = 0;
+                    while idx < running.len() {
+                        match running[idx].1.try_wait() {
+                            Ok(Some(status)) => {
+                                let (shard, _) = running.swap_remove(idx);
+                                progressed = true;
+                                let outcome = if status.success() {
+                                    Ok(())
+                                } else {
+                                    Err(format!("worker exited with {status}"))
+                                };
+                                ctx.settle(&mut manifest, &mut queue, shard, outcome)?;
+                            }
+                            Ok(None) => idx += 1,
+                            Err(e) => {
+                                let (shard, _) = running.swap_remove(idx);
+                                progressed = true;
+                                ctx.settle(
+                                    &mut manifest,
+                                    &mut queue,
+                                    shard,
+                                    Err(format!("cannot wait on worker: {e}")),
+                                )?;
+                            }
+                        }
+                    }
+                    if !progressed {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                }
+            }
+        }
+    }
+
+    let report = if manifest.is_complete() {
+        Some(merge_fuzz_campaign(spool)?)
+    } else {
+        None
+    };
+    Ok(FuzzCampaignOutcome {
+        report,
+        units_total,
+        units_run,
+        units_reused,
+        retries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regemu_core::FaultyKind;
+
+    fn tmp_spool(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "regemu-fuzz-campaign-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_config() -> FuzzCampaignConfig {
+        FuzzCampaignConfig::new(FuzzConfig::new(Params::new(1, 1, 3).unwrap()).budget(48))
+            .streams(4)
+            .generations(2)
+    }
+
+    #[test]
+    fn config_text_round_trips_and_fingerprints_pin_the_space() {
+        let config = small_config();
+        let text = fuzz_config_to_text(&config);
+        let parsed = fuzz_config_from_text(&text).unwrap();
+        assert_eq!(fuzz_config_to_text(&parsed), text);
+        assert_eq!(
+            fuzz_config_fingerprint(&parsed),
+            fuzz_config_fingerprint(&config)
+        );
+        let mut other = config;
+        other.streams = 5;
+        assert_ne!(
+            fuzz_config_fingerprint(&other),
+            fuzz_config_fingerprint(&small_config())
+        );
+    }
+
+    #[test]
+    fn budget_splits_cover_the_total_exactly() {
+        let config = small_config();
+        let total: usize = (0..config.streams).map(|s| config.stream_budget(s)).sum();
+        assert_eq!(total, config.fuzz.budget);
+        for s in 0..config.streams {
+            let per_gen: usize = (0..config.generations)
+                .map(|g| config.generation_budget(s, g))
+                .sum();
+            assert_eq!(per_gen, config.stream_budget(s));
+        }
+        // Stream seeds are distinct.
+        let seeds: std::collections::BTreeSet<u64> =
+            (0..config.streams).map(|s| config.stream_seed(s)).collect();
+        assert_eq!(seeds.len(), config.streams);
+    }
+
+    #[test]
+    fn manifest_round_trips_and_tracks_the_generation_barrier() {
+        let config = small_config();
+        let mut manifest = FuzzManifest::plan(&config, 3);
+        assert_eq!(manifest.current_generation(), Some(0));
+        let parsed = FuzzManifest::from_text(&manifest.to_text()).unwrap();
+        assert_eq!(parsed, manifest);
+        manifest.shards[0].gens_done = 1;
+        assert_eq!(manifest.current_generation(), Some(0));
+        for s in &mut manifest.shards {
+            s.gens_done = 1;
+        }
+        assert_eq!(manifest.current_generation(), Some(1));
+        for s in &mut manifest.shards {
+            s.gens_done = 2;
+        }
+        assert_eq!(manifest.current_generation(), None);
+        assert!(manifest.is_complete());
+    }
+
+    #[test]
+    fn a_clean_campaign_completes_with_zero_failures_and_reruns_identically() {
+        let spool = tmp_spool("clean");
+        let config = small_config();
+        let options = FuzzCampaignOptions {
+            quiet: true,
+            ..FuzzCampaignOptions::new(&spool)
+        };
+        let outcome = run_fuzz_campaign(&config, &options).unwrap();
+        let report = outcome.report.expect("campaign must complete");
+        assert!(!report.found(), "{}", report.to_text());
+        assert_eq!(report.iterations, config.fuzz.budget);
+        assert!(report.corpus_published > 0);
+        let text = report.to_text();
+        let failures = report.failures_text();
+
+        // A second merge of the same spool is byte-identical.
+        let again = merge_fuzz_campaign(&spool).unwrap();
+        assert_eq!(again.to_text(), text);
+        assert_eq!(again.failures_text(), failures);
+        let _ = fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn the_stuck_oracle_is_caught_and_merges_identically_across_shard_counts() {
+        let config = FuzzCampaignConfig::new(
+            FuzzConfig::new(Params::new(1, 1, 3).unwrap())
+                .emulation(FuzzEmulation::Faulty(FaultyKind::DroppedAcks))
+                .budget(24),
+        )
+        .streams(4)
+        .generations(2);
+
+        let mut artifacts = Vec::new();
+        for shards in [1, 4] {
+            let spool = tmp_spool(&format!("stuck-{shards}"));
+            let options = FuzzCampaignOptions {
+                shards,
+                quiet: true,
+                ..FuzzCampaignOptions::new(&spool)
+            };
+            let outcome = run_fuzz_campaign(&config, &options).unwrap();
+            let report = outcome.report.expect("campaign must complete");
+            assert!(report.found(), "stuck oracle not caught");
+            assert!(
+                report
+                    .failures
+                    .iter()
+                    .all(|f| f.report.kind == FailureKind::Stuck),
+                "{}",
+                report.to_text()
+            );
+            artifacts.push((report.to_text(), report.failures_text()));
+            let _ = fs::remove_dir_all(&spool);
+        }
+        assert_eq!(artifacts[0], artifacts[1], "shard count leaked into merge");
+    }
+
+    #[test]
+    fn a_torn_unit_report_is_rerun_on_resume() {
+        let spool = tmp_spool("torn");
+        let config = small_config();
+        let options = FuzzCampaignOptions {
+            quiet: true,
+            shards: 2,
+            ..FuzzCampaignOptions::new(&spool)
+        };
+        let first = run_fuzz_campaign(&config, &options).unwrap();
+        let report = first.report.unwrap();
+        // Tear one completion report; resume must re-run exactly that unit
+        // (and everything after it in that shard) and still merge
+        // byte-identically.
+        fs::write(
+            fuzz_shard_report_path(&spool, 0, 1),
+            "regemu-fuzz-shard v1\ntorn",
+        )
+        .unwrap();
+        let second = run_fuzz_campaign(&config, &options).unwrap();
+        assert!(second.units_run >= 1);
+        assert!(second.units_reused < first.units_total);
+        assert_eq!(second.report.unwrap().to_text(), report.to_text());
+        let _ = fs::remove_dir_all(&spool);
+    }
+}

@@ -41,22 +41,30 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod campaign;
 pub mod mutate;
 pub mod shrink;
 pub mod trace;
 
+pub use campaign::{
+    init_fuzz_spool, merge_fuzz_campaign, run_fuzz_campaign, run_fuzz_shard_gen,
+    FuzzCampaignConfig, FuzzCampaignOptions, FuzzCampaignOutcome, FuzzCampaignReport, FuzzManifest,
+    MergedFailure,
+};
 pub use mutate::{MutatingStrategy, MutationStream};
 pub use shrink::{shrink_case, shrink_failure, FailureReport};
 pub use trace::RecordedSchedule;
 
-use crate::generator::Workload;
+use crate::generator::{Issuer, Workload};
 use crate::runner::ConsistencyCheck;
 use crate::scenario::Engine;
 use crate::sweep::WorkloadSpec;
 use regemu_adversary::ReplayStrategy;
 use regemu_bounds::Params;
 use regemu_core::{EmulationKind, FaultyKind};
-use regemu_fpsm::{AdversarialScheduler, CrashPlan, ServerId, Time};
+use regemu_fpsm::{
+    AdversarialScheduler, CrashPlan, DelayedScheduler, HighOp, Scheduler, ServerId, Time,
+};
 use regemu_spec::Condition;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -123,8 +131,39 @@ pub struct FuzzCase {
     /// Number of workload operations to issue (a prefix of the full
     /// workload; at least 1).
     pub workload_len: usize,
-    /// Seed of the scheduler's fair tail.
+    /// Workload-op value rewrites as `(op index, value)` pairs: the write at
+    /// that index (if any, and if inside the issued prefix) writes `value`
+    /// instead of the generated one. Sorted by index, indices distinct.
+    pub rewrites: Vec<(usize, u64)>,
+    /// Workload-op kind flips: writer-issued *writes* at these indices are
+    /// demoted to reads (reader ops are never promoted — read-only clients
+    /// reject writes by construction). Sorted, indices distinct.
+    pub flips: Vec<usize>,
+    /// Delay-tick perturbation: when non-empty the case runs under the
+    /// [`regemu_fpsm::DelayedScheduler`] (seeded by [`FuzzCase::seed`]) with
+    /// these extra per-op delay ticks instead of the replay scheduler, and
+    /// `decisions` is ignored. The executed interleaving still folds back
+    /// into a pure decision stream for corpus admission.
+    pub delays: Vec<u32>,
+    /// Seed of the scheduler's fair tail (or of the delayed scheduler when
+    /// [`FuzzCase::delays`] is non-empty).
     pub seed: u64,
+}
+
+impl FuzzCase {
+    /// The un-mutated seed case: issue `workload_len` operations under the
+    /// plain seeded fair schedule, no decisions, crashes or perturbations.
+    pub fn seed_case(workload_len: usize, seed: u64) -> Self {
+        FuzzCase {
+            decisions: Vec::new(),
+            crashes: Vec::new(),
+            workload_len,
+            rewrites: Vec::new(),
+            flips: Vec::new(),
+            delays: Vec::new(),
+            seed,
+        }
+    }
 }
 
 /// What to fuzz and how hard.
@@ -229,6 +268,12 @@ impl FailureKind {
             FailureKind::Violation(c) => format!("violation:{c}"),
         }
     }
+
+    /// `true` for liveness failures (the execution wedged instead of
+    /// violating a consistency condition).
+    pub fn is_liveness_bug(&self) -> bool {
+        matches!(self, FailureKind::Stuck)
+    }
 }
 
 impl fmt::Display for FailureKind {
@@ -286,16 +331,46 @@ pub(crate) fn execute(config: &FuzzConfig, case: &FuzzCase) -> ExecOutcome {
         .workload_len
         .clamp(1, full.len().max(1))
         .min(full.len());
-    let workload = Workload::from_steps(full.ops()[..len].to_vec());
+    let mut steps = full.ops()[..len].to_vec();
+    // Workload-op mutation: rewrite written values, demote writer writes to
+    // reads. Out-of-prefix indices are silently inert, so the mutator does
+    // not have to track the prefix cut.
+    for &(idx, value) in &case.rewrites {
+        if let Some(step) = steps.get_mut(idx) {
+            if step.op.is_write() {
+                step.op = HighOp::Write(value);
+            }
+        }
+    }
+    for &idx in &case.flips {
+        if let Some(step) = steps.get_mut(idx) {
+            if step.op.is_write() && matches!(step.issuer, Issuer::Writer(_)) {
+                step.op = HighOp::Read;
+            }
+        }
+    }
+    let workload = Workload::from_steps(steps);
     let mut plan = CrashPlan::none();
     for &(time, server) in &case.crashes {
         plan = plan.crash_at(time, ServerId::new(server));
     }
-    let mut scheduler = AdversarialScheduler::new(
-        case.seed,
-        Box::new(ReplayStrategy::new(case.decisions.clone())),
-    )
-    .with_crash_plan(plan);
+    // Delay perturbation switches the whole run to the delayed scheduler;
+    // otherwise the recorded decisions replay through the adversary.
+    let mut scheduler: Box<dyn Scheduler> = if case.delays.is_empty() {
+        Box::new(
+            AdversarialScheduler::new(
+                case.seed,
+                Box::new(ReplayStrategy::new(case.decisions.clone())),
+            )
+            .with_crash_plan(plan),
+        )
+    } else {
+        Box::new(
+            DelayedScheduler::new(case.seed, DelayedScheduler::DEFAULT_MAX_DELAY)
+                .with_perturbation(case.delays.iter().map(|&d| u64::from(d)).collect())
+                .with_crash_plan(plan),
+        )
+    };
 
     let mut engine = Engine::new(emulation.as_ref());
     engine.sim_mut().enable_decision_trace();
@@ -304,7 +379,7 @@ pub(crate) fn execute(config: &FuzzConfig, case: &FuzzCase) -> ExecOutcome {
         match engine.step(
             emulation.as_ref(),
             &workload,
-            &mut scheduler,
+            scheduler.as_mut(),
             config.max_steps_per_op,
             false,
         ) {
@@ -353,16 +428,34 @@ pub struct Fuzzer {
     corpus: Vec<FuzzCase>,
     seen: BTreeSet<u64>,
     failures: Vec<FuzzFailure>,
+    bounds: mutate::MutationBounds,
+    stream: MutationStream,
+    seed_case: FuzzCase,
+    seeded: bool,
+    iterations: usize,
 }
 
 impl Fuzzer {
     /// Creates the explorer.
     pub fn new(config: FuzzConfig) -> Self {
+        let full_len = config.full_workload().len().max(1);
+        let bounds = mutate::MutationBounds {
+            n: config.params.n,
+            f: config.params.f,
+            full_workload_len: full_len,
+        };
+        let stream = MutationStream::new(config.seed);
+        let seed_case = FuzzCase::seed_case(full_len, config.seed);
         Fuzzer {
             config,
             corpus: Vec::new(),
             seen: BTreeSet::new(),
             failures: Vec::new(),
+            bounds,
+            stream,
+            seed_case,
+            seeded: false,
+            iterations: 0,
         }
     }
 
@@ -371,45 +464,72 @@ impl Fuzzer {
         &self.config
     }
 
-    /// Runs the campaign: the un-mutated seed case first, then `budget`
-    /// mutants, admitting new-coverage survivors to the corpus.
+    /// The corpus admitted so far (closed-form cases, admission order).
+    pub fn corpus(&self) -> &[FuzzCase] {
+        &self.corpus
+    }
+
+    /// Every failure found so far, in discovery order.
+    pub fn failures(&self) -> &[FuzzFailure] {
+        &self.failures
+    }
+
+    /// Mutants executed so far (excludes the seed case and ingests).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Executes a foreign closed-form case (a peer's published corpus
+    /// entry, in a sharded campaign) and admits it when its interleaving
+    /// signature is new. Does not consume budget. A case that fails here is
+    /// recorded as a failure like any other — though peers only publish
+    /// passing cases, so under an identical config that never fires.
+    pub fn ingest(&mut self, case: FuzzCase) {
+        self.observe(case, self.iterations);
+    }
+
+    /// Runs the whole campaign: the un-mutated seed case first, then
+    /// `budget` mutants, admitting new-coverage survivors to the corpus.
     pub fn run(&mut self) -> FuzzReport {
-        let full_len = self.config.full_workload().len().max(1);
-        let bounds = mutate::MutationBounds {
-            n: self.config.params.n,
-            f: self.config.params.f,
-            full_workload_len: full_len,
-        };
-        let mut stream = MutationStream::new(self.config.seed);
+        let budget = self.config.budget;
+        self.run_iterations(budget);
+        self.report()
+    }
 
-        // Seed the corpus with the plain fair run.
-        let seed_case = FuzzCase {
-            decisions: Vec::new(),
-            crashes: Vec::new(),
-            workload_len: full_len,
-            seed: self.config.seed,
-        };
-        self.observe(seed_case.clone(), 0);
-
-        let mut iterations = 0;
-        while iterations < self.config.budget {
+    /// Runs up to `count` further mutants, continuing from the current
+    /// corpus and mutation-stream state (the incremental form [`Fuzzer::run`]
+    /// is built on; sharded campaigns call this once per generation). The
+    /// first call also executes the un-mutated seed case (iteration 0).
+    pub fn run_iterations(&mut self, count: usize) {
+        if !self.seeded {
+            self.seeded = true;
+            self.observe(self.seed_case.clone(), 0);
+        }
+        let mut done = 0;
+        while done < count {
             if self.config.stop_on_failure && !self.failures.is_empty() {
                 break;
             }
-            iterations += 1;
+            done += 1;
+            self.iterations += 1;
             // When even the seed case fails the corpus can be empty; keep
             // mutating the seed case so exploration never stalls.
-            let bi = (stream.next_u64() as usize) % self.corpus.len().max(1);
-            let di = (stream.next_u64() as usize) % self.corpus.len().max(1);
-            let base = self.corpus.get(bi).unwrap_or(&seed_case);
-            let donor = self.corpus.get(di).unwrap_or(&seed_case);
+            let bi = (self.stream.next_u64() as usize) % self.corpus.len().max(1);
+            let di = (self.stream.next_u64() as usize) % self.corpus.len().max(1);
+            let base = self.corpus.get(bi).unwrap_or(&self.seed_case).clone();
+            let donor = self.corpus.get(di).unwrap_or(&self.seed_case).clone();
             let (mutant, _strategy) =
-                MutatingStrategy::mutate(base, Some(donor), &bounds, &mut stream);
-            self.observe(mutant, iterations);
+                MutatingStrategy::mutate(&base, Some(&donor), &self.bounds, &mut self.stream);
+            let iteration = self.iterations;
+            self.observe(mutant, iteration);
         }
+    }
+
+    /// The report over everything run so far.
+    pub fn report(&self) -> FuzzReport {
         FuzzReport {
             config: self.config.clone(),
-            iterations,
+            iterations: self.iterations,
             corpus_size: self.corpus.len(),
             failures: self.failures.clone(),
         }
@@ -429,9 +549,12 @@ impl Fuzzer {
                 if self.seen.insert(outcome.signature) {
                     // Admit the *closed form*: the executed ranks, which
                     // replay this exact run without relying on the tail
-                    // seed. Mutants splice and extend from these.
+                    // seed or the delay perturbation (the decision trace is
+                    // scheduler-agnostic, so a delayed run folds back into
+                    // pure decisions). Mutants splice and extend from these.
                     self.corpus.push(FuzzCase {
                         decisions: outcome.executed.iter().map(|&(c, _)| c).collect(),
+                        delays: Vec::new(),
                         ..case
                     });
                 }
@@ -477,12 +600,15 @@ impl FuzzReport {
         out.push_str(&format!("failures {}\n", self.failures.len()));
         for failure in &self.failures {
             out.push_str(&format!(
-                "failure iter={} kind={} decisions={} crashes={} workload-len={} tail-seed={} verdict={}\n",
+                "failure iter={} kind={} decisions={} crashes={} workload-len={} rewrites={} flips={} delays={} tail-seed={} verdict={}\n",
                 failure.iteration,
                 failure.kind.label(),
                 failure.case.decisions.len(),
                 failure.case.crashes.len(),
                 failure.case.workload_len,
+                failure.case.rewrites.len(),
+                failure.case.flips.len(),
+                failure.case.delays.len(),
                 failure.case.seed,
                 failure.verdict,
             ));
@@ -551,12 +677,7 @@ mod tests {
     #[test]
     fn the_seed_case_executes_and_passes_on_a_clean_emulation() {
         let config = config();
-        let case = FuzzCase {
-            decisions: Vec::new(),
-            crashes: Vec::new(),
-            workload_len: config.full_workload().len(),
-            seed: config.seed,
-        };
+        let case = FuzzCase::seed_case(config.full_workload().len(), config.seed);
         let outcome = execute(&config, &case);
         assert!(outcome.kind.is_none(), "{}", outcome.verdict);
         assert!(!outcome.executed.is_empty());
@@ -569,6 +690,37 @@ mod tests {
         let replayed = execute(&config, &closed);
         assert_eq!(replayed.executed, outcome.executed);
         assert_eq!(replayed.signature, outcome.signature);
+    }
+
+    #[test]
+    fn workload_mutation_and_delay_perturbation_are_deterministic() {
+        let config = config();
+        let full_len = config.full_workload().len();
+
+        let mut case = FuzzCase::seed_case(full_len, config.seed);
+        case.rewrites = vec![(0, (1u64 << 32) | 42)];
+        case.flips = vec![0];
+        let a = execute(&config, &case);
+        let b = execute(&config, &case);
+        assert_eq!(a.executed, b.executed);
+        assert!(a.kind.is_none(), "{}", a.verdict);
+
+        let mut delayed = FuzzCase::seed_case(full_len, config.seed);
+        delayed.delays = vec![3, 0, 11];
+        let d1 = execute(&config, &delayed);
+        let d2 = execute(&config, &delayed);
+        assert_eq!(d1.executed, d2.executed);
+        assert!(d1.kind.is_none(), "{}", d1.verdict);
+        // The delayed run folds back into a pure decision stream: replaying
+        // the executed ranks without the perturbation reproduces the
+        // identical interleaving.
+        let closed = FuzzCase {
+            decisions: d1.executed.iter().map(|&(c, _)| c).collect(),
+            delays: Vec::new(),
+            ..delayed
+        };
+        let replayed = execute(&config, &closed);
+        assert_eq!(replayed.executed, d1.executed);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! pure function of the master seed. [`MutatingStrategy::mutate`] draws from
 //! it to perturb a corpus case — flip delivery decisions, splice prefixes
 //! from a donor, shift/add/remove crash points (always within the fault
-//! budget), truncate the workload, reseed the fair tail — and wraps the
-//! mutant's schedule in a [`regemu_adversary::ReplayStrategy`] ready to plug
-//! into an [`regemu_fpsm::AdversarialScheduler`].
+//! budget), truncate the workload, rewrite written values, demote writer
+//! writes to reads, perturb delay ticks, reseed the fair tail — and wraps
+//! the mutant's schedule in a [`regemu_adversary::ReplayStrategy`] ready to
+//! plug into an [`regemu_fpsm::AdversarialScheduler`].
 
 use super::FuzzCase;
 use regemu_adversary::ReplayStrategy;
@@ -96,8 +97,10 @@ impl MutatingStrategy {
         for _ in 0..ops {
             apply_one(&mut mutant, donor, bounds, horizon, stream);
         }
-        // Canonical crash order, so equal plans compare equal.
+        // Canonical order for set-like fields, so equal plans compare equal.
         mutant.crashes.sort_unstable();
+        mutant.rewrites.sort_unstable_by_key(|&(idx, _)| idx);
+        mutant.flips.sort_unstable();
         let strategy = MutatingStrategy::replaying(mutant.decisions.clone());
         (mutant, strategy)
     }
@@ -121,7 +124,7 @@ fn apply_one(
     horizon: u64,
     stream: &mut MutationStream,
 ) {
-    match stream.next_below(7) {
+    match stream.next_below(10) {
         // Flip one delivery decision.
         0 => {
             if !mutant.decisions.is_empty() {
@@ -183,8 +186,45 @@ fn apply_one(
             mutant.workload_len = 1 + stream.next_below(bounds.full_workload_len);
         }
         // Reseed the fair tail.
-        _ => {
+        6 => {
             mutant.seed = stream.next_u64();
+        }
+        // Rewrite a written value. The replacement encodes its op index in
+        // the high bits, so rewritten values stay distinct from each other
+        // and from every generated value — checkers may key on values.
+        7 => {
+            let idx = stream.next_below(bounds.full_workload_len);
+            let value = ((idx as u64 + 1) << 32) | u64::from(stream.next_u32());
+            match mutant.rewrites.iter_mut().find(|(i, _)| *i == idx) {
+                Some(entry) => entry.1 = value,
+                None => mutant.rewrites.push((idx, value)),
+            }
+        }
+        // Toggle a kind flip (writer write -> read); flipping the same
+        // index again undoes it.
+        8 => {
+            let idx = stream.next_below(bounds.full_workload_len);
+            match mutant.flips.iter().position(|&i| i == idx) {
+                Some(pos) => {
+                    mutant.flips.remove(pos);
+                }
+                None => mutant.flips.push(idx),
+            }
+        }
+        // Perturb delay ticks: set a fresh perturbation (switching the case
+        // to the delayed scheduler — decisions are cleared since that mode
+        // ignores them), nudge one bucket, or clear it again.
+        _ => {
+            if mutant.delays.is_empty() {
+                let buckets = 1 + stream.next_below(8);
+                mutant.delays = (0..buckets).map(|_| stream.next_u32() % 16).collect();
+                mutant.decisions.clear();
+            } else if stream.next_below(3) == 0 {
+                mutant.delays.clear();
+            } else {
+                let idx = stream.next_below(mutant.delays.len());
+                mutant.delays[idx] = stream.next_u32() % 16;
+            }
         }
     }
 }
@@ -196,9 +236,7 @@ mod tests {
     fn base() -> FuzzCase {
         FuzzCase {
             decisions: vec![1, 2, 3, 4, 5, 6, 7, 8],
-            crashes: Vec::new(),
-            workload_len: 4,
-            seed: 7,
+            ..FuzzCase::seed_case(4, 7)
         }
     }
 
@@ -241,6 +279,28 @@ mod tests {
             );
             assert!(servers.iter().all(|&s| s < bounds.n));
             assert!(mutant.workload_len >= 1 && mutant.workload_len <= 4);
+            // Workload-op mutations stay canonical: sorted, distinct
+            // in-range indices; rewritten values encode their index.
+            let mut rewrite_idx: Vec<usize> = mutant.rewrites.iter().map(|&(i, _)| i).collect();
+            assert!(
+                rewrite_idx.windows(2).all(|w| w[0] < w[1]),
+                "{rewrite_idx:?}"
+            );
+            rewrite_idx.retain(|&i| i < bounds.full_workload_len);
+            assert_eq!(rewrite_idx.len(), mutant.rewrites.len());
+            for &(idx, value) in &mutant.rewrites {
+                assert_eq!(value >> 32, idx as u64 + 1);
+            }
+            assert!(
+                mutant.flips.windows(2).all(|w| w[0] < w[1]),
+                "{:?}",
+                mutant.flips
+            );
+            assert!(mutant.flips.iter().all(|&i| i < bounds.full_workload_len));
+            // Delay perturbation clears decisions when it switches modes.
+            if !mutant.delays.is_empty() {
+                assert!(mutant.delays.len() <= 8, "{:?}", mutant.delays);
+            }
             case = mutant;
         }
     }

@@ -78,8 +78,9 @@ pub mod sweep;
 pub mod table;
 
 pub use fuzz::{
-    fuzz_and_shrink, replay, FailureKind, FailureReport, FuzzCase, FuzzConfig, FuzzEmulation,
-    FuzzReport, Fuzzer, RecordedSchedule,
+    fuzz_and_shrink, merge_fuzz_campaign, replay, run_fuzz_campaign, FailureKind, FailureReport,
+    FuzzCampaignConfig, FuzzCampaignOptions, FuzzCampaignReport, FuzzCase, FuzzConfig,
+    FuzzEmulation, FuzzReport, Fuzzer, RecordedSchedule,
 };
 pub use generator::{Issuer, Workload, WorkloadOp};
 pub use runner::{CheckCoverage, ConsistencyCheck, RunReport};
@@ -93,8 +94,9 @@ pub use table::{small_sweep, standard_sweep, TextTable};
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
     pub use crate::fuzz::{
-        fuzz_and_shrink, replay, FailureKind, FailureReport, FuzzCase, FuzzConfig, FuzzEmulation,
-        FuzzReport, Fuzzer, RecordedSchedule,
+        fuzz_and_shrink, merge_fuzz_campaign, replay, run_fuzz_campaign, FailureKind,
+        FailureReport, FuzzCampaignConfig, FuzzCampaignOptions, FuzzCampaignReport, FuzzCase,
+        FuzzConfig, FuzzEmulation, FuzzReport, Fuzzer, RecordedSchedule,
     };
     pub use crate::generator::{Issuer, Workload, WorkloadOp};
     pub use crate::runner::{CheckCoverage, ConsistencyCheck, RunReport};

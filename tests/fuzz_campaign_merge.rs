@@ -1,0 +1,203 @@
+//! Merge determinism of sharded fuzz campaigns.
+//!
+//! The fuzz-campaign contract: the merged, deduplicated failure set (and the
+//! whole campaign report) is **byte-identical** for *any* partition of the
+//! stream space into contiguous shards, run in *any* completion order —
+//! and a killed campaign resumes from the manifest, reusing completed
+//! `(shard, generation)` units instead of re-running them.
+
+use regemu::fuzz::campaign::{
+    fuzz_config_fingerprint, fuzz_shard_report_path, init_fuzz_spool, run_fuzz_shard_gen,
+    FuzzManifest,
+};
+use regemu::prelude::*;
+use regemu::{core::FaultyKind, workloads::campaign::WorkerMode};
+use std::fs;
+use std::path::PathBuf;
+
+fn spool_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "regemu-fuzz-campaign-merge-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small campaign over a seeded liveness bug, so the merged failure set is
+/// non-trivial (stuck failures from several streams dedup into it).
+fn faulty_config() -> FuzzCampaignConfig {
+    FuzzCampaignConfig::new(
+        FuzzConfig::new(Params::new(1, 1, 3).unwrap())
+            .emulation(FuzzEmulation::Faulty(FaultyKind::DroppedAcks))
+            .budget(28),
+    )
+    .streams(7)
+    .generations(2)
+}
+
+/// Deterministic "shuffles" of the unit execution order: identity, reversed,
+/// and an interleave — enough to prove completion order cannot leak into the
+/// merge. Units are `(shard, generation)` pairs ordered generation-major
+/// (the corpus-exchange barrier: generation g publishes before g+1 ingests).
+fn unit_orders(shards: usize, generations: usize) -> Vec<Vec<(usize, usize)>> {
+    let mut per_gen: Vec<Vec<(usize, usize)>> = Vec::new();
+    for gen in 0..generations {
+        per_gen.push((0..shards).map(|s| (s, gen)).collect());
+    }
+    let identity: Vec<(usize, usize)> = per_gen.iter().flatten().copied().collect();
+    let reversed: Vec<(usize, usize)> = per_gen
+        .iter()
+        .flat_map(|units| units.iter().rev().copied())
+        .collect();
+    let interleaved: Vec<(usize, usize)> = per_gen
+        .iter()
+        .flat_map(|units| {
+            units
+                .iter()
+                .filter(|(s, _)| s % 2 == 1)
+                .chain(units.iter().filter(|(s, _)| s % 2 == 0))
+                .copied()
+        })
+        .collect();
+    vec![identity, reversed, interleaved]
+}
+
+#[test]
+fn any_partition_in_any_order_merges_byte_identically() {
+    let config = faulty_config();
+
+    // The 1-shard run is the reference artifact.
+    let reference = {
+        let dir = spool_dir("reference");
+        let manifest = init_fuzz_spool(&dir, &config, 1).unwrap();
+        assert_eq!(manifest.fingerprint, fuzz_config_fingerprint(&config));
+        for gen in 0..config.generations {
+            run_fuzz_shard_gen(&dir, 0, gen).unwrap();
+        }
+        let report = merge_fuzz_campaign(&dir).unwrap();
+        assert!(report.found(), "the seeded liveness bug must be caught");
+        let artifact = (report.to_text(), report.failures_text());
+        let _ = fs::remove_dir_all(&dir);
+        artifact
+    };
+
+    for shards in [2, 7] {
+        let shard_count = shards.min(config.streams);
+        for (variant, order) in unit_orders(shard_count, config.generations)
+            .into_iter()
+            .enumerate()
+        {
+            let dir = spool_dir(&format!("partition-{shards}-{variant}"));
+            let manifest = init_fuzz_spool(&dir, &config, shards).unwrap();
+            assert_eq!(manifest.shards.len(), shard_count);
+            for (shard, gen) in order {
+                run_fuzz_shard_gen(&dir, shard, gen).unwrap();
+            }
+            let merged = merge_fuzz_campaign(&dir).unwrap();
+            assert_eq!(
+                merged.to_text(),
+                reference.0,
+                "report differs at {shards} shards (order variant {variant})"
+            );
+            assert_eq!(
+                merged.failures_text(),
+                reference.1,
+                "failure artifact differs at {shards} shards (order variant {variant})"
+            );
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+#[test]
+fn fuzz_workers_can_run_concurrently_within_a_generation() {
+    // Units of the same generation racing on the same spool (threads here;
+    // the CI smoke job covers real processes) still merge byte-identically:
+    // each unit only writes its own streams' files.
+    let config = faulty_config();
+    let dir = spool_dir("concurrent");
+    let manifest = init_fuzz_spool(&dir, &config, 4).unwrap();
+    assert_eq!(manifest.shards.len(), 4);
+    for gen in 0..config.generations {
+        std::thread::scope(|scope| {
+            for shard in 0..4 {
+                let dir = dir.clone();
+                scope.spawn(move || run_fuzz_shard_gen(&dir, shard, gen).unwrap());
+            }
+        });
+    }
+    let merged = merge_fuzz_campaign(&dir).unwrap();
+    assert!(merged.found());
+
+    // Against the 1-shard reference.
+    let reference_dir = spool_dir("concurrent-reference");
+    init_fuzz_spool(&reference_dir, &config, 1).unwrap();
+    for gen in 0..config.generations {
+        run_fuzz_shard_gen(&reference_dir, 0, gen).unwrap();
+    }
+    let reference = merge_fuzz_campaign(&reference_dir).unwrap();
+    assert_eq!(merged.to_text(), reference.to_text());
+    assert_eq!(merged.failures_text(), reference.failures_text());
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&reference_dir);
+}
+
+#[test]
+fn resume_after_kill_reuses_completed_units() {
+    let config = faulty_config();
+
+    // The uninterrupted run is the reference.
+    let reference = {
+        let dir = spool_dir("resume-reference");
+        let options = FuzzCampaignOptions {
+            shards: 4,
+            quiet: true,
+            ..FuzzCampaignOptions::new(&dir)
+        };
+        let outcome = run_fuzz_campaign(&config, &options).unwrap();
+        let report = outcome.report.expect("uninterrupted campaign completes");
+        let artifact = (report.to_text(), report.failures_text());
+        let _ = fs::remove_dir_all(&dir);
+        artifact
+    };
+
+    let dir = spool_dir("resume");
+    let mut options = FuzzCampaignOptions {
+        shards: 4,
+        worker: WorkerMode::InProcess,
+        quiet: true,
+        ..FuzzCampaignOptions::new(&dir)
+    };
+
+    // "Kill" the campaign after three of the eight units.
+    options.exit_after = Some(3);
+    let first = run_fuzz_campaign(&config, &options).unwrap();
+    assert!(first.report.is_none());
+    assert_eq!(first.units_run, 3);
+    let manifest = FuzzManifest::load(&dir).unwrap().unwrap();
+    assert!(!manifest.is_complete());
+    let mtime = |shard: usize, gen: usize| {
+        fs::metadata(fuzz_shard_report_path(&dir, shard, gen))
+            .unwrap()
+            .modified()
+            .unwrap()
+    };
+    let before = (mtime(0, 0), mtime(1, 0), mtime(2, 0));
+
+    // Resume: completed units are revalidated and reused untouched; the
+    // merged artifacts equal the uninterrupted run byte for byte.
+    options.exit_after = None;
+    let second = run_fuzz_campaign(&config, &options).unwrap();
+    assert_eq!(second.units_reused, 3);
+    assert_eq!(second.units_run, 5);
+    assert_eq!(
+        (mtime(0, 0), mtime(1, 0), mtime(2, 0)),
+        before,
+        "completed units were rewritten"
+    );
+    let report = second.report.expect("resumed campaign completes");
+    assert_eq!(report.to_text(), reference.0);
+    assert_eq!(report.failures_text(), reference.1);
+    let _ = fs::remove_dir_all(&dir);
+}

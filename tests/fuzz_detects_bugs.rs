@@ -26,11 +26,23 @@ fn every_seeded_bug_is_found_within_the_budget() {
             "{kind:?} not caught within {BUDGET} iterations"
         );
         let failure = &report.failures[0];
-        assert!(
-            matches!(failure.kind, FailureKind::Violation(_)),
-            "{kind:?} failed as {:?}, expected a consistency violation",
-            failure.kind
-        );
+        // Safety bugs surface as consistency violations; the dropped-acks
+        // liveness bug never violates a condition and must be caught by the
+        // stuck oracle instead.
+        if kind.is_liveness_bug() {
+            assert_eq!(
+                failure.kind,
+                FailureKind::Stuck,
+                "{kind:?} failed as {:?}, expected the stuck oracle",
+                failure.kind
+            );
+        } else {
+            assert!(
+                matches!(failure.kind, FailureKind::Violation(_)),
+                "{kind:?} failed as {:?}, expected a consistency violation",
+                failure.kind
+            );
+        }
     }
 }
 
