@@ -17,6 +17,8 @@
 //!   --in-process        run units inside this process instead of spawning
 //!   --exit-after N      stop after completing N units (kill simulation;
 //!                       rerun the same command to resume)
+//!   --seed-corpus DIR   import DIR's *.trace files (e.g. a previous
+//!                       campaign's corpus-*.trace) as generation-0 seeds
 //!   --merge-only        only merge existing failure files, run nothing
 //!   --quiet             no progress lines
 //!   --out FILE          write the campaign report (- for stdout, default)
@@ -44,8 +46,8 @@
 use regemu_bench::cli::write_output;
 use regemu_workloads::campaign::WorkerMode;
 use regemu_workloads::fuzz::campaign::{
-    fuzz_config_fingerprint, load_fuzz_config, merge_fuzz_campaign, run_fuzz_campaign,
-    FuzzCampaignConfig, FuzzCampaignOptions,
+    fuzz_config_fingerprint, import_seed_corpus, load_fuzz_config, merge_fuzz_campaign,
+    run_fuzz_campaign, FuzzCampaignConfig, FuzzCampaignOptions,
 };
 use regemu_workloads::fuzz::{FuzzConfig, FuzzEmulation};
 use regemu_workloads::{ConsistencyCheck, WorkloadSpec};
@@ -56,10 +58,10 @@ fn fail(msg: &str) -> ! {
     eprintln!("fuzz_coordinator: {msg}");
     eprintln!(
         "usage: fuzz_coordinator --spool DIR [--shards N] [--workers M] [--retries R] \
-         [--worker-bin PATH] [--in-process] [--exit-after N] [--merge-only] [--quiet] \
-         [--out FILE] [--failures FILE] [--params k,f,n] [--emulation NAME] \
-         [--workload LABEL] [--check NAME] [--seed S] [--budget B] [--streams N] \
-         [--generations G]"
+         [--worker-bin PATH] [--in-process] [--exit-after N] [--seed-corpus DIR] \
+         [--merge-only] [--quiet] [--out FILE] [--failures FILE] [--params k,f,n] \
+         [--emulation NAME] [--workload LABEL] [--check NAME] [--seed S] [--budget B] \
+         [--streams N] [--generations G]"
     );
     std::process::exit(1);
 }
@@ -81,6 +83,7 @@ fn main() {
     let mut worker_bin: Option<PathBuf> = None;
     let mut in_process = false;
     let mut exit_after: Option<usize> = None;
+    let mut seed_corpus_dir: Option<PathBuf> = None;
     let mut merge_only = false;
     let mut quiet = false;
     let mut out = "-".to_string();
@@ -116,6 +119,7 @@ fn main() {
             "--exit-after" => {
                 exit_after = Some(parse_usize("--exit-after", value("--exit-after")));
             }
+            "--seed-corpus" => seed_corpus_dir = Some(PathBuf::from(value("--seed-corpus"))),
             "--merge-only" => merge_only = true,
             "--quiet" => quiet = true,
             "--out" => out = value("--out"),
@@ -251,6 +255,20 @@ fn main() {
         }
         Err(_) => cli_config(),
     };
+
+    // Seeds must land before the manifest freezes them into generation 0.
+    if let Some(dir) = &seed_corpus_dir {
+        match import_seed_corpus(&spool, dir) {
+            Ok(count) => eprintln!(
+                "fuzz_coordinator: seeded {count} generation-0 case(s) from {}",
+                dir.display()
+            ),
+            Err(e) => {
+                eprintln!("fuzz_coordinator: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     let mut options = FuzzCampaignOptions::new(&spool);
     options.shards = shards;

@@ -1,0 +1,166 @@
+//! `load_gen` — drive a live cluster at a configurable rate and report
+//! latency percentiles.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin load_gen -- \
+//!     --params 8/1/3 --addr @node0.addr --addr @node1.addr --addr @node2.addr \
+//!     [--emulation space-optimal] [--writers K] [--readers R] [--rounds N] \
+//!     [--read-after-each] [--rate OPS_PER_SEC] [--out report.json]
+//! ```
+//!
+//! Latency is measured per completed high-level operation into a hand-rolled
+//! HDR-style histogram (exact below 16 µs, ≤ ~6.25 % relative error above),
+//! and the run is summarized as JSON: completed ops, wall-clock ops/sec, and
+//! the p50/p99/p999/max/mean microsecond latencies. `--rate` caps each
+//! client's issue rate; without it clients run closed-loop.
+//!
+//! Exit status: `0` on success (even with timeouts — they are reported in
+//! the JSON), `1` on runtime errors, `2` on usage errors.
+
+use regemu_bench::cli::write_output;
+use regemu_bench::serve_cli::{parse_params, resolve_addrs};
+use regemu_bounds::Params;
+use regemu_serve::{run_fleet, ClientOptions, FleetOutcome, FleetSpec};
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("load_gen: {msg}");
+    eprintln!(
+        "usage: load_gen --params K/F/N --addr ADDR... [--emulation NAME] \
+         [--writers K] [--readers R] [--rounds N] [--read-after-each] \
+         [--rate OPS_PER_SEC] [--out FILE|-]"
+    );
+    std::process::exit(2);
+}
+
+fn json_report(spec: &FleetSpec, outcome: &FleetOutcome) -> String {
+    let h = &outcome.histogram;
+    format!(
+        concat!(
+            "{{\n",
+            "  \"emulation\": \"{}\",\n",
+            "  \"params\": {{ \"k\": {}, \"f\": {}, \"n\": {} }},\n",
+            "  \"writers\": {},\n",
+            "  \"readers\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"ops\": {},\n",
+            "  \"timeouts\": {},\n",
+            "  \"errors\": {},\n",
+            "  \"elapsed_ms\": {},\n",
+            "  \"ops_per_sec\": {:.1},\n",
+            "  \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {}, ",
+            "\"max\": {}, \"mean\": {:.1} }}\n",
+            "}}\n"
+        ),
+        spec.emulation.name(),
+        spec.params.k,
+        spec.params.f,
+        spec.params.n,
+        spec.writers,
+        spec.readers,
+        spec.rounds,
+        outcome.ops,
+        outcome.timeouts,
+        outcome.errors,
+        outcome.elapsed.as_millis(),
+        outcome.ops_per_sec(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max(),
+        h.mean(),
+    )
+}
+
+fn main() {
+    let mut params: Option<Params> = None;
+    let mut emulation = regemu_workloads::fuzz::FuzzEmulation::from_name("space-optimal").unwrap();
+    let mut addr_specs: Vec<String> = Vec::new();
+    let mut writers: Option<usize> = None;
+    let mut readers: usize = 0;
+    let mut rounds: usize = 50;
+    let mut read_after_each = false;
+    let mut rate: Option<f64> = None;
+    let mut out = "-".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        let parse_count = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid {flag} value {v:?}")))
+        };
+        match arg.as_str() {
+            "--params" => {
+                params = Some(parse_params(&value("--params")).unwrap_or_else(|e| fail(&e)))
+            }
+            "--emulation" => {
+                let v = value("--emulation");
+                emulation = regemu_workloads::fuzz::FuzzEmulation::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown emulation {v:?}")));
+            }
+            "--addr" => addr_specs.push(value("--addr")),
+            "--writers" => writers = Some(parse_count("--writers", value("--writers"))),
+            "--readers" => readers = parse_count("--readers", value("--readers")),
+            "--rounds" => rounds = parse_count("--rounds", value("--rounds")),
+            "--read-after-each" => read_after_each = true,
+            "--rate" => {
+                let v = value("--rate");
+                let parsed: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid rate {v:?}")));
+                if !(parsed > 0.0) {
+                    fail(&format!("rate must be positive, got {v:?}"));
+                }
+                rate = Some(parsed);
+            }
+            "--out" => out = value("--out"),
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let params = params.unwrap_or_else(|| fail("--params is required"));
+    let writers = writers.unwrap_or(params.k);
+    if addr_specs.len() != params.n {
+        fail(&format!(
+            "{} --addr values for n = {} servers",
+            addr_specs.len(),
+            params.n
+        ));
+    }
+
+    let addrs = resolve_addrs(&addr_specs, Duration::from_secs(10)).unwrap_or_else(|e| {
+        eprintln!("load_gen: {e}");
+        std::process::exit(1);
+    });
+
+    let spec = FleetSpec {
+        emulation,
+        params,
+        writers,
+        readers,
+        rounds,
+        read_after_each,
+        rate,
+    };
+    let outcome = match run_fleet(spec, &addrs, &ClientOptions::default(), None) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("load_gen: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!(
+        "load_gen: {} ops, {:.0} ops/s, p50={}us p99={}us p999={}us max={}us",
+        outcome.ops,
+        outcome.ops_per_sec(),
+        outcome.histogram.p50(),
+        outcome.histogram.p99(),
+        outcome.histogram.p999(),
+        outcome.histogram.max(),
+    );
+    write_output(&out, &json_report(&spec, &outcome), "load report");
+}

@@ -1,0 +1,161 @@
+//! `serve_client` — run emulation clients against live `serve_node` servers.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin serve_client -- \
+//!     --params 4/1/3 --addr @node0.addr --addr @node1.addr --addr @node2.addr \
+//!     [--emulation space-optimal] [--writers K] [--readers R] [--rounds N] \
+//!     [--read-after-each] [--conform-log PATH] [--clock-from LOG]... \
+//!     [--hold-servers LIST] [--hold-writes LIST] [--op-timeout-ms MS]
+//! ```
+//!
+//! One `--addr` per server, in server order; `@FILE` reads (and waits for)
+//! an address file written by `serve_node --addr-file`. With
+//! `--conform-log`, client `invoke`/`return` records are written for the
+//! `serve_conform` merge step; `--clock-from` seeds this process's Lamport
+//! clock above a previous invocation's log so stamps across processes order
+//! correctly. `--hold-servers`/`--hold-writes` delay messages to the listed
+//! servers forever — the adversarial schedules of the simulator, on sockets.
+//!
+//! Exit status: `0` when every operation completed, `4` when operations
+//! timed out or clients degraded (the conformance log still records them as
+//! pending), `1` on runtime errors, `2` on usage errors.
+
+use regemu_bench::serve_cli::{parse_params, parse_server_list, resolve_addrs};
+use regemu_bounds::Params;
+use regemu_serve::{run_fleet, ClientOptions, FleetSpec};
+use regemu_workloads::conform::{ConformLog, ConformRecorder};
+use regemu_workloads::fuzz::FuzzEmulation;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_client: {msg}");
+    eprintln!(
+        "usage: serve_client --params K/F/N --addr ADDR... [--emulation NAME] \
+         [--writers K] [--readers R] [--rounds N] [--read-after-each] \
+         [--conform-log PATH] [--clock-from LOG]... [--hold-servers LIST] \
+         [--hold-writes LIST] [--op-timeout-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut params: Option<Params> = None;
+    let mut emulation = FuzzEmulation::from_name("space-optimal").unwrap();
+    let mut addr_specs: Vec<String> = Vec::new();
+    let mut writers: Option<usize> = None;
+    let mut readers: usize = 0;
+    let mut rounds: usize = 1;
+    let mut read_after_each = false;
+    let mut conform_log: Option<PathBuf> = None;
+    let mut clock_from: Vec<PathBuf> = Vec::new();
+    let mut options = ClientOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        let parse_count = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid {flag} value {v:?}")))
+        };
+        match arg.as_str() {
+            "--params" => {
+                params = Some(parse_params(&value("--params")).unwrap_or_else(|e| fail(&e)))
+            }
+            "--emulation" => {
+                let v = value("--emulation");
+                emulation = FuzzEmulation::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown emulation {v:?}")));
+            }
+            "--addr" => addr_specs.push(value("--addr")),
+            "--writers" => writers = Some(parse_count("--writers", value("--writers"))),
+            "--readers" => readers = parse_count("--readers", value("--readers")),
+            "--rounds" => rounds = parse_count("--rounds", value("--rounds")),
+            "--read-after-each" => read_after_each = true,
+            "--conform-log" => conform_log = Some(PathBuf::from(value("--conform-log"))),
+            "--clock-from" => clock_from.push(PathBuf::from(value("--clock-from"))),
+            "--hold-servers" => {
+                options.hold_servers =
+                    parse_server_list(&value("--hold-servers")).unwrap_or_else(|e| fail(&e))
+            }
+            "--hold-writes" => {
+                options.hold_writes =
+                    parse_server_list(&value("--hold-writes")).unwrap_or_else(|e| fail(&e))
+            }
+            "--op-timeout-ms" => {
+                let ms = parse_count("--op-timeout-ms", value("--op-timeout-ms"));
+                options.op_timeout = Duration::from_millis(ms as u64);
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let params = params.unwrap_or_else(|| fail("--params is required"));
+    let writers = writers.unwrap_or(params.k);
+    if addr_specs.len() != params.n {
+        fail(&format!(
+            "{} --addr values for n = {} servers",
+            addr_specs.len(),
+            params.n
+        ));
+    }
+
+    let addrs = resolve_addrs(&addr_specs, Duration::from_secs(10)).unwrap_or_else(|e| {
+        eprintln!("serve_client: {e}");
+        std::process::exit(1);
+    });
+
+    // Seed this process's Lamport clock above every predecessor log's.
+    let mut start_clock = 0;
+    for log in &clock_from {
+        match ConformLog::load(log) {
+            Ok(log) => start_clock = start_clock.max(log.final_clock),
+            Err(e) => {
+                eprintln!("serve_client: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let recorder = conform_log
+        .as_ref()
+        .map(|_| Arc::new(ConformRecorder::starting_at(start_clock)));
+
+    let spec = FleetSpec {
+        emulation,
+        params,
+        writers,
+        readers,
+        rounds,
+        read_after_each,
+        rate: None,
+    };
+    let outcome = match run_fleet(spec, &addrs, &options, recorder.clone()) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("serve_client: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if let (Some(path), Some(recorder)) = (&conform_log, &recorder) {
+        if let Err(e) = recorder.save(path) {
+            eprintln!("serve_client: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    eprintln!(
+        "serve_client: {} ops in {:?} ({:.0} ops/s), {} timeouts, {} errors",
+        outcome.ops,
+        outcome.elapsed,
+        outcome.ops_per_sec(),
+        outcome.timeouts,
+        outcome.errors
+    );
+    if outcome.timeouts > 0 || outcome.errors > 0 {
+        std::process::exit(4);
+    }
+}

@@ -1,0 +1,68 @@
+//! `serve_conform` — merge live conformance logs and run the checkers.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin serve_conform -- \
+//!     --log clients.conform --log node0.conform --log node1.conform \
+//!     --log node2.conform [--check ws-safe]
+//! ```
+//!
+//! Loads every `--log` (client `invoke`/`return` logs and server `respond`
+//! logs), merges them into one history ordered by Lamport stamp — pending
+//! invocations from timed-out or killed clients stay pending, exactly like
+//! crashed simulator clients — and replays it through both the offline
+//! checker and the streaming checker for the chosen condition.
+//!
+//! Exit status: `0` when both checkers accept, `2` when either reports a
+//! violation, `3` when the two checkers disagree (a checker bug, worth a
+//! report), `1` on errors, `2` on usage errors.
+
+use regemu_workloads::conform::conform_verdict;
+use regemu_workloads::runner::ConsistencyCheck;
+use std::path::PathBuf;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_conform: {msg}");
+    eprintln!("usage: serve_conform --log FILE... [--check none|ws-safe|ws-regular|atomic]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut logs: Vec<PathBuf> = Vec::new();
+    let mut check = ConsistencyCheck::WsSafe;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--log" => logs.push(PathBuf::from(value("--log"))),
+            "--check" => {
+                let v = value("--check");
+                check = ConsistencyCheck::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown check {v:?}")));
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    if logs.is_empty() {
+        fail("at least one --log is required");
+    }
+
+    let verdict = match conform_verdict(&logs, check) {
+        Ok(verdict) => verdict,
+        Err(e) => {
+            eprintln!("serve_conform: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{verdict}");
+    if !verdict.agrees() {
+        eprintln!("serve_conform: offline and streaming checkers disagree");
+        std::process::exit(3);
+    }
+    if !verdict.is_consistent() {
+        std::process::exit(2);
+    }
+}

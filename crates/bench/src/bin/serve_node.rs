@@ -1,0 +1,152 @@
+//! `serve_node` — host one paper server of an emulation on a TCP listener.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin serve_node -- \
+//!     --server 0 --params 4/1/3 [--emulation space-optimal] \
+//!     [--listen 127.0.0.1:0] [--addr-file PATH] [--conform-log PATH] \
+//!     [--stop-file PATH] [--run-for-ms MS]
+//! ```
+//!
+//! The node builds the emulation's topology, hosts the base objects the
+//! placement `δ` maps to `--server`, and answers wire requests until
+//! `--stop-file` appears (polled twice a second), `--run-for-ms` elapses, or
+//! forever. `--addr-file` receives the bound address (use `--listen` port 0
+//! for an ephemeral port), which `serve_client`/`load_gen` read back with
+//! `@FILE` address specs. With `--conform-log`, every applied operation
+//! appends a `respond` record; a clean stop closes the log with its
+//! `clock`/`end` trailer.
+//!
+//! Exit status: `0` on a clean stop, `1` on runtime errors, `2` on usage
+//! errors.
+
+use regemu_bench::serve_cli::parse_params;
+use regemu_bounds::Params;
+use regemu_fpsm::{ServerId, ServerNode};
+use regemu_serve::serve_tcp;
+use regemu_workloads::fuzz::FuzzEmulation;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_node: {msg}");
+    eprintln!(
+        "usage: serve_node --server IDX --params K/F/N [--emulation NAME] \
+         [--listen ADDR] [--addr-file PATH] [--conform-log PATH] \
+         [--stop-file PATH] [--run-for-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut server: Option<usize> = None;
+    let mut params: Option<Params> = None;
+    let mut emulation = FuzzEmulation::from_name("space-optimal").unwrap();
+    let mut listen: SocketAddr = "127.0.0.1:0".parse().unwrap();
+    let mut addr_file: Option<PathBuf> = None;
+    let mut conform_log: Option<PathBuf> = None;
+    let mut stop_file: Option<PathBuf> = None;
+    let mut run_for: Option<Duration> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--server" => {
+                let v = value("--server");
+                server = Some(
+                    v.parse()
+                        .unwrap_or_else(|_| fail(&format!("invalid server index {v:?}"))),
+                );
+            }
+            "--params" => {
+                params = Some(parse_params(&value("--params")).unwrap_or_else(|e| fail(&e)))
+            }
+            "--emulation" => {
+                let v = value("--emulation");
+                emulation = FuzzEmulation::from_name(&v)
+                    .unwrap_or_else(|| fail(&format!("unknown emulation {v:?}")));
+            }
+            "--listen" => {
+                let v = value("--listen");
+                listen = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid listen address {v:?}")));
+            }
+            "--addr-file" => addr_file = Some(PathBuf::from(value("--addr-file"))),
+            "--conform-log" => conform_log = Some(PathBuf::from(value("--conform-log"))),
+            "--stop-file" => stop_file = Some(PathBuf::from(value("--stop-file"))),
+            "--run-for-ms" => {
+                let v = value("--run-for-ms");
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid duration {v:?}")));
+                run_for = Some(Duration::from_millis(ms));
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let server = server.unwrap_or_else(|| fail("--server is required"));
+    let params = params.unwrap_or_else(|| fail("--params is required"));
+    if stop_file.is_none() && run_for.is_none() {
+        eprintln!("serve_node: no --stop-file or --run-for-ms; serving until killed");
+    }
+
+    let topology = emulation.build(params).topology().clone();
+    if server >= topology.server_count() {
+        fail(&format!(
+            "server index {server} out of range for n = {}",
+            topology.server_count()
+        ));
+    }
+    let node = ServerNode::new(&topology, ServerId::new(server));
+    let handle = match serve_tcp(node, listen, conform_log.as_deref()) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("serve_node: cannot serve on {listen}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.local_addr().expect("tcp server has a bound address");
+    eprintln!(
+        "serve_node: server {server} ({}) on {addr}",
+        emulation.name()
+    );
+    if let Some(path) = &addr_file {
+        if let Err(e) = std::fs::write(path, format!("{addr}\n")) {
+            eprintln!("serve_node: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+
+    let started = Instant::now();
+    loop {
+        if let Some(stop) = &stop_file {
+            if stop.exists() {
+                eprintln!("serve_node: stop file {} appeared", stop.display());
+                break;
+            }
+        }
+        if let Some(limit) = run_for {
+            if started.elapsed() >= limit {
+                eprintln!("serve_node: --run-for-ms elapsed");
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let applied = handle.applied();
+    match handle.join() {
+        Ok(()) => {
+            eprintln!("serve_node: server {server} stopped after {applied} applied ops");
+        }
+        Err(e) => {
+            eprintln!("serve_node: shutdown failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

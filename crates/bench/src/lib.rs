@@ -29,6 +29,83 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+/// Shared CLI parsing for the live-service binaries (`serve_node`,
+/// `serve_client`, `load_gen`, `serve_conform`): `k/f/n` parameter points,
+/// comma-separated server lists, and address files written by `serve_node`
+/// and polled by the clients.
+pub mod serve_cli {
+    use regemu_bounds::Params;
+    use std::net::SocketAddr;
+    use std::path::Path;
+    use std::time::{Duration, Instant};
+
+    /// Parses a `K/F/N` parameter point (e.g. `4/1/3`).
+    pub fn parse_params(value: &str) -> Result<Params, String> {
+        let nums: Vec<usize> = value
+            .split('/')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("invalid parameter point {value:?}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let [k, f, n] = nums.as_slice() else {
+            return Err(format!("parameter point {value:?} must be K/F/N"));
+        };
+        Params::new(*k, *f, *n).map_err(|e| format!("invalid parameter point {value:?}: {e}"))
+    }
+
+    /// Parses a comma-separated list of server indices (e.g. `1,2`).
+    pub fn parse_server_list(value: &str) -> Result<Vec<usize>, String> {
+        value
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("invalid server index {s:?}"))
+            })
+            .collect()
+    }
+
+    /// Reads the socket address a `serve_node --addr-file` wrote, polling
+    /// until the file appears and parses (the node may still be booting).
+    pub fn wait_for_addr(path: &Path, timeout: Duration) -> Result<SocketAddr, String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if let Ok(addr) = text.trim().parse() {
+                    return Ok(addr);
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "no server address appeared in {} within {timeout:?}",
+                    path.display()
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Resolves `--addr`/`--addr-file` arguments (in server order) into
+    /// socket addresses. `spec` holds either a literal address or an
+    /// `@`-prefixed file path.
+    pub fn resolve_addrs(specs: &[String], timeout: Duration) -> Result<Vec<SocketAddr>, String> {
+        specs
+            .iter()
+            .map(|spec| {
+                if let Some(file) = spec.strip_prefix('@') {
+                    wait_for_addr(Path::new(file), timeout)
+                } else {
+                    spec.parse()
+                        .map_err(|_| format!("invalid server address {spec:?}"))
+                }
+            })
+            .collect()
+    }
+}
+
 /// Shared CLI parsing for the sweep/campaign binaries (`sweep_grid`,
 /// `campaign_coordinator`): the flags that shape a
 /// [`regemu_workloads::SweepConfig`] are identical across them.

@@ -59,6 +59,7 @@ pub mod quorum;
 pub mod shared_memory;
 pub mod timestamp;
 pub mod upper_bound;
+pub mod wire;
 
 pub use abd::AbdClient;
 pub use drivers::{BankMaxDriver, CasMaxDriver, MaxDriver, MaxOutcome, NativeMaxDriver};
@@ -72,6 +73,7 @@ pub use shared_memory::{
     CasMaxRegister, CollectMaxRegister, CollectWriter, FetchMaxRegister, SharedMaxRegister,
 };
 pub use upper_bound::{SharedLayout, SpaceOptimalClient};
+pub use wire::{decode_frame, FaultCode, FrameError, WireMsg, MAX_FRAME_LEN, WIRE_VERSION};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
@@ -87,5 +89,6 @@ pub mod prelude {
         CasMaxRegister, CollectMaxRegister, FetchMaxRegister, SharedMaxRegister,
     };
     pub use crate::upper_bound::{SharedLayout, SpaceOptimalClient};
+    pub use crate::wire::{decode_frame, FaultCode, FrameError, WireMsg};
     pub use regemu_bounds::Params;
 }

@@ -1,0 +1,657 @@
+//! Wire codec for the live service: length-prefixed, hand-rolled frames.
+//!
+//! The `regemu-serve` crate ships low-level operations between client and
+//! server processes. The container builds fully offline (the serde shim's
+//! derive is a no-op), so the codec is hand-rolled: fixed little-endian
+//! integers, one tag byte per enum, and a `u32` little-endian length prefix
+//! per frame. The same codec is used in both directions and by both the
+//! in-process channel transport (which skips the prefix) and the TCP
+//! transport.
+//!
+//! Robustness contract: decoding **never panics**. Truncated, oversized and
+//! garbage frames all surface as typed [`FrameError`]s, mirroring the
+//! line-numbered errors of the `regemu-trace v1` text format.
+
+use regemu_fpsm::op::{BaseOp, BaseResponse};
+use regemu_fpsm::value::Value;
+
+/// Version byte carried in every frame, after the message tag.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Hard upper bound on a frame body, in bytes.
+///
+/// The largest legal message (a CAS request: tag + version + op id + object
+/// id + op tag + two values) is 51 bytes; anything claiming more is garbage
+/// or a framing error, and rejecting it early keeps a corrupt peer from
+/// making us buffer unbounded data.
+pub const MAX_FRAME_LEN: usize = 64;
+
+/// Fault codes a server can send instead of a response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCode {
+    /// The addressed object is not hosted on this server.
+    NotHosted,
+    /// The hosted object does not support the requested operation.
+    UnsupportedOp,
+    /// The hosted object has crashed.
+    Crashed,
+}
+
+impl FaultCode {
+    fn tag(self) -> u8 {
+        match self {
+            FaultCode::NotHosted => 0,
+            FaultCode::UnsupportedOp => 1,
+            FaultCode::Crashed => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(FaultCode::NotHosted),
+            1 => Some(FaultCode::UnsupportedOp),
+            2 => Some(FaultCode::Crashed),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FaultCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultCode::NotHosted => write!(f, "not-hosted"),
+            FaultCode::UnsupportedOp => write!(f, "unsupported-op"),
+            FaultCode::Crashed => write!(f, "crashed"),
+        }
+    }
+}
+
+/// A message of the live-service wire protocol.
+///
+/// Ids travel as raw integers (`op_id` = [`regemu_fpsm::OpId`], `object` =
+/// [`regemu_fpsm::ObjectId`] index) so the codec stays independent of the
+/// id newtypes; the endpoints re-wrap them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Client → server: apply `op` to the object with global id `object`.
+    Request {
+        /// Low-level operation id, unique per client connection.
+        op_id: u64,
+        /// Global object id (topology-wide index).
+        object: u64,
+        /// The low-level operation to apply.
+        op: BaseOp,
+    },
+    /// Server → client: the object's response to request `op_id`.
+    Response {
+        /// Echo of the request's operation id.
+        op_id: u64,
+        /// The server's logical clock after applying the operation; clients
+        /// fold it into their own clock, Lamport-style, so conformance-log
+        /// stamps respect cross-process real-time order.
+        clock: u64,
+        /// The response the (atomic) base object produced.
+        response: BaseResponse,
+    },
+    /// Server → client: request `op_id` could not be applied.
+    Fault {
+        /// Echo of the request's operation id.
+        op_id: u64,
+        /// Why the operation was rejected.
+        code: FaultCode,
+    },
+}
+
+/// A typed decoding failure. Decoding never panics; every malformed input
+/// maps to one of these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The input ended before the field `field` was complete.
+    Truncated {
+        /// Name of the field being decoded when the input ran out.
+        field: &'static str,
+    },
+    /// The length prefix claims more than [`MAX_FRAME_LEN`] bytes.
+    Oversized {
+        /// The claimed body length.
+        len: usize,
+    },
+    /// An enum tag byte had no defined meaning.
+    BadTag {
+        /// Name of the enum being decoded.
+        field: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The frame carried an unsupported protocol version.
+    BadVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// The message decoded cleanly but bytes were left over.
+    TrailingBytes {
+        /// Number of undecoded bytes at the end of the body.
+        extra: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated { field } => write!(f, "frame truncated while reading {field}"),
+            FrameError::Oversized { len } => {
+                write!(f, "frame length {len} exceeds maximum {MAX_FRAME_LEN}")
+            }
+            FrameError::BadTag { field, tag } => write!(f, "unknown {field} tag {tag:#04x}"),
+            FrameError::BadVersion { version } => {
+                write!(
+                    f,
+                    "unsupported wire version {version} (expected {WIRE_VERSION})"
+                )
+            }
+            FrameError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after a complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ----- encoding --------------------------------------------------------------
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_value(buf: &mut Vec<u8>, v: Value) {
+    put_u64(buf, v.ts);
+    put_u64(buf, v.val);
+}
+
+fn put_base_op(buf: &mut Vec<u8>, op: &BaseOp) {
+    match op {
+        BaseOp::Read => buf.push(0),
+        BaseOp::Write(v) => {
+            buf.push(1);
+            put_value(buf, *v);
+        }
+        BaseOp::ReadMax => buf.push(2),
+        BaseOp::WriteMax(v) => {
+            buf.push(3);
+            put_value(buf, *v);
+        }
+        BaseOp::Cas { expected, new } => {
+            buf.push(4);
+            put_value(buf, *expected);
+            put_value(buf, *new);
+        }
+    }
+}
+
+fn put_base_response(buf: &mut Vec<u8>, response: &BaseResponse) {
+    match response {
+        BaseResponse::ReadValue(v) => {
+            buf.push(0);
+            put_value(buf, *v);
+        }
+        BaseResponse::WriteAck => buf.push(1),
+        BaseResponse::MaxValue(v) => {
+            buf.push(2);
+            put_value(buf, *v);
+        }
+        BaseResponse::WriteMaxAck => buf.push(3),
+        BaseResponse::CasOld(v) => {
+            buf.push(4);
+            put_value(buf, *v);
+        }
+    }
+}
+
+// ----- decoding --------------------------------------------------------------
+
+/// Checked little-endian reader over a frame body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, field: &'static str) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|end| *end <= self.bytes.len())
+            .ok_or(FrameError::Truncated { field })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, field: &'static str) -> Result<u8, FrameError> {
+        Ok(self.take(1, field)?[0])
+    }
+
+    fn u64(&mut self, field: &'static str) -> Result<u64, FrameError> {
+        let bytes = self.take(8, field)?;
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(bytes);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn value(&mut self, field: &'static str) -> Result<Value, FrameError> {
+        let ts = self.u64(field)?;
+        let val = self.u64(field)?;
+        Ok(Value::new(ts, val))
+    }
+
+    fn base_op(&mut self) -> Result<BaseOp, FrameError> {
+        match self.u8("base-op tag")? {
+            0 => Ok(BaseOp::Read),
+            1 => Ok(BaseOp::Write(self.value("write value")?)),
+            2 => Ok(BaseOp::ReadMax),
+            3 => Ok(BaseOp::WriteMax(self.value("write-max value")?)),
+            4 => Ok(BaseOp::Cas {
+                expected: self.value("cas expected value")?,
+                new: self.value("cas new value")?,
+            }),
+            tag => Err(FrameError::BadTag {
+                field: "base-op",
+                tag,
+            }),
+        }
+    }
+
+    fn base_response(&mut self) -> Result<BaseResponse, FrameError> {
+        match self.u8("response tag")? {
+            0 => Ok(BaseResponse::ReadValue(self.value("read value")?)),
+            1 => Ok(BaseResponse::WriteAck),
+            2 => Ok(BaseResponse::MaxValue(self.value("max value")?)),
+            3 => Ok(BaseResponse::WriteMaxAck),
+            4 => Ok(BaseResponse::CasOld(self.value("cas old value")?)),
+            tag => Err(FrameError::BadTag {
+                field: "response",
+                tag,
+            }),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+impl WireMsg {
+    /// Encodes the message body (no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            WireMsg::Request { op_id, object, op } => {
+                buf.push(1);
+                buf.push(WIRE_VERSION);
+                put_u64(&mut buf, *op_id);
+                put_u64(&mut buf, *object);
+                put_base_op(&mut buf, op);
+            }
+            WireMsg::Response {
+                op_id,
+                clock,
+                response,
+            } => {
+                buf.push(2);
+                buf.push(WIRE_VERSION);
+                put_u64(&mut buf, *op_id);
+                put_u64(&mut buf, *clock);
+                put_base_response(&mut buf, response);
+            }
+            WireMsg::Fault { op_id, code } => {
+                buf.push(3);
+                buf.push(WIRE_VERSION);
+                put_u64(&mut buf, *op_id);
+                buf.push(code.tag());
+            }
+        }
+        debug_assert!(buf.len() <= MAX_FRAME_LEN);
+        buf
+    }
+
+    /// Encodes the message as a full frame: `u32` little-endian body length
+    /// followed by the body.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let body = self.encode();
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Decodes a message body (no length prefix). Never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8("message tag")?;
+        let version = r.u8("version")?;
+        if version != WIRE_VERSION {
+            return Err(FrameError::BadVersion { version });
+        }
+        let msg = match tag {
+            1 => WireMsg::Request {
+                op_id: r.u64("op id")?,
+                object: r.u64("object id")?,
+                op: r.base_op()?,
+            },
+            2 => WireMsg::Response {
+                op_id: r.u64("op id")?,
+                clock: r.u64("clock")?,
+                response: r.base_response()?,
+            },
+            3 => WireMsg::Fault {
+                op_id: r.u64("op id")?,
+                code: {
+                    let tag = r.u8("fault code")?;
+                    FaultCode::from_tag(tag).ok_or(FrameError::BadTag {
+                        field: "fault-code",
+                        tag,
+                    })?
+                },
+            },
+            tag => {
+                return Err(FrameError::BadTag {
+                    field: "message",
+                    tag,
+                })
+            }
+        };
+        if r.remaining() != 0 {
+            return Err(FrameError::TrailingBytes {
+                extra: r.remaining(),
+            });
+        }
+        Ok(msg)
+    }
+}
+
+/// Tries to decode one length-prefixed frame from the front of `buf`.
+///
+/// Returns `Ok(None)` when `buf` holds only a *prefix* of a frame (read more
+/// bytes and try again), `Ok(Some((msg, consumed)))` when a full frame was
+/// decoded (`consumed` bytes should be drained from the buffer), and a
+/// [`FrameError`] when the bytes can never become a valid frame. Never
+/// panics.
+pub fn decode_frame(buf: &[u8]) -> Result<Option<(WireMsg, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let mut raw = [0u8; 4];
+    raw.copy_from_slice(&buf[..4]);
+    let len = u32::from_le_bytes(raw) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized { len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let msg = WireMsg::decode(&buf[4..4 + len])?;
+    Ok(Some((msg, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: WireMsg) {
+        let body = msg.encode();
+        assert_eq!(WireMsg::decode(&body), Ok(msg));
+        let frame = msg.encode_frame();
+        assert_eq!(decode_frame(&frame), Ok(Some((msg, frame.len()))));
+    }
+
+    #[test]
+    fn every_message_shape_roundtrips() {
+        let v = Value::new(3, 77);
+        let w = Value::new(4, 78);
+        for msg in [
+            WireMsg::Request {
+                op_id: 0,
+                object: 0,
+                op: BaseOp::Read,
+            },
+            WireMsg::Request {
+                op_id: u64::MAX,
+                object: 17,
+                op: BaseOp::Write(v),
+            },
+            WireMsg::Request {
+                op_id: 5,
+                object: 2,
+                op: BaseOp::ReadMax,
+            },
+            WireMsg::Request {
+                op_id: 6,
+                object: 2,
+                op: BaseOp::WriteMax(w),
+            },
+            WireMsg::Request {
+                op_id: 7,
+                object: 3,
+                op: BaseOp::Cas {
+                    expected: v,
+                    new: w,
+                },
+            },
+            WireMsg::Response {
+                op_id: 7,
+                clock: 99,
+                response: BaseResponse::ReadValue(v),
+            },
+            WireMsg::Response {
+                op_id: 8,
+                clock: 100,
+                response: BaseResponse::WriteAck,
+            },
+            WireMsg::Response {
+                op_id: 9,
+                clock: 101,
+                response: BaseResponse::MaxValue(w),
+            },
+            WireMsg::Response {
+                op_id: 10,
+                clock: 102,
+                response: BaseResponse::WriteMaxAck,
+            },
+            WireMsg::Response {
+                op_id: 11,
+                clock: 103,
+                response: BaseResponse::CasOld(v),
+            },
+            WireMsg::Fault {
+                op_id: 12,
+                code: FaultCode::NotHosted,
+            },
+            WireMsg::Fault {
+                op_id: 13,
+                code: FaultCode::UnsupportedOp,
+            },
+            WireMsg::Fault {
+                op_id: 14,
+                code: FaultCode::Crashed,
+            },
+        ] {
+            roundtrip(msg);
+        }
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more_bytes() {
+        let frame = WireMsg::Fault {
+            op_id: 1,
+            code: FaultCode::Crashed,
+        }
+        .encode_frame();
+        for cut in 0..frame.len() {
+            assert_eq!(decode_frame(&frame[..cut]), Ok(None), "cut at {cut}");
+        }
+        // Two frames back to back: the first decodes, reporting its length.
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame);
+        let (_, consumed) = decode_frame(&two).unwrap().unwrap();
+        assert_eq!(consumed, frame.len());
+        assert!(decode_frame(&two[consumed..]).unwrap().is_some());
+    }
+
+    /// Mirror of the `regemu-trace v1` malformed-input table: every corrupt
+    /// frame yields a typed error — and, by virtue of returning at all,
+    /// never panics.
+    #[test]
+    fn malformed_frames_fail_with_typed_errors_and_never_panic() {
+        let good = WireMsg::Request {
+            op_id: 1,
+            object: 2,
+            op: BaseOp::Write(Value::new(1, 5)),
+        };
+        let body = good.encode();
+
+        let truncated_body = {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&((body.len() - 3) as u32).to_le_bytes());
+            frame.extend_from_slice(&body[..body.len() - 3]);
+            frame
+        };
+        let oversized = {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&(1_000_000u32.to_le_bytes()));
+            frame.extend_from_slice(&body);
+            frame
+        };
+        let bad_msg_tag = {
+            let mut b = body.clone();
+            b[0] = 0x7f;
+            frame_of(&b)
+        };
+        let bad_version = {
+            let mut b = body.clone();
+            b[1] = 9;
+            frame_of(&b)
+        };
+        let bad_op_tag = {
+            let mut b = body.clone();
+            b[18] = 0xee; // base-op tag lives after msg tag, version, two u64s
+            frame_of(&b)
+        };
+        let bad_fault_code = {
+            let mut b = WireMsg::Fault {
+                op_id: 3,
+                code: FaultCode::Crashed,
+            }
+            .encode();
+            *b.last_mut().unwrap() = 0x42;
+            frame_of(&b)
+        };
+        let trailing = {
+            let mut b = body.clone();
+            b.extend_from_slice(&[0, 0]);
+            frame_of(&b)
+        };
+        let empty_body = frame_of(&[]);
+        let garbage = frame_of(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
+
+        let table: Vec<(&str, Vec<u8>, FrameError)> = vec![
+            (
+                "truncated body",
+                truncated_body,
+                FrameError::Truncated {
+                    field: "write value",
+                },
+            ),
+            (
+                "oversized length",
+                oversized,
+                FrameError::Oversized { len: 1_000_000 },
+            ),
+            (
+                "unknown message tag",
+                bad_msg_tag,
+                FrameError::BadTag {
+                    field: "message",
+                    tag: 0x7f,
+                },
+            ),
+            (
+                "bad version",
+                bad_version,
+                FrameError::BadVersion { version: 9 },
+            ),
+            (
+                "unknown base-op tag",
+                bad_op_tag,
+                FrameError::BadTag {
+                    field: "base-op",
+                    tag: 0xee,
+                },
+            ),
+            (
+                "unknown fault code",
+                bad_fault_code,
+                FrameError::BadTag {
+                    field: "fault-code",
+                    tag: 0x42,
+                },
+            ),
+            (
+                "trailing bytes",
+                trailing,
+                FrameError::TrailingBytes { extra: 2 },
+            ),
+            (
+                "empty body",
+                empty_body,
+                FrameError::Truncated {
+                    field: "message tag",
+                },
+            ),
+            (
+                "garbage body",
+                garbage,
+                FrameError::BadVersion { version: 0xad },
+            ),
+        ];
+        for (what, frame, expected) in table {
+            assert_eq!(decode_frame(&frame), Err(expected), "case: {what}");
+        }
+    }
+
+    fn frame_of(body: &[u8]) -> Vec<u8> {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(body);
+        frame
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let shown = format!(
+            "{} | {} | {} | {} | {}",
+            FrameError::Truncated { field: "op id" },
+            FrameError::Oversized { len: 9999 },
+            FrameError::BadTag {
+                field: "message",
+                tag: 7
+            },
+            FrameError::BadVersion { version: 3 },
+            FrameError::TrailingBytes { extra: 1 },
+        );
+        for needle in [
+            "truncated",
+            "op id",
+            "9999",
+            "tag 0x07",
+            "version 3",
+            "trailing",
+        ] {
+            assert!(shown.contains(needle), "missing {needle} in {shown}");
+        }
+    }
+}

@@ -56,6 +56,7 @@ pub mod event;
 pub mod history;
 pub mod ids;
 pub mod metrics;
+pub mod node;
 pub mod object;
 pub mod op;
 pub mod scheduler;
@@ -70,6 +71,7 @@ pub use event::Event;
 pub use history::{HighInterval, History, RecordingMode};
 pub use ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
 pub use metrics::RunMetrics;
+pub use node::{ClientEffects, ClientNode, NodeError, ServerNode};
 pub use object::{BaseObject, ObjectError, ObjectKind};
 pub use op::{BaseOp, BaseResponse, HighOp, HighResponse};
 pub use scheduler::{
@@ -87,6 +89,7 @@ pub mod prelude {
     pub use crate::history::{History, RecordingMode};
     pub use crate::ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
     pub use crate::metrics::RunMetrics;
+    pub use crate::node::{ClientEffects, ClientNode, NodeError, ServerNode};
     pub use crate::object::ObjectKind;
     pub use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
     pub use crate::scheduler::{

@@ -21,11 +21,12 @@
 //! implemented *on top of* this interface (see [`crate::driver`] and the
 //! `regemu-adversary` crate).
 
-use crate::client::{ClientProtocol, Context, Delivery};
+use crate::client::{ClientProtocol, Delivery};
 use crate::error::SimError;
 use crate::event::Event;
 use crate::history::{History, RecordingMode};
 use crate::ids::{ClientId, HighOpId, ObjectId, OpId, ServerId, Time};
+use crate::node::{ClientEffects, ClientNode};
 use crate::object::BaseObject;
 use crate::op::{BaseOp, BaseResponse, HighOp, HighResponse};
 use crate::topology::Topology;
@@ -189,23 +190,17 @@ pub struct DecisionRecord {
     pub candidates: u32,
 }
 
-/// State of a single client inside the simulation.
-struct ClientSlot {
-    protocol: Box<dyn ClientProtocol>,
-    crashed: bool,
-    /// High-level operation currently in progress, if any.
-    current: Option<(HighOpId, HighOp)>,
-    /// Completed high-level operations, in completion order.
-    completed: Vec<(HighOpId, HighOp, HighResponse)>,
-}
-
 /// The simulation of an asynchronous fault-prone shared-memory system.
+///
+/// Per-client state lives in [`ClientNode`] — the same deployable unit a
+/// live client process hosts (see [`crate::node`]) — so the simulated and
+/// served executions run literally the same state-machine code.
 pub struct Simulation {
     topology: Topology,
     config: SimConfig,
     objects: Vec<BaseObject>,
     server_crashed: Vec<bool>,
-    clients: Vec<ClientSlot>,
+    clients: Vec<ClientNode>,
     pending: PendingSlab,
     /// Response of each high-level operation, indexed by `HighOpId` (ids are
     /// allocated densely, so the arena is append-only: a slot is pushed at
@@ -307,12 +302,7 @@ impl Simulation {
     /// Registers a new client running the given protocol and returns its id.
     pub fn register_client(&mut self, protocol: Box<dyn ClientProtocol>) -> ClientId {
         let id = ClientId::new(self.clients.len());
-        self.clients.push(ClientSlot {
-            protocol,
-            crashed: false,
-            current: None,
-            completed: Vec::new(),
-        });
+        self.clients.push(ClientNode::new(id, protocol));
         id
     }
 
@@ -342,7 +332,7 @@ impl Simulation {
     pub fn is_client_crashed(&self, client: ClientId) -> bool {
         self.clients
             .get(client.index())
-            .map(|c| c.crashed)
+            .map(|c| c.is_crashed())
             .unwrap_or(false)
     }
 
@@ -356,13 +346,13 @@ impl Simulation {
     pub fn is_client_idle(&self, client: ClientId) -> bool {
         self.clients
             .get(client.index())
-            .map(|c| !c.crashed && c.current.is_none())
+            .map(|c| c.is_idle())
             .unwrap_or(false)
     }
 
     /// The high-level operation currently in progress at `client`, if any.
     pub fn current_high_op(&self, client: ClientId) -> Option<(HighOpId, HighOp)> {
-        self.clients.get(client.index()).and_then(|c| c.current)
+        self.clients.get(client.index()).and_then(|c| c.current())
     }
 
     /// Returns the response of a completed high-level operation, if it has
@@ -378,7 +368,7 @@ impl Simulation {
     pub fn completed_ops(&self, client: ClientId) -> &[(HighOpId, HighOp, HighResponse)] {
         self.clients
             .get(client.index())
-            .map(|c| c.completed.as_slice())
+            .map(|c| c.completed())
             .unwrap_or(&[])
     }
 
@@ -437,14 +427,14 @@ impl Simulation {
     /// Fails if the client is unknown, crashed, or already has a high-level
     /// operation in progress (per-client schedules must be sequential).
     pub fn invoke(&mut self, client: ClientId, op: HighOp) -> Result<HighOpId, SimError> {
-        let slot = self
+        let node = self
             .clients
             .get(client.index())
             .ok_or(SimError::UnknownClient(client))?;
-        if slot.crashed {
+        if node.is_crashed() {
             return Err(SimError::ClientCrashed(client));
         }
-        if slot.current.is_some() {
+        if node.current().is_some() {
             return Err(SimError::ClientBusy(client));
         }
 
@@ -457,20 +447,9 @@ impl Simulation {
             high_op,
             op,
         });
-        self.clients[client.index()].current = Some((high_op, op));
-
-        let mut ctx = Context::new(client, self.time, &mut self.next_op_id);
-        // Split borrow: protocol is behind the slot, context borrows the id
-        // counter; both are disjoint fields of `self` only via this temporary
-        // take-out of the protocol box.
-        let mut protocol = std::mem::replace(
-            &mut self.clients[client.index()].protocol,
-            Box::new(crate::client::NoopProtocol),
-        );
-        protocol.on_invoke(op, &mut ctx);
-        self.clients[client.index()].protocol = protocol;
-        let (triggers, completion) = ctx.into_effects();
-        self.apply_effects(client, Some(high_op), triggers, completion);
+        let effects =
+            self.clients[client.index()].on_invoke(high_op, op, self.time, &mut self.next_op_id);
+        self.apply_effects(client, Some(high_op), effects);
         Ok(high_op)
     }
 
@@ -534,16 +513,10 @@ impl Simulation {
             response,
         };
         let client = pending.client;
-        let current_high = self.clients[client.index()].current.map(|(id, _)| id);
-        let mut ctx = Context::new(client, self.time, &mut self.next_op_id);
-        let mut protocol = std::mem::replace(
-            &mut self.clients[client.index()].protocol,
-            Box::new(crate::client::NoopProtocol),
-        );
-        protocol.on_response(delivery, &mut ctx);
-        self.clients[client.index()].protocol = protocol;
-        let (triggers, completion) = ctx.into_effects();
-        let completed = self.apply_effects(client, current_high, triggers, completion);
+        let current_high = self.clients[client.index()].current().map(|(id, _)| id);
+        let effects =
+            self.clients[client.index()].on_delivery(delivery, self.time, &mut self.next_op_id);
+        let completed = self.apply_effects(client, current_high, effects);
         Ok(DeliveryOutcome {
             response,
             completed_high_op: completed,
@@ -608,10 +581,10 @@ impl Simulation {
         if client.index() >= self.clients.len() {
             return Err(SimError::UnknownClient(client));
         }
-        if self.clients[client.index()].crashed {
+        if self.clients[client.index()].is_crashed() {
             return Ok(());
         }
-        self.clients[client.index()].crashed = true;
+        self.clients[client.index()].crash();
         self.time += 1;
         self.history.push(Event::ClientCrash {
             time: self.time,
@@ -626,15 +599,18 @@ impl Simulation {
         &mut self,
         client: ClientId,
         high_op: Option<HighOpId>,
-        triggers: Vec<(OpId, ObjectId, BaseOp)>,
-        completion: Option<HighResponse>,
+        effects: ClientEffects,
     ) -> Option<(HighOpId, HighResponse)> {
+        let ClientEffects {
+            triggers,
+            completion,
+        } = effects;
         for (op_id, object, op) in triggers {
             let server = self.topology.server_of(object);
             debug_assert!(
                 self.topology.kind_of(object).supports(&op),
                 "protocol {} triggered {} on a {}",
-                self.clients[client.index()].protocol.name(),
+                self.clients[client.index()].protocol_name(),
                 op,
                 self.topology.kind_of(object),
             );
@@ -658,10 +634,7 @@ impl Simulation {
             });
         }
         if let Some(response) = completion {
-            let (high_id, op) = self.clients[client.index()]
-                .current
-                .take()
-                .expect("protocol completed a high-level operation but none was in progress");
+            let (high_id, _op) = self.clients[client.index()].finish(response);
             self.time += 1;
             self.history.push(Event::Return {
                 time: self.time,
@@ -669,9 +642,6 @@ impl Simulation {
                 high_op: high_id,
                 response,
             });
-            self.clients[client.index()]
-                .completed
-                .push((high_id, op, response));
             self.high_results[high_id.index() as usize] = Some(response);
             self.completed_high += 1;
             Some((high_id, response))
@@ -696,7 +666,7 @@ impl std::fmt::Debug for Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::NoopProtocol;
+    use crate::client::{Context, NoopProtocol};
     use crate::object::ObjectKind;
     use crate::value::Value;
 

@@ -1,0 +1,459 @@
+//! The live client: one emulation client state machine over real transports.
+//!
+//! [`LiveClient`] drives exactly the [`regemu_fpsm::ClientNode`] the
+//! simulator drives, but dispatches its triggers as wire requests instead of
+//! scheduler-pending operations. The asynchronous model's freedoms map
+//! directly: a lost message is a trigger whose server link died; an
+//! indefinitely delayed message is a trigger to a *held* server
+//! ([`ClientOptions::hold_servers`]) that is simply never sent. Holding
+//! servers is how a live run reproduces the adversarial schedules the
+//! simulator's schedulers explore — and how the conformance tests catch the
+//! seeded weak-quorum bug on real sockets.
+//!
+//! [`run_fleet`] fans k writer clients (plus readers) out across threads,
+//! one emulation instance per thread (protocol state machines are not
+//! `Send`), and aggregates latency into a [`LatencyHistogram`].
+
+use crate::histogram::LatencyHistogram;
+use crate::transport::{ServeError, TcpTransport, Transport};
+use regemu_bounds::Params;
+use regemu_core::wire::WireMsg;
+use regemu_fpsm::{
+    BaseOp, ClientId, ClientNode, ClientProtocol, Delivery, HighOp, HighOpId, HighResponse,
+    ObjectId, OpId, Time, Topology,
+};
+use regemu_workloads::conform::ConformRecorder;
+use regemu_workloads::fuzz::FuzzEmulation;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Knobs of a [`LiveClient`].
+#[derive(Clone, Debug)]
+pub struct ClientOptions {
+    /// How long a high-level operation may take before the client gives up.
+    pub op_timeout: Duration,
+    /// Per-server receive poll while waiting for responses.
+    pub poll_timeout: Duration,
+    /// TCP connect timeout per server.
+    pub connect_timeout: Duration,
+    /// Servers whose requests are delayed forever (never sent). The live
+    /// analogue of the simulator's adversarial delivery delay.
+    pub hold_servers: Vec<usize>,
+    /// Servers whose *write-class* requests (`write`, `write-max`, `cas`)
+    /// are delayed forever while reads pass through — this delays exactly
+    /// the messages whose loss a write quorum must tolerate, which is how
+    /// the loopback tests reproduce the weak-quorum ablation schedule on a
+    /// real socket.
+    pub hold_writes: Vec<usize>,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        ClientOptions {
+            op_timeout: Duration::from_secs(5),
+            poll_timeout: Duration::from_millis(1),
+            connect_timeout: Duration::from_secs(2),
+            hold_servers: Vec::new(),
+            hold_writes: Vec::new(),
+        }
+    }
+}
+
+/// One emulation client running against live servers.
+pub struct LiveClient {
+    topology: Topology,
+    node: ClientNode,
+    /// Indexed by server; `None` = unreachable or failed (the crash-prone
+    /// model's dead server).
+    transports: Vec<Option<Box<dyn Transport>>>,
+    /// Triggered-but-unanswered low-level operations, by raw op id.
+    in_flight: HashMap<u64, (ObjectId, BaseOp)>,
+    next_op_id: u64,
+    next_high_id: u64,
+    time: Time,
+    recorder: Option<(Arc<ConformRecorder>, usize)>,
+    options: ClientOptions,
+}
+
+impl LiveClient {
+    /// Creates a client over pre-built transports (one slot per server;
+    /// `None` marks a server as unreachable from the start).
+    pub fn new(
+        topology: Topology,
+        client: ClientId,
+        protocol: Box<dyn ClientProtocol>,
+        transports: Vec<Option<Box<dyn Transport>>>,
+        options: ClientOptions,
+    ) -> Result<Self, ServeError> {
+        if transports.len() != topology.server_count() {
+            return Err(ServeError::Config(format!(
+                "{} transports for a topology with {} servers",
+                transports.len(),
+                topology.server_count()
+            )));
+        }
+        if transports.iter().all(Option::is_none) {
+            return Err(ServeError::Config("no reachable servers".to_string()));
+        }
+        Ok(LiveClient {
+            topology,
+            node: ClientNode::new(client, protocol),
+            transports,
+            in_flight: HashMap::new(),
+            next_op_id: 0,
+            next_high_id: 0,
+            time: 0,
+            recorder: None,
+            options,
+        })
+    }
+
+    /// Connects to TCP servers at `addrs` (one per server, in server order).
+    /// Unreachable servers are marked dead, not fatal — the emulations
+    /// tolerate up to `f` of them; only *zero* reachable servers is an error.
+    pub fn connect_tcp(
+        topology: Topology,
+        client: ClientId,
+        protocol: Box<dyn ClientProtocol>,
+        addrs: &[SocketAddr],
+        options: ClientOptions,
+    ) -> Result<Self, ServeError> {
+        if addrs.len() != topology.server_count() {
+            return Err(ServeError::Config(format!(
+                "{} addresses for a topology with {} servers",
+                addrs.len(),
+                topology.server_count()
+            )));
+        }
+        let transports = addrs
+            .iter()
+            .map(|&addr| {
+                TcpTransport::connect(addr, options.connect_timeout)
+                    .ok()
+                    .map(|t| Box::new(t) as Box<dyn Transport>)
+            })
+            .collect();
+        LiveClient::new(topology, client, protocol, transports, options)
+    }
+
+    /// Attaches a conformance recorder; this client's invoke/return records
+    /// are tagged with process-local client index `client_index`.
+    pub fn with_recorder(mut self, recorder: Arc<ConformRecorder>, client_index: usize) -> Self {
+        self.recorder = Some((recorder, client_index));
+        self
+    }
+
+    /// Number of servers still reachable.
+    pub fn live_servers(&self) -> usize {
+        self.transports.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Completed high-level operations, in completion order.
+    pub fn completed(&self) -> &[(HighOpId, HighOp, HighResponse)] {
+        self.node.completed()
+    }
+
+    /// Runs one high-level operation to completion (or times out).
+    ///
+    /// A timeout leaves the operation pending — recorded as an open interval
+    /// in the conformance log, exactly like a crashed simulator client — and
+    /// poisons the client for further operations.
+    pub fn run_op(&mut self, op: HighOp) -> Result<HighResponse, ServeError> {
+        if self.node.current().is_some() {
+            return Err(ServeError::Config(
+                "client has a timed-out operation still pending".to_string(),
+            ));
+        }
+        let high = HighOpId::new(self.next_high_id);
+        self.next_high_id += 1;
+        if let Some((recorder, client)) = &self.recorder {
+            recorder.record_invoke(*client, high.index(), op);
+        }
+        self.time += 1;
+        let effects = self
+            .node
+            .on_invoke(high, op, self.time, &mut self.next_op_id);
+        if let Some(response) = self.dispatch(effects)? {
+            return Ok(response);
+        }
+        let started = Instant::now();
+        let deadline = started + self.options.op_timeout;
+        while Instant::now() < deadline {
+            if self.live_servers() == 0 {
+                return Err(ServeError::Disconnected {
+                    peer: "all servers".to_string(),
+                });
+            }
+            for server in 0..self.transports.len() {
+                let Some(msg) = self.poll_server(server) else {
+                    continue;
+                };
+                if let Some(effects) = self.handle_message(msg) {
+                    if let Some(response) = self.dispatch(effects)? {
+                        return Ok(response);
+                    }
+                }
+            }
+        }
+        Err(ServeError::Timeout {
+            what: format!("high-level operation {op:?}"),
+            waited: started.elapsed(),
+        })
+    }
+
+    /// Polls one server's transport; marks it dead on error.
+    fn poll_server(&mut self, server: usize) -> Option<WireMsg> {
+        let transport = self.transports[server].as_mut()?;
+        match transport.recv_timeout(self.options.poll_timeout) {
+            Ok(found) => found,
+            Err(_) => {
+                self.transports[server] = None;
+                None
+            }
+        }
+    }
+
+    /// Turns a wire message into protocol effects, if it answers an
+    /// operation we have in flight.
+    fn handle_message(&mut self, msg: WireMsg) -> Option<regemu_fpsm::ClientEffects> {
+        match msg {
+            WireMsg::Response {
+                op_id,
+                clock,
+                response,
+            } => {
+                if let Some((recorder, _)) = &self.recorder {
+                    recorder.observe(clock);
+                }
+                let (object, op) = self.in_flight.remove(&op_id)?;
+                let delivery = Delivery {
+                    op_id: OpId::new(op_id),
+                    object,
+                    server: self.topology.server_of(object),
+                    op,
+                    response,
+                };
+                self.time += 1;
+                Some(
+                    self.node
+                        .on_delivery(delivery, self.time, &mut self.next_op_id),
+                )
+            }
+            // A fault is a refusal: the low-level op will never complete,
+            // which the asynchronous model treats as a lost message.
+            WireMsg::Fault { op_id, .. } => {
+                self.in_flight.remove(&op_id);
+                None
+            }
+            // Servers never send requests; ignore.
+            WireMsg::Request { .. } => None,
+        }
+    }
+
+    /// Sends triggered low-level operations and retires a completion.
+    fn dispatch(
+        &mut self,
+        effects: regemu_fpsm::ClientEffects,
+    ) -> Result<Option<HighResponse>, ServeError> {
+        for (op_id, object, op) in effects.triggers {
+            let server = self.topology.server_of(object).index();
+            self.in_flight.insert(op_id.index(), (object, op));
+            let is_write_class = matches!(
+                op,
+                BaseOp::Write(_) | BaseOp::WriteMax(_) | BaseOp::Cas { .. }
+            );
+            if self.options.hold_servers.contains(&server)
+                || (is_write_class && self.options.hold_writes.contains(&server))
+            {
+                // Held: the message is in transit forever.
+                continue;
+            }
+            if let Some(transport) = &mut self.transports[server] {
+                let msg = WireMsg::Request {
+                    op_id: op_id.index(),
+                    object: object.index() as u64,
+                    op,
+                };
+                if transport.send(&msg).is_err() {
+                    self.transports[server] = None;
+                }
+            }
+        }
+        if let Some(response) = effects.completion {
+            let (high, _op) = self.node.finish(response);
+            if let Some((recorder, client)) = &self.recorder {
+                recorder.record_return(*client, high.index(), response);
+            }
+            return Ok(Some(response));
+        }
+        Ok(None)
+    }
+}
+
+/// A fleet of writer/reader clients to fan out across threads.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSpec {
+    /// Which emulation every client runs.
+    pub emulation: FuzzEmulation,
+    /// The emulation's `(k, f, n)` parameters.
+    pub params: Params,
+    /// Writer clients (at most `params.k` for the bounded-writer
+    /// constructions).
+    pub writers: usize,
+    /// Reader clients.
+    pub readers: usize,
+    /// High-level write rounds per writer (and reads per reader).
+    pub rounds: usize,
+    /// Whether each writer reads back after every write.
+    pub read_after_each: bool,
+    /// Per-client operation rate cap in ops/sec (`None` = as fast as
+    /// possible).
+    pub rate: Option<f64>,
+}
+
+/// What a [`run_fleet`] campaign did.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Completed high-level operations across all clients.
+    pub ops: u64,
+    /// Operations that timed out (each poisons its client).
+    pub timeouts: u64,
+    /// Clients that failed for any other reason.
+    pub errors: u64,
+    /// Wall-clock time of the whole fleet.
+    pub elapsed: Duration,
+    /// Latency of completed operations, in microseconds.
+    pub histogram: LatencyHistogram,
+}
+
+impl FleetOutcome {
+    /// Completed operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Runs `spec` against TCP servers at `addrs`, one thread per client.
+///
+/// Each thread builds its own emulation instance from the `Copy`able spec
+/// (protocol state machines are not `Send`), connects, and runs its rounds.
+/// Writer `c` writes the distinct values `c*rounds + r + 1`; conformance
+/// client indices are writers first, then readers.
+pub fn run_fleet(
+    spec: FleetSpec,
+    addrs: &[SocketAddr],
+    options: &ClientOptions,
+    recorder: Option<Arc<ConformRecorder>>,
+) -> Result<FleetOutcome, ServeError> {
+    if spec.writers > spec.params.k {
+        return Err(ServeError::Config(format!(
+            "{} writers but the emulation supports k = {}",
+            spec.writers, spec.params.k
+        )));
+    }
+    let started = Instant::now();
+    let mut workers = Vec::new();
+    for client in 0..spec.writers + spec.readers {
+        let addrs = addrs.to_vec();
+        let options = options.clone();
+        let recorder = recorder.clone();
+        workers.push(std::thread::spawn(move || {
+            run_fleet_client(spec, client, &addrs, options, recorder)
+        }));
+    }
+    let mut outcome = FleetOutcome {
+        ops: 0,
+        timeouts: 0,
+        errors: 0,
+        elapsed: Duration::ZERO,
+        histogram: LatencyHistogram::new(),
+    };
+    for worker in workers {
+        let (hist, ops, timeouts, errors) = worker
+            .join()
+            .map_err(|_| ServeError::Config("fleet worker panicked".to_string()))?;
+        outcome.histogram.merge(&hist);
+        outcome.ops += ops;
+        outcome.timeouts += timeouts;
+        outcome.errors += errors;
+    }
+    outcome.elapsed = started.elapsed();
+    Ok(outcome)
+}
+
+/// One fleet worker: returns `(histogram, ops, timeouts, errors)`.
+fn run_fleet_client(
+    spec: FleetSpec,
+    client: usize,
+    addrs: &[SocketAddr],
+    options: ClientOptions,
+    recorder: Option<Arc<ConformRecorder>>,
+) -> (LatencyHistogram, u64, u64, u64) {
+    let mut hist = LatencyHistogram::new();
+    let emulation = spec.emulation.build(spec.params);
+    let is_writer = client < spec.writers;
+    let protocol = if is_writer {
+        emulation.writer_protocol(client)
+    } else {
+        emulation.reader_protocol()
+    };
+    let mut live = match LiveClient::connect_tcp(
+        emulation.topology().clone(),
+        ClientId::new(client),
+        protocol,
+        addrs,
+        options,
+    ) {
+        Ok(live) => live,
+        Err(_) => return (hist, 0, 0, 1),
+    };
+    if let Some(recorder) = recorder {
+        live = live.with_recorder(recorder, client);
+    }
+    let mut ops = Vec::new();
+    for round in 0..spec.rounds {
+        if is_writer {
+            ops.push(HighOp::Write((client * spec.rounds + round + 1) as u64));
+            if spec.read_after_each {
+                ops.push(HighOp::Read);
+            }
+        } else {
+            ops.push(HighOp::Read);
+        }
+    }
+    let (mut done, mut timeouts, mut errors) = (0u64, 0u64, 0u64);
+    let pace_start = Instant::now();
+    for (index, op) in ops.into_iter().enumerate() {
+        if let Some(rate) = spec.rate {
+            let due = pace_start + Duration::from_secs_f64(index as f64 / rate);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let op_started = Instant::now();
+        match live.run_op(op) {
+            Ok(_) => {
+                hist.record(op_started.elapsed().as_micros() as u64);
+                done += 1;
+            }
+            Err(ServeError::Timeout { .. }) => {
+                // The client is poisoned (the op is still pending); stop it.
+                timeouts += 1;
+                break;
+            }
+            Err(_) => {
+                errors += 1;
+                break;
+            }
+        }
+    }
+    (hist, done, timeouts, errors)
+}

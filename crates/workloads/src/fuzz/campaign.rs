@@ -24,7 +24,11 @@
 //! fixed, manifest-determined set — all published entries of generations
 //! `< g`, in `(stream, generation, sequence)` order — so corpus admission
 //! stays a pure function of the manifest state, and cross-pollination
-//! between shards costs no determinism.
+//! between shards costs no determinism. A campaign can also start from a
+//! *previous* campaign's published corpus: [`import_seed_corpus`] copies a
+//! directory's `*.trace` files into the spool as `seed-NNNN.trace` entries,
+//! the fixed ingest set of every stream's generation 0, frozen once the
+//! manifest exists.
 //!
 //! ## The spool directory
 //!
@@ -32,6 +36,7 @@
 //! |---|---|---|
 //! | `fuzz-config.txt` | coordinator, once | canonical [`FuzzCampaignConfig`] text |
 //! | `fuzz-manifest.txt` | coordinator | [`FuzzManifest`]: fingerprint, stream ranges, per-shard generation progress |
+//! | `seed-NNNN.trace` | coordinator, at init | an imported generation-0 seed ([`import_seed_corpus`]) |
 //! | `corpus-SSSS-GG-NNNN.trace` | workers | one published corpus entry (`regemu-trace v1`) |
 //! | `failures-SSSS-GG.txt` | workers | the generation's shrunk failure reports for stream `SSSS` |
 //! | `fuzz-shard-NNNN-GG.txt` | workers | per-`(shard, generation)` completion report |
@@ -269,6 +274,11 @@ pub fn fuzz_shard_report_path(spool: &Path, shard: usize, gen: usize) -> PathBuf
     spool.join(format!("fuzz-shard-{shard:04}-{gen:02}.txt"))
 }
 
+/// Path of an imported generation-0 seed entry ([`import_seed_corpus`]).
+pub fn seed_entry_path(spool: &Path, seq: usize) -> PathBuf {
+    spool.join(format!("seed-{seq:04}.trace"))
+}
+
 // --------------------------------------------------------------------------
 // The manifest
 // --------------------------------------------------------------------------
@@ -474,6 +484,100 @@ pub fn init_fuzz_spool(
     Ok(manifest)
 }
 
+/// Imports every `*.trace` file in `dir` — typically the `corpus-*.trace`
+/// entries published by a *previous* campaign's spool — as this campaign's
+/// generation-0 seed corpus: `seed-NNNN.trace` entries, numbered in
+/// file-name order, that every stream ingests before its first iteration.
+/// Each file must parse as a `regemu-trace v1` recorded schedule.
+///
+/// Re-importing the same directory is idempotent (byte-identical seeds are
+/// left in place). Once the campaign manifest exists the seed set is
+/// frozen: resumed workers re-derive generation 0 from it, so importing a
+/// different, larger or smaller set into a started campaign is an error,
+/// not a silent determinism break.
+///
+/// Returns the number of seed entries in the spool after the import.
+///
+/// # Errors
+///
+/// Fails on I/O errors, on a seed file that does not parse as a recorded
+/// trace, or on any change to a started campaign's frozen seed set.
+pub fn import_seed_corpus(spool: &Path, dir: &Path) -> Result<usize, CampaignError> {
+    let mut sources: Vec<PathBuf> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_file() && path.extension().is_some_and(|e| e == "trace") {
+            sources.push(path);
+        }
+    }
+    sources.sort();
+    fs::create_dir_all(spool)?;
+    let frozen = FuzzManifest::load(spool)?.is_some();
+    for (seq, source) in sources.iter().enumerate() {
+        let text = fs::read_to_string(source)?;
+        RecordedSchedule::from_text(&text).map_err(|reason| malformed(source, reason))?;
+        let target = seed_entry_path(spool, seq);
+        let changed = format!(
+            "campaign already started with a different seed corpus \
+             (seed {seq} != {}); use a fresh --spool to reseed",
+            source.display()
+        );
+        match fs::read_to_string(&target) {
+            Ok(existing) if existing == text => continue,
+            Ok(_) if frozen => return Err(malformed(&target, changed)),
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if frozen {
+                    return Err(malformed(&target, changed));
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+        write_atomically(&target, &text)?;
+    }
+    let stale = seed_entry_path(spool, sources.len());
+    if stale.exists() {
+        if frozen {
+            return Err(malformed(
+                &stale,
+                "campaign already started with a larger seed corpus; \
+                 use a fresh --spool to reseed",
+            ));
+        }
+        for seq in sources.len().. {
+            let path = seed_entry_path(spool, seq);
+            if !path.exists() {
+                break;
+            }
+            fs::remove_file(&path)?;
+        }
+    }
+    Ok(sources.len())
+}
+
+/// Reads the spool's imported generation-0 seeds in sequence order — the
+/// fixed extra ingest set of every stream's generation 0. Empty when no
+/// seed corpus was imported.
+///
+/// # Errors
+///
+/// Fails on I/O errors or a malformed seed entry.
+pub fn seed_corpus(spool: &Path) -> Result<Vec<FuzzCase>, CampaignError> {
+    let mut cases = Vec::new();
+    for seq in 0.. {
+        let path = seed_entry_path(spool, seq);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+            Err(e) => return Err(e.into()),
+        };
+        let schedule =
+            RecordedSchedule::from_text(&text).map_err(|reason| malformed(&path, reason))?;
+        cases.push(schedule.case());
+    }
+    Ok(cases)
+}
+
 /// Loads the campaign's [`FuzzCampaignConfig`] from a spool directory.
 ///
 /// # Errors
@@ -538,7 +642,14 @@ fn run_stream_generation(
     let mut corpus_mark = 0;
     let mut failure_mark = 0;
     for g in 0..=gen {
-        if g > 0 {
+        if g == 0 {
+            // Imported seeds are generation 0's fixed ingest set; they are
+            // admitted before the corpus mark, so they are never
+            // republished and re-derivation stays deterministic.
+            for case in seed_corpus(spool)? {
+                fuzzer.ingest(case);
+            }
+        } else {
             for case in published_before(spool, config.streams, g)? {
                 fuzzer.ingest(case);
             }
@@ -1279,6 +1390,94 @@ mod tests {
             let _ = fs::remove_dir_all(&spool);
         }
         assert_eq!(artifacts[0], artifacts[1], "shard count leaked into merge");
+    }
+
+    #[test]
+    fn seed_corpus_import_is_idempotent_and_frozen_once_started() {
+        // A finished campaign donates its published corpus as seeds.
+        let donor = tmp_spool("seed-donor");
+        let config = small_config();
+        let donor_options = FuzzCampaignOptions {
+            quiet: true,
+            ..FuzzCampaignOptions::new(&donor)
+        };
+        run_fuzz_campaign(&config, &donor_options).unwrap();
+
+        let spool = tmp_spool("seed-import");
+        let count = import_seed_corpus(&spool, &donor).unwrap();
+        assert!(count > 0, "donor campaign published no corpus");
+        assert!(seed_entry_path(&spool, 0).exists());
+        assert!(!seed_entry_path(&spool, count).exists());
+        assert_eq!(seed_corpus(&spool).unwrap().len(), count);
+        // Re-importing the same directory changes nothing.
+        assert_eq!(import_seed_corpus(&spool, &donor).unwrap(), count);
+
+        // Run the seeded campaign to completion; the manifest now freezes
+        // the seed set.
+        let options = FuzzCampaignOptions {
+            quiet: true,
+            ..FuzzCampaignOptions::new(&spool)
+        };
+        let outcome = run_fuzz_campaign(&config, &options).unwrap();
+        assert!(outcome.report.is_some());
+        // The identical import is still fine on resume...
+        assert_eq!(import_seed_corpus(&spool, &donor).unwrap(), count);
+        // ...but a smaller or different set is rejected.
+        let other = tmp_spool("seed-other");
+        fs::create_dir_all(&other).unwrap();
+        let donated = fs::read_to_string(corpus_entry_path(&donor, 0, 0, 0)).unwrap();
+        fs::write(other.join("only.trace"), donated).unwrap();
+        if count > 1 {
+            assert!(import_seed_corpus(&spool, &other).is_err());
+        }
+
+        // A file that is not a recorded trace is a malformed-seed error.
+        let bad = tmp_spool("seed-bad");
+        fs::create_dir_all(&bad).unwrap();
+        fs::write(bad.join("junk.trace"), "not a trace\n").unwrap();
+        let bad_spool = tmp_spool("seed-bad-spool");
+        assert!(matches!(
+            import_seed_corpus(&bad_spool, &bad),
+            Err(CampaignError::Malformed { .. })
+        ));
+
+        for dir in [&donor, &spool, &other, &bad, &bad_spool] {
+            let _ = fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn a_seeded_campaign_merges_identically_across_shard_counts() {
+        let donor = tmp_spool("seed-shards-donor");
+        let config = small_config();
+        let donor_options = FuzzCampaignOptions {
+            quiet: true,
+            ..FuzzCampaignOptions::new(&donor)
+        };
+        run_fuzz_campaign(&config, &donor_options).unwrap();
+
+        let mut artifacts = Vec::new();
+        for shards in [1, 4] {
+            let spool = tmp_spool(&format!("seed-shards-{shards}"));
+            let seeded = import_seed_corpus(&spool, &donor).unwrap();
+            assert!(seeded > 0);
+            let options = FuzzCampaignOptions {
+                shards,
+                quiet: true,
+                ..FuzzCampaignOptions::new(&spool)
+            };
+            let report = run_fuzz_campaign(&config, &options)
+                .unwrap()
+                .report
+                .expect("campaign must complete");
+            artifacts.push((report.to_text(), report.failures_text()));
+            let _ = fs::remove_dir_all(&spool);
+        }
+        assert_eq!(
+            artifacts[0], artifacts[1],
+            "seed corpus broke shard-count invariance"
+        );
+        let _ = fs::remove_dir_all(&donor);
     }
 
     #[test]

@@ -70,6 +70,7 @@
 #![forbid(unsafe_code)]
 
 pub mod campaign;
+pub mod conform;
 pub mod fuzz;
 pub mod generator;
 pub mod runner;
@@ -77,6 +78,10 @@ pub mod scenario;
 pub mod sweep;
 pub mod table;
 
+pub use conform::{
+    check_history, conform_verdict, merge_logs, ConformLog, ConformRecord, ConformRecorder,
+    ConformVerdict, LowOpKind,
+};
 pub use fuzz::{
     fuzz_and_shrink, merge_fuzz_campaign, replay, run_fuzz_campaign, FailureKind, FailureReport,
     FuzzCampaignConfig, FuzzCampaignOptions, FuzzCampaignReport, FuzzCase, FuzzConfig,
@@ -93,6 +98,10 @@ pub use table::{small_sweep, standard_sweep, TextTable};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
+    pub use crate::conform::{
+        check_history, conform_verdict, merge_logs, ConformLog, ConformRecord, ConformRecorder,
+        ConformVerdict,
+    };
     pub use crate::fuzz::{
         fuzz_and_shrink, merge_fuzz_campaign, replay, run_fuzz_campaign, FailureKind,
         FailureReport, FuzzCampaignConfig, FuzzCampaignOptions, FuzzCampaignReport, FuzzCase,

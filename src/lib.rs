@@ -20,7 +20,11 @@
 //!   directory, with deterministic merge and resume;
 //! * [`fuzz`] — coverage-guided schedule fuzzing: record/replay traces
 //!   ([`fuzz::RecordedSchedule`]), corpus exploration ([`fuzz::Fuzzer`]) and
-//!   automatic failure shrinking ([`fuzz::shrink_failure`]).
+//!   automatic failure shrinking ([`fuzz::shrink_failure`]);
+//! * [`serve`] — the live replicated-register service: the same client and
+//!   server state machines over in-process channels or TCP
+//!   ([`serve::LiveClient`], [`serve::serve_tcp`]), with load generation and
+//!   simulator-backed conformance checking of recorded histories.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `regemu-bench` crate for the binaries that regenerate every table and
@@ -68,6 +72,7 @@ pub use regemu_adversary as adversary;
 pub use regemu_bounds as bounds;
 pub use regemu_core as core;
 pub use regemu_fpsm as fpsm;
+pub use regemu_serve as serve;
 pub use regemu_spec as spec;
 pub use regemu_workloads as workloads;
 
