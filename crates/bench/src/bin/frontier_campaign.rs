@@ -1,0 +1,331 @@
+//! `frontier_campaign` — map the empirical space-complexity frontier:
+//! sweep a `(k, f, n) × emulation × scheduler × crash-plan` grid, sample
+//! peak coverage/occupancy per run, and judge every point against the
+//! paper's Table 1 bounds. Single-process by default; pass `--spool` to run
+//! the campaign sharded over worker processes with kill/resume, merging to
+//! a byte-identical frontier table.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin frontier_campaign -- [OPTIONS]
+//!
+//! OPTIONS (frontier config):
+//!   --grid k/f/n,..     parameter points (typed rejection of infeasible
+//!                       points, e.g. n < 2f+1; default: the quick grid)
+//!   --emulations a,b    constructions (or "all"; default all four)
+//!   --seeds a,b,..      seeds (default 1,2)
+//!   --schedulers a,b    schedulers (or "all"; default fair,adversary-cover)
+//!   --crash-plans a,b   crash plans (or "all"; default none,crash-f)
+//!   --rounds N          writes per writer in the workload (default 2)
+//!   --threads N         sweep threads (per worker when sharded)
+//!
+//! OPTIONS (sharded campaign; omit --spool for single-process):
+//!   --spool DIR         spool directory (enables the sharded protocol)
+//!   --shards N          shard count for a fresh spool (default 4)
+//!   --workers M         concurrent worker processes (default 2)
+//!   --retries R         attempt budget per shard (default 3)
+//!   --worker-bin PATH   campaign_worker binary (default: next to this one)
+//!   --in-process        run shards inside this process instead of spawning
+//!   --exit-after N      stop after N shards (kill simulation; rerun the
+//!                       same command to resume)
+//!   --merge-only        only merge existing shard reports, run nothing
+//!   --quiet             no progress lines
+//!
+//! OPTIONS (output):
+//!   --text PATH         rendered frontier table (- for stdout; default -)
+//!   --json PATH         frontier table as JSON (- for stdout)
+//!   --csv PATH          frontier table as CSV (- for stdout)
+//! ```
+//!
+//! Exit codes: 0 table produced and every row within its upper bound;
+//! 1 a row exceeded its bound (or a run failed); 2 usage error (including
+//! infeasible grid points); 3 paused by `--exit-after` (resumable).
+
+use regemu_bench::cli::write_output;
+use regemu_core::EmulationKind;
+use regemu_workloads::campaign::{load_config, merge_shards, CampaignOptions, WorkerMode};
+use regemu_workloads::frontier::{
+    run_frontier, run_frontier_campaign, FrontierConfig, FrontierReport,
+};
+use regemu_workloads::scenario::{CrashPlanSpec, SchedulerSpec};
+use regemu_workloads::sweep::WorkloadSpec;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("frontier_campaign: {msg}");
+    eprintln!(
+        "usage: frontier_campaign [--grid k/f/n,..] [--emulations a,b|all] [--seeds a,b,..] \
+         [--schedulers a,b|all] [--crash-plans a,b|all] [--rounds N] [--threads N] \
+         [--spool DIR] [--shards N] [--workers M] [--retries R] [--worker-bin PATH] \
+         [--in-process] [--exit-after N] [--merge-only] [--quiet] \
+         [--text PATH] [--json PATH] [--csv PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn default_worker_bin() -> PathBuf {
+    let Ok(me) = std::env::current_exe() else {
+        return PathBuf::from("campaign_worker");
+    };
+    let mut bin = me;
+    bin.set_file_name(format!("campaign_worker{}", std::env::consts::EXE_SUFFIX));
+    bin
+}
+
+fn main() {
+    let mut config = FrontierConfig::quick();
+    let mut any_config_flag = false;
+    let mut rounds: Option<usize> = None;
+    let mut spool: Option<PathBuf> = None;
+    let mut shards: usize = 4;
+    let mut workers: usize = 2;
+    let mut retries: u32 = 3;
+    let mut worker_bin: Option<PathBuf> = None;
+    let mut in_process = false;
+    let mut exit_after: Option<usize> = None;
+    let mut merge_only = false;
+    let mut quiet = false;
+    let mut text_out: Option<String> = None;
+    let mut json_out: Option<String> = None;
+    let mut csv_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        let parse_usize = |flag: &str, v: String| -> usize {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("invalid {flag} value {v:?}")))
+        };
+        match arg.as_str() {
+            "--grid" => {
+                // Infeasible points (k = 0, f = 0, n < 2f+1 ⇒ z = 0) are a
+                // typed rejection up front, never a silent skip.
+                config.grid =
+                    FrontierConfig::grid_from_spec(&value("--grid")).unwrap_or_else(|e| fail(&e));
+                any_config_flag = true;
+            }
+            "--emulations" => {
+                let v = value("--emulations");
+                config.emulations = if v.trim() == "all" {
+                    EmulationKind::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|s| {
+                            EmulationKind::from_name(s.trim())
+                                .unwrap_or_else(|| fail(&format!("unknown emulation {s:?}")))
+                        })
+                        .collect()
+                };
+                any_config_flag = true;
+            }
+            "--seeds" => {
+                config.seeds = value("--seeds")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail(&format!("invalid seed {s:?}")))
+                    })
+                    .collect();
+                any_config_flag = true;
+            }
+            "--schedulers" => {
+                let v = value("--schedulers");
+                config.schedulers = if v.trim() == "all" {
+                    SchedulerSpec::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|s| {
+                            SchedulerSpec::from_name(s.trim())
+                                .unwrap_or_else(|| fail(&format!("unknown scheduler {s:?}")))
+                        })
+                        .collect()
+                };
+                any_config_flag = true;
+            }
+            "--crash-plans" => {
+                let v = value("--crash-plans");
+                config.crash_plans = if v.trim() == "all" {
+                    CrashPlanSpec::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|s| {
+                            CrashPlanSpec::from_name(s.trim())
+                                .unwrap_or_else(|| fail(&format!("unknown crash plan {s:?}")))
+                        })
+                        .collect()
+                };
+                any_config_flag = true;
+            }
+            "--rounds" => {
+                rounds = Some(parse_usize("--rounds", value("--rounds")).max(1));
+                any_config_flag = true;
+            }
+            "--threads" => config.threads = parse_usize("--threads", value("--threads")),
+            "--spool" => spool = Some(PathBuf::from(value("--spool"))),
+            "--shards" => shards = parse_usize("--shards", value("--shards")).max(1),
+            "--workers" => workers = parse_usize("--workers", value("--workers")).max(1),
+            "--retries" => {
+                retries = value("--retries")
+                    .parse()
+                    .unwrap_or_else(|_| fail("invalid --retries value"));
+            }
+            "--worker-bin" => worker_bin = Some(PathBuf::from(value("--worker-bin"))),
+            "--in-process" => in_process = true,
+            "--exit-after" => {
+                exit_after = Some(parse_usize("--exit-after", value("--exit-after")));
+            }
+            "--merge-only" => merge_only = true,
+            "--quiet" => quiet = true,
+            "--text" => text_out = Some(value("--text")),
+            "--json" => json_out = Some(value("--json")),
+            "--csv" => csv_out = Some(value("--csv")),
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    if let Some(rounds) = rounds {
+        config.workloads = vec![WorkloadSpec::WriteSequential {
+            rounds,
+            read_after_each: true,
+        }];
+    }
+    if let Err(e) = config.validate() {
+        fail(&e.to_string());
+    }
+
+    let emit = |report: &FrontierReport| {
+        let text = text_out.as_deref().unwrap_or("-");
+        write_output(text, &report.to_text(), "frontier table");
+        if let Some(path) = &json_out {
+            write_output(path, &report.to_json(), "frontier JSON");
+        }
+        if let Some(path) = &csv_out {
+            write_output(path, &report.to_csv(), "frontier CSV");
+        }
+        if !report.all_within_upper() {
+            for row in report.violations() {
+                eprintln!(
+                    "bound exceeded: k={} f={} n={} {}: measured {} > upper {}",
+                    row.params.k,
+                    row.params.f,
+                    row.params.n,
+                    row.emulation.name(),
+                    row.verdict.measured,
+                    row.verdict.upper,
+                );
+            }
+            std::process::exit(1);
+        }
+    };
+
+    let Some(spool) = spool else {
+        // Single-process path.
+        let started = Instant::now();
+        let report = run_frontier(&config).unwrap_or_else(|e| fail(&e.to_string()));
+        if !quiet {
+            eprintln!(
+                "frontier: {} cases -> {} rows in {:.2?}",
+                config.case_count(),
+                report.len(),
+                started.elapsed()
+            );
+        }
+        emit(&report);
+        return;
+    };
+
+    // A resumed spool dictates the config (the frontier config is
+    // reconstructed from the spooled sweep config); a fresh spool takes the
+    // flags. Contradicting flags are an error, not a silent re-run.
+    if let Ok(spooled) = load_config(&spool) {
+        let from_spool =
+            FrontierConfig::from_sweep_config(&spooled).unwrap_or_else(|e| fail(&e.to_string()));
+        if any_config_flag
+            && regemu_workloads::campaign::config_fingerprint(&config.to_sweep_config())
+                != regemu_workloads::campaign::config_fingerprint(&spooled)
+        {
+            fail(&format!(
+                "spool {} was created for a different frontier config than the flags passed; \
+                 drop the config flags to resume it, or use a fresh --spool",
+                spool.display()
+            ));
+        }
+        let threads = config.threads;
+        config = from_spool;
+        config.threads = threads;
+        if !quiet {
+            eprintln!(
+                "frontier_campaign: resuming spool {} ({} cases)",
+                spool.display(),
+                config.case_count()
+            );
+        }
+    }
+
+    if merge_only {
+        let sweep = merge_shards(&spool).unwrap_or_else(|e| {
+            eprintln!("frontier_campaign: merge failed: {e}");
+            std::process::exit(1);
+        });
+        let report =
+            FrontierReport::from_sweep(&config, &sweep).unwrap_or_else(|e| fail(&e.to_string()));
+        if !quiet {
+            eprintln!(
+                "merged {} cases into {} frontier rows from existing shard reports",
+                sweep.len(),
+                report.len()
+            );
+        }
+        emit(&report);
+        return;
+    }
+
+    let mut options = CampaignOptions::new(&spool);
+    options.shards = shards;
+    options.workers = workers;
+    options.max_attempts = retries.max(1);
+    options.worker_threads = config.threads.max(1);
+    options.worker = if in_process {
+        WorkerMode::InProcess
+    } else {
+        let bin = worker_bin.unwrap_or_else(default_worker_bin);
+        if !bin.exists() {
+            fail(&format!(
+                "worker binary {} not found; build it (cargo build -p regemu-bench) or pass \
+                 --worker-bin / --in-process",
+                bin.display()
+            ));
+        }
+        WorkerMode::Spawn(bin)
+    };
+    options.exit_after = exit_after;
+    options.quiet = quiet;
+
+    let started = Instant::now();
+    let outcome = run_frontier_campaign(&config, &options).unwrap_or_else(|e| {
+        eprintln!("frontier_campaign: {e}");
+        std::process::exit(1);
+    });
+    match outcome {
+        Some(report) => {
+            if !quiet {
+                eprintln!(
+                    "frontier campaign: {} cases -> {} rows in {:.2?}",
+                    config.case_count(),
+                    report.len(),
+                    started.elapsed()
+                );
+            }
+            emit(&report);
+        }
+        None => {
+            eprintln!(
+                "frontier campaign stopped early (--exit-after); rerun the same command to resume"
+            );
+            std::process::exit(3);
+        }
+    }
+}

@@ -204,6 +204,193 @@ pub fn saturation_server_count(k: usize, f: usize) -> usize {
     k * f + f + 1
 }
 
+// ----- bounds as executable oracles ----------------------------------------
+
+/// Errors raised by the checked bound formulas ([`checked_register_bounds`])
+/// on raw `(k, f, n)` triples that fall outside the formulas' domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BoundError {
+    /// The parameters violate a basic constraint (`k ≥ 1`, `f ≥ 1`,
+    /// `n ≥ 2f + 1`), before any formula is evaluated.
+    InvalidParams(ParamError),
+    /// Theorem 3's upper bound is undefined: the register-set writer
+    /// capacity `z = ⌊(n - (f+1)) / f⌋` is zero, so no register set can host
+    /// even one writer. Equivalent to `n < 2f + 1` — the construction (and,
+    /// by Theorem 5, any construction) needs more servers.
+    ZeroSetCapacity {
+        /// Number of writers requested.
+        k: usize,
+        /// Failure threshold requested.
+        f: usize,
+        /// Number of servers requested.
+        n: usize,
+    },
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::InvalidParams(e) => write!(out, "invalid parameters: {e}"),
+            BoundError::ZeroSetCapacity { k, f, n } => write!(
+                out,
+                "upper bound undefined at k={k}, f={f}, n={n}: register-set capacity \
+                 z = ⌊(n-f-1)/f⌋ is 0 (need n ≥ 2f+1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BoundError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BoundError::InvalidParams(e) => Some(e),
+            BoundError::ZeroSetCapacity { .. } => None,
+        }
+    }
+}
+
+impl From<ParamError> for BoundError {
+    fn from(e: ParamError) -> Self {
+        BoundError::InvalidParams(e)
+    }
+}
+
+/// Checked form of the Table-1 register row on a *raw* `(k, f, n)` triple:
+/// returns `(register_lower_bound, register_upper_bound)` or a typed
+/// [`BoundError`] when the formulas are undefined, distinguishing the
+/// `z = 0` degeneracy (too few servers for even one register set) from the
+/// basic parameter constraints.
+pub fn checked_register_bounds(k: usize, f: usize, n: usize) -> Result<(usize, usize), BoundError> {
+    if k == 0 {
+        return Err(ParamError::NoWriters.into());
+    }
+    if f == 0 {
+        return Err(ParamError::NoFaults.into());
+    }
+    // z = 0 ⇔ n - (f+1) < f ⇔ n < 2f + 1: report it as the formula-level
+    // degeneracy it is (the ⌈k/z⌉ term of Theorem 3 divides by zero).
+    if n < f + 1 || (n - (f + 1)) / f == 0 {
+        return Err(BoundError::ZeroSetCapacity { k, f, n });
+    }
+    let p = Params::new(k, f, n)?;
+    Ok((register_lower_bound(p), register_upper_bound(p)))
+}
+
+/// The base-object row of Table 1 (or the construction-specific budget) a
+/// measurement is judged against by [`BoundVerdict::judge`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoundClass {
+    /// Max-register base objects: lower = upper = `2f + 1` (Table 1 row 1).
+    MaxRegister,
+    /// CAS base objects: lower = upper = `2f + 1` (Table 1 row 2).
+    Cas,
+    /// Read/write registers, space-optimal construction (Algorithm 2):
+    /// lower bound from Theorem 1, upper bound from Theorem 3.
+    Register,
+    /// Read/write registers, full-replication bank (`k` registers on each
+    /// of the `n` servers — the special-case construction generalized past
+    /// `n = 2f + 1`): Theorem 1 still lower-bounds it, its budget is `n·k`.
+    RegisterBank,
+}
+
+impl BoundClass {
+    /// Stable short name used in frontier tables and CSV columns.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoundClass::MaxRegister => "max-register",
+            BoundClass::Cas => "cas",
+            BoundClass::Register => "register",
+            BoundClass::RegisterBank => "register-bank",
+        }
+    }
+
+    /// The paper's lower bound on base objects for this class at `p`.
+    pub fn lower_bound(self, p: Params) -> usize {
+        match self {
+            BoundClass::MaxRegister => max_register_bound(p.f),
+            BoundClass::Cas => cas_bound(p.f),
+            BoundClass::Register | BoundClass::RegisterBank => register_lower_bound(p),
+        }
+    }
+
+    /// The upper bound (construction budget) for this class at `p`.
+    pub fn upper_bound(self, p: Params) -> usize {
+        match self {
+            BoundClass::MaxRegister => max_register_bound(p.f),
+            BoundClass::Cas => cas_bound(p.f),
+            BoundClass::Register => register_upper_bound(p),
+            BoundClass::RegisterBank => p.n * p.k,
+        }
+    }
+}
+
+impl fmt::Display for BoundClass {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        out.write_str(self.name())
+    }
+}
+
+/// A measured space consumption judged against the paper's bounds — the
+/// executable-oracle form of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundVerdict {
+    /// The bound row the measurement was judged against.
+    pub class: BoundClass,
+    /// The parameter point.
+    pub params: Params,
+    /// The class's lower bound at these parameters.
+    pub lower: usize,
+    /// The class's upper bound (construction budget) at these parameters.
+    pub upper: usize,
+    /// The measured peak base-object usage.
+    pub measured: usize,
+}
+
+impl BoundVerdict {
+    /// Judges `measured` against the `class` bounds at `params`.
+    pub fn judge(class: BoundClass, params: Params, measured: usize) -> Self {
+        BoundVerdict {
+            class,
+            params,
+            lower: class.lower_bound(params),
+            upper: class.upper_bound(params),
+            measured,
+        }
+    }
+
+    /// `true` when the measurement respects the upper bound — what every
+    /// clean construction must satisfy on every schedule.
+    pub fn within_upper(&self) -> bool {
+        self.measured <= self.upper
+    }
+
+    /// Unused headroom below the upper bound (`0` when at or over it).
+    pub fn slack(&self) -> usize {
+        self.upper.saturating_sub(self.measured)
+    }
+
+    /// How far the measurement overshoots the upper bound (`0` when within).
+    pub fn excess(&self) -> usize {
+        self.measured.saturating_sub(self.upper)
+    }
+
+    /// `true` when an adversarial schedule drove the measurement all the way
+    /// up to (or past) the lower-bound frontier.
+    pub fn reaches_lower(&self) -> bool {
+        self.measured >= self.lower
+    }
+
+    /// Stable one-word verdict for report columns: `ok` within the upper
+    /// bound, `exceeds` otherwise.
+    pub fn label(&self) -> &'static str {
+        if self.within_upper() {
+            "ok"
+        } else {
+            "exceeds"
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,6 +507,109 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn checked_bounds_reject_degenerate_points_with_typed_errors() {
+        // z = 0: every n < 2f + 1 (including the n ≤ f + 1 underflow region)
+        // is the formula-level degeneracy, not a generic parameter error.
+        for (k, f, n) in [(1, 1, 2), (3, 2, 4), (5, 3, 6), (2, 2, 0), (2, 3, 3)] {
+            assert_eq!(
+                checked_register_bounds(k, f, n),
+                Err(BoundError::ZeroSetCapacity { k, f, n }),
+                "(k={k}, f={f}, n={n})"
+            );
+        }
+        // k = 0 / f = 0 stay basic parameter errors.
+        assert_eq!(
+            checked_register_bounds(0, 1, 3),
+            Err(BoundError::InvalidParams(ParamError::NoWriters))
+        );
+        assert_eq!(
+            checked_register_bounds(1, 0, 3),
+            Err(BoundError::InvalidParams(ParamError::NoFaults))
+        );
+        // Error text names the degeneracy and the remedy.
+        let e = checked_register_bounds(1, 1, 2).unwrap_err();
+        assert!(e.to_string().contains("z = ⌊(n-f-1)/f⌋ is 0"), "{e}");
+        assert!(
+            std::error::Error::source(&BoundError::InvalidParams(ParamError::NoWriters)).is_some()
+        );
+    }
+
+    #[test]
+    fn checked_bounds_match_the_unchecked_formulas_on_valid_points() {
+        for f in 1..=3usize {
+            for k in 1..=8usize {
+                for n in (2 * f + 1)..=(2 * f + 5) {
+                    let p = Params::new(k, f, n).unwrap();
+                    assert_eq!(
+                        checked_register_bounds(k, f, n),
+                        Ok((register_lower_bound(p), register_upper_bound(p)))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem6_row_at_minimal_n() {
+        // n = 2f + 1: per-server occupancy must reach k (Theorem 6), and the
+        // register bounds collapse onto the (2f+1)·k bank — k per server.
+        for f in 1..=3usize {
+            for k in 1..=6usize {
+                let p = Params::new(k, f, 2 * f + 1).unwrap();
+                assert_eq!(per_server_lower_bound_minimal_n(k), k);
+                assert_eq!(register_upper_bound(p), (2 * f + 1) * k);
+                assert_eq!(
+                    BoundClass::RegisterBank.upper_bound(p),
+                    special_case_minimal_n_upper_bound(k, f)
+                );
+                assert_eq!(register_upper_bound(p) / p.n, k);
+            }
+        }
+    }
+
+    #[test]
+    fn k1_bounds_collapse_to_the_single_writer_point() {
+        // k = 1: one register set of f + (f+1) registers; lower = upper.
+        for f in 1..=4usize {
+            for n in (2 * f + 1)..=(3 * f + 2) {
+                let p = Params::new(1, f, n).unwrap();
+                assert_eq!(register_upper_bound(p), 2 * f + 1);
+                assert_eq!(register_lower_bound(p), 2 * f + 1);
+                assert!(p.bounds_coincide());
+            }
+        }
+    }
+
+    #[test]
+    fn bound_verdict_judges_each_class_row() {
+        let p = Params::new(5, 2, 6).unwrap(); // Figure 1: lower 22, upper 25
+        let v = BoundVerdict::judge(BoundClass::Register, p, 23);
+        assert_eq!((v.lower, v.upper), (22, 25));
+        assert!(v.within_upper());
+        assert!(v.reaches_lower());
+        assert_eq!(v.slack(), 2);
+        assert_eq!(v.excess(), 0);
+        assert_eq!(v.label(), "ok");
+
+        let over = BoundVerdict::judge(BoundClass::MaxRegister, p, 9);
+        assert_eq!((over.lower, over.upper), (5, 5));
+        assert!(!over.within_upper());
+        assert_eq!(over.excess(), 4);
+        assert_eq!(over.slack(), 0);
+        assert_eq!(over.label(), "exceeds");
+
+        let bank = BoundVerdict::judge(BoundClass::RegisterBank, p, 30);
+        assert_eq!(bank.upper, 30);
+        assert_eq!(bank.lower, 22);
+        assert!(bank.within_upper());
+
+        let cas = BoundVerdict::judge(BoundClass::Cas, p, 5);
+        assert_eq!(cas.label(), "ok");
+        assert_eq!(BoundClass::Cas.name(), "cas");
+        assert_eq!(BoundClass::Register.to_string(), "register");
     }
 
     proptest! {

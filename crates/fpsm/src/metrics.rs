@@ -27,6 +27,17 @@ pub struct RunMetrics {
     pub touched_per_server: BTreeMap<ServerId, usize>,
     /// Per-server count of currently covered objects.
     pub covered_per_server: BTreeMap<ServerId, usize>,
+    /// Peak number of covered base objects over the whole run,
+    /// `max_t |Cov(t)|` — unlike [`RunMetrics::covered`], which is the
+    /// end-of-run snapshot, this captures coverage the schedule built up and
+    /// later released. (Resource consumption needs no peak twin: `touched`
+    /// only grows, so its peak *is* the final value.)
+    pub peak_covered: usize,
+    /// Peak number of covered objects on any single server over the run —
+    /// the per-server occupancy pressure of Theorem 6.
+    pub peak_covered_on_one_server: usize,
+    /// Peak number of simultaneously pending low-level operations.
+    pub peak_pending: usize,
     /// Maximum number of clients with an incomplete high-level operation at
     /// any point of the run (point contention).
     pub point_contention: usize,
@@ -71,6 +82,9 @@ impl RunMetrics {
             covered,
             touched_per_server,
             covered_per_server,
+            peak_covered: sim.peak_covered_count(),
+            peak_covered_on_one_server: sim.peak_covered_on_one_server(),
+            peak_pending: sim.peak_pending_count(),
             point_contention: history.point_contention(),
             low_level_triggers: history.trigger_count(),
             low_level_responses: history.respond_count(),
@@ -91,6 +105,18 @@ impl RunMetrics {
     /// `δ(Cov(now))`.
     pub fn covered_servers(&self) -> BTreeSet<ServerId> {
         self.covered_per_server.keys().copied().collect()
+    }
+
+    /// Peak number of covered objects over the whole run, `max_t |Cov(t)|`.
+    pub fn peak_covered_count(&self) -> usize {
+        self.peak_covered
+    }
+
+    /// Maximum per-server occupancy of the run: the largest number of
+    /// touched objects on any single server. `touched` is monotone, so this
+    /// end-of-run value is also the peak over the run.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_touched_per_server()
     }
 
     /// Maximum number of touched objects on any single server.
@@ -168,6 +194,32 @@ mod tests {
         assert_eq!(after.low_level_responses, 1);
         assert_eq!(after.max_touched_per_server(), 1);
         assert_eq!(after.min_touched_per_server(), 1);
+    }
+
+    #[test]
+    fn peak_coverage_survives_delivery_and_drops() {
+        let mut t = Topology::new(3);
+        let objs = t.add_object_per_server(ObjectKind::Register);
+        let mut sim = Simulation::new(t, SimConfig::unchecked());
+        let c = sim.register_client(Box::new(SprayWriter {
+            targets: objs.clone(),
+            acks: 0,
+        }));
+        sim.invoke(c, HighOp::Write(5)).unwrap();
+        assert_eq!(RunMetrics::capture(&sim).peak_covered_count(), 3);
+
+        // Drain every pending write: the snapshot coverage collapses to 0
+        // but the peak remembers the high-water mark.
+        let ids: Vec<_> = sim.pending_ops().map(|p| p.op_id).collect();
+        sim.deliver(ids[0]).unwrap();
+        sim.drop_pending(ids[1]).unwrap();
+        sim.deliver(ids[2]).unwrap();
+        let m = RunMetrics::capture(&sim);
+        assert_eq!(m.covered_count(), 0);
+        assert_eq!(m.peak_covered_count(), 3);
+        assert_eq!(m.peak_covered_on_one_server, 1);
+        assert_eq!(m.peak_pending, 3);
+        assert_eq!(m.max_occupancy(), 1);
     }
 
     #[test]

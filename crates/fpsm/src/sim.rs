@@ -213,16 +213,34 @@ pub struct Simulation {
     next_op_id: u64,
     /// Per-delivery scheduler decisions; recorded only when enabled.
     decision_trace: Option<Vec<DecisionRecord>>,
+    /// Number of pending *covering writes* per object (`cover_counts[b] > 0`
+    /// iff `b ∈ Cov(now)`), maintained incrementally at every pending-set
+    /// mutation so coverage peaks cost O(1) per step instead of a scan.
+    cover_counts: Vec<usize>,
+    /// Number of currently covered objects, `|Cov(now)|`.
+    covered_now: usize,
+    /// Per-server count of currently covered objects.
+    covered_per_server_now: Vec<usize>,
+    /// Maximum of `covered_now` over the whole run (`max_t |Cov(t)|`).
+    peak_covered: usize,
+    /// Maximum, over the whole run, of the covered-object count of any
+    /// single server (`max_t max_s |Cov(t) ∩ objects(s)|`, Theorem 6's
+    /// per-server quantity under adversarial pressure).
+    peak_covered_on_one_server: usize,
+    /// Maximum number of simultaneously pending low-level operations.
+    peak_pending: usize,
 }
 
 impl Simulation {
     /// Creates a simulation for the given topology.
     pub fn new(topology: Topology, config: SimConfig) -> Self {
-        let objects = topology
+        let objects: Vec<BaseObject> = topology
             .objects()
             .map(|id| BaseObject::new(id, topology.server_of(id), topology.kind_of(id)))
             .collect();
         let server_crashed = vec![false; topology.server_count()];
+        let cover_counts = vec![0; objects.len()];
+        let covered_per_server_now = vec![0; topology.server_count()];
         Simulation {
             topology,
             config,
@@ -236,6 +254,12 @@ impl Simulation {
             time: 0,
             next_op_id: 0,
             decision_trace: None,
+            cover_counts,
+            covered_now: 0,
+            covered_per_server_now,
+            peak_covered: 0,
+            peak_covered_on_one_server: 0,
+            peak_pending: 0,
         }
     }
 
@@ -407,6 +431,31 @@ impl Simulation {
         self.pending.iter().copied().collect()
     }
 
+    /// Number of currently covered base objects, `|Cov(now)|` — objects with
+    /// at least one pending covering write. O(1): maintained incrementally.
+    pub fn covered_count_now(&self) -> usize {
+        self.covered_now
+    }
+
+    /// Peak number of covered base objects over the whole run so far,
+    /// `max_t |Cov(t)|`. Unlike the end-of-run snapshot, this captures
+    /// coverage the schedule built up and later released.
+    pub fn peak_covered_count(&self) -> usize {
+        self.peak_covered
+    }
+
+    /// Peak number of covered objects on any *single* server over the run so
+    /// far — the per-server occupancy pressure of Theorem 6.
+    pub fn peak_covered_on_one_server(&self) -> usize {
+        self.peak_covered_on_one_server
+    }
+
+    /// Peak number of simultaneously pending low-level operations over the
+    /// run so far.
+    pub fn peak_pending_count(&self) -> usize {
+        self.peak_pending
+    }
+
     /// Number of high-level operations invoked so far (completed or not).
     pub fn invoked_high_count(&self) -> usize {
         self.high_results.len()
@@ -487,6 +536,7 @@ impl Simulation {
         // Apply to the object: this is the operation's linearization point.
         let response = self.objects[pending.object.index()].apply(&pending.op)?;
         self.pending.remove(op_id);
+        self.note_pending_removed(&pending);
         self.time += 1;
         self.history.push(Event::Respond {
             time: self.time,
@@ -534,7 +584,12 @@ impl Simulation {
     ///
     /// Fails if the operation is not pending.
     pub fn drop_pending(&mut self, op_id: OpId) -> Result<PendingOp, SimError> {
-        self.pending.remove(op_id).ok_or(SimError::UnknownOp(op_id))
+        let op = self
+            .pending
+            .remove(op_id)
+            .ok_or(SimError::UnknownOp(op_id))?;
+        self.note_pending_removed(&op);
+        Ok(op)
     }
 
     /// Crashes a server, crashing every base object mapped to it.
@@ -595,6 +650,40 @@ impl Simulation {
 
     // ----- internals -------------------------------------------------------
 
+    /// Updates the incremental coverage/pending accounting after `op` was
+    /// inserted into the pending set.
+    fn note_pending_inserted(&mut self, op: &PendingOp) {
+        self.peak_pending = self.peak_pending.max(self.pending.len());
+        if !op.is_covering_write() {
+            return;
+        }
+        let obj = op.object.index();
+        self.cover_counts[obj] += 1;
+        if self.cover_counts[obj] == 1 {
+            self.covered_now += 1;
+            self.peak_covered = self.peak_covered.max(self.covered_now);
+            let server = op.server.index();
+            self.covered_per_server_now[server] += 1;
+            self.peak_covered_on_one_server = self
+                .peak_covered_on_one_server
+                .max(self.covered_per_server_now[server]);
+        }
+    }
+
+    /// Updates the incremental coverage accounting after `op` left the
+    /// pending set (delivered or dropped).
+    fn note_pending_removed(&mut self, op: &PendingOp) {
+        if !op.is_covering_write() {
+            return;
+        }
+        let obj = op.object.index();
+        self.cover_counts[obj] -= 1;
+        if self.cover_counts[obj] == 0 {
+            self.covered_now -= 1;
+            self.covered_per_server_now[op.server.index()] -= 1;
+        }
+    }
+
     fn apply_effects(
         &mut self,
         client: ClientId,
@@ -623,7 +712,7 @@ impl Simulation {
                 object,
                 op,
             });
-            self.pending.insert(PendingOp {
+            let pending = PendingOp {
                 op_id,
                 client,
                 high_op,
@@ -631,7 +720,9 @@ impl Simulation {
                 server,
                 op,
                 triggered_at: self.time,
-            });
+            };
+            self.pending.insert(pending);
+            self.note_pending_inserted(&pending);
         }
         if let Some(response) = completion {
             let (high_id, _op) = self.clients[client.index()].finish(response);

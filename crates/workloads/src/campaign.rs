@@ -997,6 +997,9 @@ fn case_from_json(case: &Json, file: &Path) -> Result<CaseResult, CampaignError>
         provisioned_objects: num("provisioned")? as usize,
         resource_consumption: num("consumption")? as usize,
         covered: num("covered")? as usize,
+        peak_covered: num("peak_covered")? as usize,
+        peak_covered_server: num("peak_covered_server")? as usize,
+        max_occupancy: num("occupancy")? as usize,
         point_contention: num("contention")? as usize,
         low_level_triggers: num("triggers")?,
         low_level_responses: num("responses")?,

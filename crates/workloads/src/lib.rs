@@ -71,6 +71,7 @@
 
 pub mod campaign;
 pub mod conform;
+pub mod frontier;
 pub mod fuzz;
 pub mod generator;
 pub mod runner;
@@ -81,6 +82,9 @@ pub mod table;
 pub use conform::{
     check_history, conform_verdict, merge_logs, ConformLog, ConformRecord, ConformRecorder,
     ConformVerdict, LowOpKind,
+};
+pub use frontier::{
+    run_frontier, run_frontier_campaign, FrontierConfig, FrontierError, FrontierReport, FrontierRow,
 };
 pub use fuzz::{
     fuzz_and_shrink, merge_fuzz_campaign, replay, run_fuzz_campaign, FailureKind, FailureReport,
@@ -101,6 +105,10 @@ pub mod prelude {
     pub use crate::conform::{
         check_history, conform_verdict, merge_logs, ConformLog, ConformRecord, ConformRecorder,
         ConformVerdict,
+    };
+    pub use crate::frontier::{
+        run_frontier, run_frontier_campaign, FrontierConfig, FrontierError, FrontierReport,
+        FrontierRow,
     };
     pub use crate::fuzz::{
         fuzz_and_shrink, merge_fuzz_campaign, replay, run_fuzz_campaign, FailureKind,

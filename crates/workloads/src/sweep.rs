@@ -362,6 +362,16 @@ pub struct CaseResult {
     pub resource_consumption: usize,
     /// Base objects left covered by a pending write at the end of the run.
     pub covered: usize,
+    /// Peak number of covered objects over the whole run, `max_t |Cov(t)|` —
+    /// the schedule-dependent coverage pressure the frontier campaign
+    /// ([`crate::frontier`]) judges against the paper's bounds.
+    pub peak_covered: usize,
+    /// Peak number of covered objects on any single server over the run
+    /// (Theorem 6's per-server quantity).
+    pub peak_covered_server: usize,
+    /// Maximum per-server occupancy: the largest number of touched objects
+    /// on any single server (monotone, so the end-of-run value is the peak).
+    pub max_occupancy: usize,
     /// Point contention of the run.
     pub point_contention: usize,
     /// Low-level operations triggered.
@@ -390,6 +400,9 @@ fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
             provisioned_objects: report.provisioned_objects,
             resource_consumption: report.metrics.resource_consumption(),
             covered: report.metrics.covered_count(),
+            peak_covered: report.metrics.peak_covered_count(),
+            peak_covered_server: report.metrics.peak_covered_on_one_server,
+            max_occupancy: report.metrics.max_occupancy(),
             point_contention: report.metrics.point_contention,
             low_level_triggers: report.metrics.low_level_triggers,
             low_level_responses: report.metrics.low_level_responses,
@@ -404,6 +417,9 @@ fn run_case(case: &SweepCase, config: &SweepConfig) -> CaseResult {
             provisioned_objects: case.emulation.build(case.params).base_object_count(),
             resource_consumption: 0,
             covered: 0,
+            peak_covered: 0,
+            peak_covered_server: 0,
+            max_occupancy: 0,
             point_contention: 0,
             low_level_triggers: 0,
             low_level_responses: 0,
@@ -472,7 +488,8 @@ impl SweepReport {
                  \"workload\": \"{}\", \"scheduler\": \"{}\", \"crashes\": \"{}\", \
                  \"recording\": \"{}\", \"seed\": {}, \
                  \"provisioned\": {}, \"consumption\": {}, \
-                 \"covered\": {}, \"contention\": {}, \"triggers\": {}, \"responses\": {}, \
+                 \"covered\": {}, \"peak_covered\": {}, \"peak_covered_server\": {}, \
+                 \"occupancy\": {}, \"contention\": {}, \"triggers\": {}, \"responses\": {}, \
                  \"completed\": {}, \"consistent\": {}, \"coverage\": \"{}\", \
                  \"violation\": {}, \"error\": {}}}{}\n",
                 c.index,
@@ -488,6 +505,9 @@ impl SweepReport {
                 r.provisioned_objects,
                 r.resource_consumption,
                 r.covered,
+                r.peak_covered,
+                r.peak_covered_server,
+                r.max_occupancy,
                 r.point_contention,
                 r.low_level_triggers,
                 r.low_level_responses,
@@ -513,13 +533,13 @@ impl SweepReport {
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "index,emulation,k,f,n,workload,scheduler,crashes,recording,seed,provisioned,\
-             consumption,covered,contention,triggers,responses,completed,consistent,coverage,\
-             violation,error\n",
+             consumption,covered,peak_covered,peak_covered_server,occupancy,contention,\
+             triggers,responses,completed,consistent,coverage,violation,error\n",
         );
         for r in &self.results {
             let c = &r.case;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.index,
                 c.emulation.name(),
                 c.params.k,
@@ -533,6 +553,9 @@ impl SweepReport {
                 r.provisioned_objects,
                 r.resource_consumption,
                 r.covered,
+                r.peak_covered,
+                r.peak_covered_server,
+                r.max_occupancy,
                 r.point_contention,
                 r.low_level_triggers,
                 r.low_level_responses,
@@ -725,6 +748,9 @@ mod tests {
             for bounded in [digest, ring] {
                 assert_eq!(bounded.resource_consumption, full.resource_consumption);
                 assert_eq!(bounded.covered, full.covered);
+                assert_eq!(bounded.peak_covered, full.peak_covered);
+                assert_eq!(bounded.peak_covered_server, full.peak_covered_server);
+                assert_eq!(bounded.max_occupancy, full.max_occupancy);
                 assert_eq!(bounded.point_contention, full.point_contention);
                 assert_eq!(bounded.low_level_triggers, full.low_level_triggers);
                 assert_eq!(bounded.low_level_responses, full.low_level_responses);

@@ -18,6 +18,9 @@
 //!   sweeps;
 //! * [`campaign`] — sharded multi-process sweep campaigns over a spool
 //!   directory, with deterministic merge and resume;
+//! * [`frontier`] — empirical space-complexity frontier campaigns: measured
+//!   peak coverage and occupancy judged against the paper's Table 1 bounds
+//!   ([`frontier::FrontierReport`]);
 //! * [`fuzz`] — coverage-guided schedule fuzzing: record/replay traces
 //!   ([`fuzz::RecordedSchedule`]), corpus exploration ([`fuzz::Fuzzer`]) and
 //!   automatic failure shrinking ([`fuzz::shrink_failure`]);
@@ -77,6 +80,7 @@ pub use regemu_spec as spec;
 pub use regemu_workloads as workloads;
 
 pub use regemu_workloads::campaign;
+pub use regemu_workloads::frontier;
 pub use regemu_workloads::fuzz;
 pub use regemu_workloads::{Scenario, ScenarioRun};
 
