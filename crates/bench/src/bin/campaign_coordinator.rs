@@ -32,7 +32,8 @@
 //! most the shards in flight: rerunning the same command resumes from the
 //! manifest and re-runs only incomplete shards.
 
-use regemu_bench::cli::{write_output, ConfigFlags, CONFIG_USAGE};
+use regemu_bench::cli::{set_quiet, write_output, ConfigFlags, CONFIG_USAGE};
+use regemu_bench::info;
 use regemu_workloads::campaign::{
     config_fingerprint, load_config, merge_shards, run_campaign, CampaignOptions, WorkerMode,
 };
@@ -110,7 +111,10 @@ fn main() {
                 exit_after = Some(parse_usize("--exit-after", value("--exit-after")));
             }
             "--merge-only" => merge_only = true,
-            "--quiet" => quiet = true,
+            "--quiet" => {
+                quiet = true;
+                set_quiet();
+            }
             "--json" => json_out = Some(value("--json")),
             "--csv" => csv_out = Some(value("--csv")),
             other => fail(&format!("unknown option {other:?}")),
@@ -132,7 +136,7 @@ fn main() {
             eprintln!("campaign_coordinator: merge failed: {e}");
             std::process::exit(1);
         });
-        eprintln!("merged {} cases from existing shard reports", report.len());
+        info!("merged {} cases from existing shard reports", report.len());
         emit(&report);
         if !report.all_consistent() {
             std::process::exit(1);
@@ -156,7 +160,7 @@ fn main() {
                     ));
                 }
             }
-            eprintln!(
+            info!(
                 "campaign_coordinator: resuming spool {} ({} cases)",
                 spool.display(),
                 config.case_count()
@@ -200,7 +204,7 @@ fn main() {
     } else {
         outcome.shards_run + outcome.shards_reused
     };
-    eprintln!(
+    info!(
         "campaign: {done}/{} shards done in {elapsed:.2?} ({} run now, {} reused, {} retried)",
         outcome.shards_total, outcome.shards_run, outcome.shards_reused, outcome.retries,
     );
@@ -208,7 +212,7 @@ fn main() {
     match outcome.report {
         Some(report) => {
             let consistent = report.results().iter().filter(|r| r.consistent).count();
-            eprintln!(
+            info!(
                 "merged {} cases: {consistent}/{} consistent",
                 report.len(),
                 report.len()
@@ -219,7 +223,7 @@ fn main() {
             }
         }
         None => {
-            eprintln!("campaign stopped early (--exit-after); rerun the same command to resume");
+            info!("campaign stopped early (--exit-after); rerun the same command to resume");
             // Distinguish "paused" from success so scripts notice.
             std::process::exit(3);
         }

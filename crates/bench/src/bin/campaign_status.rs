@@ -1,0 +1,89 @@
+//! `campaign_status` — dashboard over a campaign spool directory.
+//!
+//! ```text
+//! cargo run --release -p regemu-bench --bin campaign_status -- \
+//!     --spool DIR [--watch] [--interval-ms MS] [--stall-ms MS]
+//! ```
+//!
+//! Works on any spool kind — sweep, frontier or fuzz campaigns are
+//! auto-detected from the manifests — and renders one aligned table: per
+//! shard, its judged health (`done` / `running` / `stalled` / `pending` /
+//! `unknown`), progress, throughput, heartbeat age and retries, plus the
+//! campaign's aggregate progress, ETA and stalled-worker count. With
+//! `--watch` the dashboard reprints every `--interval-ms` (default 1000)
+//! until the campaign completes.
+//!
+//! The reader is deliberately unshockable: a torn, truncated, stale or
+//! garbage `stats-NNNN.json` heartbeat — e.g. one caught mid-rename, or a
+//! worker killed mid-write — degrades that shard to `unknown` and nothing
+//! more. A spool with no readable manifest prints a diagnostic instead of
+//! a table. Exit status: `0` always (including torn and missing files),
+//! `2` on usage errors — a monitoring command must never page the pager.
+
+use regemu_workloads::status::{campaign_status, now_unix_ms, render_status};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("campaign_status: {msg}");
+    eprintln!("usage: campaign_status --spool DIR [--watch] [--interval-ms MS] [--stall-ms MS]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spool: Option<PathBuf> = None;
+    let mut watch = false;
+    let mut interval_ms: u64 = 1_000;
+    let mut stall_ms: u64 = 30_000;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--spool" => spool = Some(PathBuf::from(value("--spool"))),
+            "--watch" => watch = true,
+            "--interval-ms" => {
+                let v = value("--interval-ms");
+                interval_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .unwrap_or_else(|| fail(&format!("invalid interval {v:?}")));
+            }
+            "--stall-ms" => {
+                let v = value("--stall-ms");
+                stall_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|ms| *ms > 0)
+                    .unwrap_or_else(|| fail(&format!("invalid stall threshold {v:?}")));
+            }
+            other => fail(&format!("unknown option {other:?}")),
+        }
+    }
+    let spool = spool.unwrap_or_else(|| fail("--spool is required"));
+
+    loop {
+        // The fold never panics on spool contents; an unreadable spool is
+        // reported and — like every other outcome — exits 0: this tool
+        // observes campaigns, it must not fail them.
+        let complete = match campaign_status(&spool, now_unix_ms(), stall_ms) {
+            Ok(report) => {
+                print!("{}", render_status(&spool, &report));
+                report.complete
+            }
+            Err(reason) => {
+                println!("campaign_status: {reason}");
+                false
+            }
+        };
+        if !watch || complete {
+            break;
+        }
+        println!();
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}

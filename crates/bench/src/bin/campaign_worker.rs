@@ -18,6 +18,7 @@
 //! Exit status: `0` on success, `1` on failure (the coordinator retries up
 //! to its attempt budget), `2` on usage errors.
 
+use regemu_bench::info;
 use regemu_workloads::campaign::run_shard;
 use std::path::PathBuf;
 
@@ -72,7 +73,7 @@ fn main() {
 
     match run_shard(&spool, shard, threads) {
         Ok(range) => {
-            eprintln!(
+            info!(
                 "campaign_worker: shard {shard} done ({} cases, indices {}..{})",
                 range.len(),
                 range.start,

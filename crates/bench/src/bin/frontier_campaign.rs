@@ -40,7 +40,8 @@
 //! 1 a row exceeded its bound (or a run failed); 2 usage error (including
 //! infeasible grid points); 3 paused by `--exit-after` (resumable).
 
-use regemu_bench::cli::write_output;
+use regemu_bench::cli::{set_quiet, write_output};
+use regemu_bench::info;
 use regemu_core::EmulationKind;
 use regemu_workloads::campaign::{load_config, merge_shards, CampaignOptions, WorkerMode};
 use regemu_workloads::frontier::{
@@ -179,7 +180,10 @@ fn main() {
                 exit_after = Some(parse_usize("--exit-after", value("--exit-after")));
             }
             "--merge-only" => merge_only = true,
-            "--quiet" => quiet = true,
+            "--quiet" => {
+                quiet = true;
+                set_quiet();
+            }
             "--text" => text_out = Some(value("--text")),
             "--json" => json_out = Some(value("--json")),
             "--csv" => csv_out = Some(value("--csv")),
@@ -225,14 +229,12 @@ fn main() {
         // Single-process path.
         let started = Instant::now();
         let report = run_frontier(&config).unwrap_or_else(|e| fail(&e.to_string()));
-        if !quiet {
-            eprintln!(
-                "frontier: {} cases -> {} rows in {:.2?}",
-                config.case_count(),
-                report.len(),
-                started.elapsed()
-            );
-        }
+        info!(
+            "frontier: {} cases -> {} rows in {:.2?}",
+            config.case_count(),
+            report.len(),
+            started.elapsed()
+        );
         emit(&report);
         return;
     };
@@ -256,13 +258,11 @@ fn main() {
         let threads = config.threads;
         config = from_spool;
         config.threads = threads;
-        if !quiet {
-            eprintln!(
-                "frontier_campaign: resuming spool {} ({} cases)",
-                spool.display(),
-                config.case_count()
-            );
-        }
+        info!(
+            "frontier_campaign: resuming spool {} ({} cases)",
+            spool.display(),
+            config.case_count()
+        );
     }
 
     if merge_only {
@@ -272,13 +272,11 @@ fn main() {
         });
         let report =
             FrontierReport::from_sweep(&config, &sweep).unwrap_or_else(|e| fail(&e.to_string()));
-        if !quiet {
-            eprintln!(
-                "merged {} cases into {} frontier rows from existing shard reports",
-                sweep.len(),
-                report.len()
-            );
-        }
+        info!(
+            "merged {} cases into {} frontier rows from existing shard reports",
+            sweep.len(),
+            report.len()
+        );
         emit(&report);
         return;
     }
@@ -311,18 +309,16 @@ fn main() {
     });
     match outcome {
         Some(report) => {
-            if !quiet {
-                eprintln!(
-                    "frontier campaign: {} cases -> {} rows in {:.2?}",
-                    config.case_count(),
-                    report.len(),
-                    started.elapsed()
-                );
-            }
+            info!(
+                "frontier campaign: {} cases -> {} rows in {:.2?}",
+                config.case_count(),
+                report.len(),
+                started.elapsed()
+            );
             emit(&report);
         }
         None => {
-            eprintln!(
+            info!(
                 "frontier campaign stopped early (--exit-after); rerun the same command to resume"
             );
             std::process::exit(3);

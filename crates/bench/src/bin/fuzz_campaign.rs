@@ -21,6 +21,7 @@
 //! trace and the same exit status.
 
 use regemu_bench::cli::write_output;
+use regemu_bench::info;
 use regemu_workloads::fuzz::{
     fuzz_and_shrink, replay, FuzzConfig, FuzzEmulation, RecordedSchedule,
 };
@@ -142,7 +143,7 @@ fn main() {
             std::process::exit(2);
         }
         None => {
-            eprintln!(
+            info!(
                 "fuzz_campaign: clean — {} iterations, corpus {}",
                 report.iterations, report.corpus_size
             );

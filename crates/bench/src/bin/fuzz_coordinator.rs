@@ -43,7 +43,8 @@
 //! failure set is non-empty, `3` when paused via `--exit-after`, `1` on
 //! usage or I/O errors.
 
-use regemu_bench::cli::write_output;
+use regemu_bench::cli::{set_quiet, write_output};
+use regemu_bench::info;
 use regemu_workloads::campaign::WorkerMode;
 use regemu_workloads::fuzz::campaign::{
     fuzz_config_fingerprint, import_seed_corpus, load_fuzz_config, merge_fuzz_campaign,
@@ -121,7 +122,10 @@ fn main() {
             }
             "--seed-corpus" => seed_corpus_dir = Some(PathBuf::from(value("--seed-corpus"))),
             "--merge-only" => merge_only = true,
-            "--quiet" => quiet = true,
+            "--quiet" => {
+                quiet = true;
+                set_quiet();
+            }
             "--out" => out = value("--out"),
             "--failures" => failures_out = Some(value("--failures")),
             "--params" => {
@@ -215,7 +219,7 @@ fn main() {
             );
             std::process::exit(2);
         }
-        eprintln!(
+        info!(
             "fuzz_coordinator: clean — {} iterations, {} corpus entries published",
             report.iterations, report.corpus_published
         );
@@ -245,7 +249,7 @@ fn main() {
                     ));
                 }
             }
-            eprintln!(
+            info!(
                 "fuzz_coordinator: resuming spool {} ({} streams x {} generations)",
                 spool.display(),
                 config.streams,
@@ -259,7 +263,7 @@ fn main() {
     // Seeds must land before the manifest freezes them into generation 0.
     if let Some(dir) = &seed_corpus_dir {
         match import_seed_corpus(&spool, dir) {
-            Ok(count) => eprintln!(
+            Ok(count) => info!(
                 "fuzz_coordinator: seeded {count} generation-0 case(s) from {}",
                 dir.display()
             ),
@@ -301,7 +305,7 @@ fn main() {
     } else {
         outcome.units_run + outcome.units_reused
     };
-    eprintln!(
+    info!(
         "fuzz campaign: {done}/{} units done in {elapsed:.2?} ({} run now, {} reused, \
          {} retried)",
         outcome.units_total, outcome.units_run, outcome.units_reused, outcome.retries,
@@ -310,9 +314,7 @@ fn main() {
     match outcome.report {
         Some(report) => emit(&report),
         None => {
-            eprintln!(
-                "fuzz campaign stopped early (--exit-after); rerun the same command to resume"
-            );
+            info!("fuzz campaign stopped early (--exit-after); rerun the same command to resume");
             // Distinguish "paused" from success so scripts notice.
             std::process::exit(3);
         }

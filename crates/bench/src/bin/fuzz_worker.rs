@@ -19,6 +19,7 @@
 //! Exit status: `0` on success, `1` on failure (the coordinator retries up
 //! to its attempt budget), `2` on usage errors.
 
+use regemu_bench::info;
 use regemu_workloads::fuzz::run_fuzz_shard_gen;
 use std::path::PathBuf;
 
@@ -67,7 +68,7 @@ fn main() {
 
     match run_fuzz_shard_gen(&spool, shard, gen) {
         Ok(()) => {
-            eprintln!("fuzz_worker: shard {shard} generation {gen} done");
+            info!("fuzz_worker: shard {shard} generation {gen} done");
         }
         Err(e) => {
             eprintln!("fuzz_worker: shard {shard} generation {gen} failed: {e}");

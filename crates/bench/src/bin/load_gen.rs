@@ -10,14 +10,17 @@
 //!
 //! Latency is measured per completed high-level operation into a hand-rolled
 //! HDR-style histogram (exact below 16 µs, ≤ ~6.25 % relative error above),
-//! and the run is summarized as JSON: completed ops, wall-clock ops/sec, and
-//! the p50/p99/p999/max/mean microsecond latencies. `--rate` caps each
+//! and the run is summarized as JSON: completed ops, wall-clock ops/sec,
+//! the p50/p99/p999/max/mean microsecond latencies, and a throughput
+//! timeline (completed ops per 250 ms wall-clock bucket since the fleet
+//! started). `--rate` caps each
 //! client's issue rate; without it clients run closed-loop.
 //!
 //! Exit status: `0` on success (even with timeouts — they are reported in
 //! the JSON), `1` on runtime errors, `2` on usage errors.
 
 use regemu_bench::cli::write_output;
+use regemu_bench::info;
 use regemu_bench::serve_cli::{parse_params, resolve_addrs};
 use regemu_bounds::Params;
 use regemu_serve::{run_fleet, ClientOptions, FleetOutcome, FleetSpec};
@@ -48,6 +51,8 @@ fn json_report(spec: &FleetSpec, outcome: &FleetOutcome) -> String {
             "  \"errors\": {},\n",
             "  \"elapsed_ms\": {},\n",
             "  \"ops_per_sec\": {:.1},\n",
+            "  \"timeline_bucket_ms\": {},\n",
+            "  \"timeline\": [{}],\n",
             "  \"latency_us\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {}, ",
             "\"max\": {}, \"mean\": {:.1} }}\n",
             "}}\n"
@@ -64,6 +69,13 @@ fn json_report(spec: &FleetSpec, outcome: &FleetOutcome) -> String {
         outcome.errors,
         outcome.elapsed.as_millis(),
         outcome.ops_per_sec(),
+        FleetOutcome::TIMELINE_BUCKET_MS,
+        outcome
+            .timeline
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(", "),
         h.p50(),
         h.p99(),
         h.p999(),
@@ -153,7 +165,7 @@ fn main() {
         }
     };
 
-    eprintln!(
+    info!(
         "load_gen: {} ops, {:.0} ops/s, p50={}us p99={}us p999={}us max={}us",
         outcome.ops,
         outcome.ops_per_sec(),

@@ -6,6 +6,11 @@
 //!     [--emulation space-optimal] [--writers K] [--readers R] [--rounds N] \
 //!     [--read-after-each] [--conform-log PATH] [--clock-from LOG]... \
 //!     [--hold-servers LIST] [--hold-writes LIST] [--op-timeout-ms MS]
+//!
+//! # Scrape the fleet's live telemetry instead of running operations.
+//! cargo run --release -p regemu-bench --bin serve_client -- \
+//!     --params 4/1/3 --addr @node0.addr --addr @node1.addr --addr @node2.addr \
+//!     --stats
 //! ```
 //!
 //! One `--addr` per server, in server order; `@FILE` reads (and waits for)
@@ -15,14 +20,17 @@
 //! clock above a previous invocation's log so stamps across processes order
 //! correctly. `--hold-servers`/`--hold-writes` delay messages to the listed
 //! servers forever — the adversarial schedules of the simulator, on sockets.
+//! `--stats` sends each server a version-gated `Stats` wire query instead of
+//! running any operations and prints one JSON line per server.
 //!
 //! Exit status: `0` when every operation completed, `4` when operations
 //! timed out or clients degraded (the conformance log still records them as
 //! pending), `1` on runtime errors, `2` on usage errors.
 
-use regemu_bench::serve_cli::{parse_params, parse_server_list, resolve_addrs};
+use regemu_bench::info;
+use regemu_bench::serve_cli::{node_stats_json, parse_params, parse_server_list, resolve_addrs};
 use regemu_bounds::Params;
-use regemu_serve::{run_fleet, ClientOptions, FleetSpec};
+use regemu_serve::{run_fleet, scrape_stats, ClientOptions, FleetSpec};
 use regemu_workloads::conform::{ConformLog, ConformRecorder};
 use regemu_workloads::fuzz::FuzzEmulation;
 use std::path::PathBuf;
@@ -35,7 +43,7 @@ fn fail(msg: &str) -> ! {
         "usage: serve_client --params K/F/N --addr ADDR... [--emulation NAME] \
          [--writers K] [--readers R] [--rounds N] [--read-after-each] \
          [--conform-log PATH] [--clock-from LOG]... [--hold-servers LIST] \
-         [--hold-writes LIST] [--op-timeout-ms MS]"
+         [--hold-writes LIST] [--op-timeout-ms MS] [--stats]"
     );
     std::process::exit(2);
 }
@@ -51,6 +59,7 @@ fn main() {
     let mut conform_log: Option<PathBuf> = None;
     let mut clock_from: Vec<PathBuf> = Vec::new();
     let mut options = ClientOptions::default();
+    let mut stats_only = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,6 +99,7 @@ fn main() {
                 let ms = parse_count("--op-timeout-ms", value("--op-timeout-ms"));
                 options.op_timeout = Duration::from_millis(ms as u64);
             }
+            "--stats" => stats_only = true,
             other => fail(&format!("unknown option {other:?}")),
         }
     }
@@ -107,6 +117,20 @@ fn main() {
         eprintln!("serve_client: {e}");
         std::process::exit(1);
     });
+
+    if stats_only {
+        let mut unreachable = 0;
+        for (server, addr) in addrs.iter().enumerate() {
+            match scrape_stats(*addr, Duration::from_secs(2)) {
+                Ok(stats) => println!("{}", node_stats_json(server, &stats)),
+                Err(e) => {
+                    eprintln!("serve_client: server {server} ({addr}): {e}");
+                    unreachable += 1;
+                }
+            }
+        }
+        std::process::exit(if unreachable > 0 { 1 } else { 0 });
+    }
 
     // Seed this process's Lamport clock above every predecessor log's.
     let mut start_clock = 0;
@@ -147,7 +171,7 @@ fn main() {
         }
     }
 
-    eprintln!(
+    info!(
         "serve_client: {} ops in {:?} ({:.0} ops/s), {} timeouts, {} errors",
         outcome.ops,
         outcome.elapsed,

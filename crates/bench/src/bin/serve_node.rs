@@ -4,7 +4,7 @@
 //! cargo run --release -p regemu-bench --bin serve_node -- \
 //!     --server 0 --params 4/1/3 [--emulation space-optimal] \
 //!     [--listen 127.0.0.1:0] [--addr-file PATH] [--conform-log PATH] \
-//!     [--stop-file PATH] [--run-for-ms MS]
+//!     [--stop-file PATH] [--run-for-ms MS] [--stats-every-ms MS]
 //! ```
 //!
 //! The node builds the emulation's topology, hosts the base objects the
@@ -14,12 +14,16 @@
 //! for an ephemeral port), which `serve_client`/`load_gen` read back with
 //! `@FILE` address specs. With `--conform-log`, every applied operation
 //! appends a `respond` record; a clean stop closes the log with its
-//! `clock`/`end` trailer.
+//! `clock`/`end` trailer. With `--stats-every-ms`, the node periodically
+//! dumps its request/response/fault/in-flight/applied counters to stdout as
+//! one JSON object per line (the same numbers a `serve_client --stats`
+//! scrape reads over the wire).
 //!
 //! Exit status: `0` on a clean stop, `1` on runtime errors, `2` on usage
 //! errors.
 
-use regemu_bench::serve_cli::parse_params;
+use regemu_bench::info;
+use regemu_bench::serve_cli::{node_stats_json, parse_params};
 use regemu_bounds::Params;
 use regemu_fpsm::{ServerId, ServerNode};
 use regemu_serve::serve_tcp;
@@ -33,7 +37,7 @@ fn fail(msg: &str) -> ! {
     eprintln!(
         "usage: serve_node --server IDX --params K/F/N [--emulation NAME] \
          [--listen ADDR] [--addr-file PATH] [--conform-log PATH] \
-         [--stop-file PATH] [--run-for-ms MS]"
+         [--stop-file PATH] [--run-for-ms MS] [--stats-every-ms MS]"
     );
     std::process::exit(2);
 }
@@ -47,6 +51,7 @@ fn main() {
     let mut conform_log: Option<PathBuf> = None;
     let mut stop_file: Option<PathBuf> = None;
     let mut run_for: Option<Duration> = None;
+    let mut stats_every: Option<Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,13 +91,23 @@ fn main() {
                     .unwrap_or_else(|_| fail(&format!("invalid duration {v:?}")));
                 run_for = Some(Duration::from_millis(ms));
             }
+            "--stats-every-ms" => {
+                let v = value("--stats-every-ms");
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("invalid duration {v:?}")));
+                if ms == 0 {
+                    fail("--stats-every-ms must be positive");
+                }
+                stats_every = Some(Duration::from_millis(ms));
+            }
             other => fail(&format!("unknown option {other:?}")),
         }
     }
     let server = server.unwrap_or_else(|| fail("--server is required"));
     let params = params.unwrap_or_else(|| fail("--params is required"));
     if stop_file.is_none() && run_for.is_none() {
-        eprintln!("serve_node: no --stop-file or --run-for-ms; serving until killed");
+        info!("serve_node: no --stop-file or --run-for-ms; serving until killed");
     }
 
     let topology = emulation.build(params).topology().clone();
@@ -111,7 +126,7 @@ fn main() {
         }
     };
     let addr = handle.local_addr().expect("tcp server has a bound address");
-    eprintln!(
+    info!(
         "serve_node: server {server} ({}) on {addr}",
         emulation.name()
     );
@@ -123,17 +138,24 @@ fn main() {
     }
 
     let started = Instant::now();
+    let mut next_stats = stats_every.map(|every| started + every);
     loop {
         if let Some(stop) = &stop_file {
             if stop.exists() {
-                eprintln!("serve_node: stop file {} appeared", stop.display());
+                info!("serve_node: stop file {} appeared", stop.display());
                 break;
             }
         }
         if let Some(limit) = run_for {
             if started.elapsed() >= limit {
-                eprintln!("serve_node: --run-for-ms elapsed");
+                info!("serve_node: --run-for-ms elapsed");
                 break;
+            }
+        }
+        if let (Some(due), Some(every)) = (next_stats, stats_every) {
+            if Instant::now() >= due {
+                println!("{}", node_stats_json(server, &handle.stats()));
+                next_stats = Some(due + every);
             }
         }
         std::thread::sleep(Duration::from_millis(50));
@@ -142,7 +164,7 @@ fn main() {
     let applied = handle.applied();
     match handle.join() {
         Ok(()) => {
-            eprintln!("serve_node: server {server} stopped after {applied} applied ops");
+            info!("serve_node: server {server} stopped after {applied} applied ops");
         }
         Err(e) => {
             eprintln!("serve_node: shutdown failed: {e}");

@@ -26,6 +26,7 @@
 //! for any `--shards` value.
 
 use regemu_bench::cli::{write_output, ConfigFlags, CONFIG_USAGE};
+use regemu_bench::info;
 use regemu_workloads::campaign::{run_campaign, CampaignOptions, WorkerMode};
 use regemu_workloads::run_sweep;
 use std::time::Instant;
@@ -95,7 +96,7 @@ fn main() {
     let elapsed = started.elapsed();
 
     let consistent = report.results().iter().filter(|r| r.consistent).count();
-    eprintln!(
+    info!(
         "swept {cases} cases in {elapsed:.2?} ({} grid points x {} emulations x {} workloads x {} schedulers x {} crash plans x {} recordings x {} seeds{}): {consistent}/{cases} consistent",
         config.grid.len(),
         config.emulations.len(),

@@ -88,6 +88,17 @@ pub mod serve_cli {
         }
     }
 
+    /// Renders one server's [`regemu_core::wire::NodeStats`] as a
+    /// single-line JSON object — the shape `serve_node --stats-every-ms`
+    /// dumps periodically and `serve_client --stats` prints per scrape.
+    pub fn node_stats_json(server: usize, stats: &regemu_core::wire::NodeStats) -> String {
+        format!(
+            "{{\"server\":{server},\"requests\":{},\"responses\":{},\"faults\":{},\
+             \"in_flight\":{},\"applied\":{}}}",
+            stats.requests, stats.responses, stats.faults, stats.in_flight, stats.applied
+        )
+    }
+
     /// Resolves `--addr`/`--addr-file` arguments (in server order) into
     /// socket addresses. `spec` holds either a literal address or an
     /// `@`-prefixed file path.
@@ -108,12 +119,77 @@ pub mod serve_cli {
 
 /// Shared CLI parsing for the sweep/campaign binaries (`sweep_grid`,
 /// `campaign_coordinator`): the flags that shape a
-/// [`regemu_workloads::SweepConfig`] are identical across them.
+/// [`regemu_workloads::SweepConfig`] are identical across them — plus the
+/// leveled progress logging every experiment binary routes through.
 pub mod cli {
     use regemu_bounds::Params;
     use regemu_workloads::{
         CrashPlanSpec, RecordingModeSpec, SchedulerSpec, SweepConfig, WorkloadSpec,
     };
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::Once;
+
+    /// Verbosity of the binaries' stderr progress lines, lowest first.
+    ///
+    /// Results (tables, JSON reports) always print: the level only gates
+    /// *progress* chatter, which is what the [`crate::info!`] and
+    /// [`crate::debug!`] macros emit. Errors and usage messages are printed
+    /// unconditionally with plain `eprintln!`.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    pub enum LogLevel {
+        /// No progress lines at all (`--quiet`, `REGEMU_LOG=off`).
+        Off = 0,
+        /// The default: one-line progress notes.
+        Info = 1,
+        /// Extra per-step detail (`REGEMU_LOG=debug`).
+        Debug = 2,
+    }
+
+    impl LogLevel {
+        fn from_name(name: &str) -> Option<LogLevel> {
+            match name.trim() {
+                "off" => Some(LogLevel::Off),
+                "info" => Some(LogLevel::Info),
+                "debug" => Some(LogLevel::Debug),
+                _ => None,
+            }
+        }
+    }
+
+    static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+    static LEVEL_FROM_ENV: Once = Once::new();
+
+    /// The current progress-log level. The first call reads `REGEMU_LOG`
+    /// (`off`, `info` or `debug`); an unknown value is reported once and
+    /// ignored.
+    pub fn log_level() -> LogLevel {
+        LEVEL_FROM_ENV.call_once(|| {
+            if let Ok(value) = std::env::var("REGEMU_LOG") {
+                match LogLevel::from_name(&value) {
+                    Some(level) => LEVEL.store(level as u8, Ordering::Relaxed),
+                    None => eprintln!(
+                        "ignoring unknown REGEMU_LOG value {value:?} (expected off, info or debug)"
+                    ),
+                }
+            }
+        });
+        match LEVEL.load(Ordering::Relaxed) {
+            0 => LogLevel::Off,
+            2 => LogLevel::Debug,
+            _ => LogLevel::Info,
+        }
+    }
+
+    /// Overrides the progress-log level (flags beat the environment).
+    pub fn set_log_level(level: LogLevel) {
+        log_level(); // settle the env default first so it cannot clobber this
+        LEVEL.store(level as u8, Ordering::Relaxed);
+    }
+
+    /// What `--quiet` does: silences progress lines entirely.
+    pub fn set_quiet() {
+        set_log_level(LogLevel::Off);
+    }
 
     /// Incrementally collected sweep-config flags.
     ///
@@ -319,9 +395,31 @@ pub mod cli {
             eprintln!("cannot write {what} to {target}: {e}");
             std::process::exit(1);
         } else {
-            eprintln!("wrote {what} to {target}");
+            crate::info!("wrote {what} to {target}");
         }
     }
+}
+
+/// Logs a progress line to stderr unless the level ([`cli::log_level`]) is
+/// [`cli::LogLevel::Off`]. Same syntax as `eprintln!`.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        if $crate::cli::log_level() >= $crate::cli::LogLevel::Info {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+/// Logs a detail line to stderr only at [`cli::LogLevel::Debug`]
+/// (`REGEMU_LOG=debug`). Same syntax as `eprintln!`.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        if $crate::cli::log_level() >= $crate::cli::LogLevel::Debug {
+            eprintln!($($arg)*);
+        }
+    };
 }
 
 /// Experiment implementations, one per table/figure/theorem of the paper.
@@ -714,6 +812,19 @@ mod tests {
         ] {
             assert!(parse_flags(args).is_err(), "{args:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn log_level_overrides_beat_the_environment_default() {
+        use super::cli::{log_level, set_log_level, set_quiet, LogLevel};
+        let before = log_level();
+        set_quiet();
+        assert_eq!(log_level(), LogLevel::Off);
+        set_log_level(LogLevel::Debug);
+        assert_eq!(log_level(), LogLevel::Debug);
+        // The macros compare levels, so the ordering is part of the contract.
+        assert!(LogLevel::Off < LogLevel::Info && LogLevel::Info < LogLevel::Debug);
+        set_log_level(before);
     }
 
     #[test]

@@ -18,13 +18,42 @@ use regemu_fpsm::value::Value;
 /// Version byte carried in every frame, after the message tag.
 pub const WIRE_VERSION: u8 = 1;
 
+/// Version byte carried by `Stats` frames ([`WireMsg::StatsQuery`] /
+/// [`WireMsg::StatsReply`], tag 4), introduced after [`WIRE_VERSION`] 1
+/// shipped.
+///
+/// Stats frames are version-gated separately: a version-1 peer checks the
+/// version byte *before* dispatching on the tag, so it rejects any Stats
+/// frame cleanly as [`FrameError::BadVersion`] instead of misparsing it —
+/// see `old_version_peers_reject_stats_frames_cleanly` in this module's
+/// tests for the executable proof.
+pub const STATS_VERSION: u8 = 2;
+
 /// Hard upper bound on a frame body, in bytes.
 ///
 /// The largest legal message (a CAS request: tag + version + op id + object
-/// id + op tag + two values) is 51 bytes; anything claiming more is garbage
-/// or a framing error, and rejecting it early keeps a corrupt peer from
-/// making us buffer unbounded data.
+/// id + op tag + two values) is 51 bytes — a stats reply is 43 — so anything
+/// claiming more is garbage or a framing error, and rejecting it early keeps
+/// a corrupt peer from making us buffer unbounded data.
 pub const MAX_FRAME_LEN: usize = 64;
+
+/// Per-node telemetry counters carried by a [`WireMsg::StatsReply`].
+///
+/// Plain data: the serve layer fills it from its `regemu-obs` registry; the
+/// codec itself depends on nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Requests received since the server started.
+    pub requests: u64,
+    /// Successful responses sent.
+    pub responses: u64,
+    /// Fault messages sent.
+    pub faults: u64,
+    /// Requests currently being applied (in-flight gauge).
+    pub in_flight: u64,
+    /// Operations applied to base objects (the linearization-point count).
+    pub applied: u64,
+}
 
 /// Fault codes a server can send instead of a response.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +129,16 @@ pub enum WireMsg {
         /// Why the operation was rejected.
         code: FaultCode,
     },
+    /// Client → server: ask for the node's telemetry counters.
+    ///
+    /// Version-gated at [`STATS_VERSION`]: version-1 peers reject it as
+    /// [`FrameError::BadVersion`] without touching the tag.
+    StatsQuery,
+    /// Server → client: the node's telemetry counters.
+    StatsReply {
+        /// The counters at the moment the query was handled.
+        stats: NodeStats,
+    },
 }
 
 /// A typed decoding failure. Decoding never panics; every malformed input
@@ -146,7 +185,8 @@ impl std::fmt::Display for FrameError {
             FrameError::BadVersion { version } => {
                 write!(
                     f,
-                    "unsupported wire version {version} (expected {WIRE_VERSION})"
+                    "unsupported wire version {version} (expected {WIRE_VERSION}, \
+                     or {STATS_VERSION} for stats frames)"
                 )
             }
             FrameError::TrailingBytes { extra } => {
@@ -314,6 +354,21 @@ impl WireMsg {
                 put_u64(&mut buf, *op_id);
                 buf.push(code.tag());
             }
+            WireMsg::StatsQuery => {
+                buf.push(4);
+                buf.push(STATS_VERSION);
+                buf.push(0);
+            }
+            WireMsg::StatsReply { stats } => {
+                buf.push(4);
+                buf.push(STATS_VERSION);
+                buf.push(1);
+                put_u64(&mut buf, stats.requests);
+                put_u64(&mut buf, stats.responses);
+                put_u64(&mut buf, stats.faults);
+                put_u64(&mut buf, stats.in_flight);
+                put_u64(&mut buf, stats.applied);
+            }
         }
         debug_assert!(buf.len() <= MAX_FRAME_LEN);
         buf
@@ -334,7 +389,15 @@ impl WireMsg {
         let mut r = Reader::new(bytes);
         let tag = r.u8("message tag")?;
         let version = r.u8("version")?;
-        if version != WIRE_VERSION {
+        // Stats frames (tag 4) are a later, separately-gated extension; every
+        // original message keeps requiring WIRE_VERSION, so version-1 peers
+        // are byte-for-byte unaffected.
+        let required = if tag == 4 {
+            STATS_VERSION
+        } else {
+            WIRE_VERSION
+        };
+        if version != required {
             return Err(FrameError::BadVersion { version });
         }
         let msg = match tag {
@@ -357,6 +420,24 @@ impl WireMsg {
                         tag,
                     })?
                 },
+            },
+            4 => match r.u8("stats kind")? {
+                0 => WireMsg::StatsQuery,
+                1 => WireMsg::StatsReply {
+                    stats: NodeStats {
+                        requests: r.u64("stats requests")?,
+                        responses: r.u64("stats responses")?,
+                        faults: r.u64("stats faults")?,
+                        in_flight: r.u64("stats in-flight")?,
+                        applied: r.u64("stats applied")?,
+                    },
+                },
+                tag => {
+                    return Err(FrameError::BadTag {
+                        field: "stats-kind",
+                        tag,
+                    })
+                }
             },
             tag => {
                 return Err(FrameError::BadTag {
@@ -479,6 +560,16 @@ mod tests {
                 op_id: 14,
                 code: FaultCode::Crashed,
             },
+            WireMsg::StatsQuery,
+            WireMsg::StatsReply {
+                stats: NodeStats {
+                    requests: 100,
+                    responses: 97,
+                    faults: 3,
+                    in_flight: 2,
+                    applied: u64::MAX,
+                },
+            },
         ] {
             roundtrip(msg);
         }
@@ -558,6 +649,37 @@ mod tests {
         let empty_body = frame_of(&[]);
         let garbage = frame_of(&[0xde, 0xad, 0xbe, 0xef, 0x01]);
 
+        let stats_reply = WireMsg::StatsReply {
+            stats: NodeStats::default(),
+        }
+        .encode();
+        let truncated_stats = {
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&((stats_reply.len() - 5) as u32).to_le_bytes());
+            frame.extend_from_slice(&stats_reply[..stats_reply.len() - 5]);
+            frame
+        };
+        let bad_stats_kind = {
+            let mut b = WireMsg::StatsQuery.encode();
+            b[2] = 0x33;
+            frame_of(&b)
+        };
+        let stats_with_legacy_version = {
+            let mut b = WireMsg::StatsQuery.encode();
+            b[1] = WIRE_VERSION;
+            frame_of(&b)
+        };
+        let legacy_with_stats_version = {
+            let mut b = body.clone();
+            b[1] = STATS_VERSION;
+            frame_of(&b)
+        };
+        let stats_trailing = {
+            let mut b = WireMsg::StatsQuery.encode();
+            b.push(0);
+            frame_of(&b)
+        };
+
         let table: Vec<(&str, Vec<u8>, FrameError)> = vec![
             (
                 "truncated body",
@@ -617,6 +739,40 @@ mod tests {
                 garbage,
                 FrameError::BadVersion { version: 0xad },
             ),
+            (
+                "truncated stats reply",
+                truncated_stats,
+                FrameError::Truncated {
+                    field: "stats applied",
+                },
+            ),
+            (
+                "unknown stats kind",
+                bad_stats_kind,
+                FrameError::BadTag {
+                    field: "stats-kind",
+                    tag: 0x33,
+                },
+            ),
+            (
+                "stats frame with the legacy version",
+                stats_with_legacy_version,
+                FrameError::BadVersion {
+                    version: WIRE_VERSION,
+                },
+            ),
+            (
+                "legacy message with the stats version",
+                legacy_with_stats_version,
+                FrameError::BadVersion {
+                    version: STATS_VERSION,
+                },
+            ),
+            (
+                "trailing byte after a stats query",
+                stats_trailing,
+                FrameError::TrailingBytes { extra: 1 },
+            ),
         ];
         for (what, frame, expected) in table {
             assert_eq!(decode_frame(&frame), Err(expected), "case: {what}");
@@ -628,6 +784,57 @@ mod tests {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(body);
         frame
+    }
+
+    /// Executable proof that a version-1 peer rejects Stats frames cleanly.
+    ///
+    /// `decode_v1` replicates, byte for byte, the decoder this module
+    /// shipped before the Stats extension existed: read the tag, read the
+    /// version, reject anything that is not `WIRE_VERSION` — *before*
+    /// dispatching on the tag. Feeding it the new frames shows an old peer
+    /// surfaces them as a typed [`FrameError::BadVersion`], never a
+    /// misparse or a panic.
+    #[test]
+    fn old_version_peers_reject_stats_frames_cleanly() {
+        fn decode_v1(bytes: &[u8]) -> Result<(), FrameError> {
+            let mut r = Reader::new(bytes);
+            let _tag = r.u8("message tag")?;
+            let version = r.u8("version")?;
+            if version != WIRE_VERSION {
+                return Err(FrameError::BadVersion { version });
+            }
+            unreachable!("a stats frame must be rejected before tag dispatch");
+        }
+
+        for msg in [
+            WireMsg::StatsQuery,
+            WireMsg::StatsReply {
+                stats: NodeStats {
+                    requests: 7,
+                    responses: 7,
+                    faults: 0,
+                    in_flight: 1,
+                    applied: 7,
+                },
+            },
+        ] {
+            assert_eq!(
+                decode_v1(&msg.encode()),
+                Err(FrameError::BadVersion {
+                    version: STATS_VERSION
+                })
+            );
+        }
+
+        // And the current decoder keeps accepting every v1 message unchanged
+        // while accepting the new frames only at the stats version.
+        let legacy = WireMsg::Fault {
+            op_id: 9,
+            code: FaultCode::NotHosted,
+        };
+        assert_eq!(legacy.encode()[1], WIRE_VERSION);
+        assert_eq!(WireMsg::decode(&legacy.encode()), Ok(legacy));
+        assert_eq!(WireMsg::StatsQuery.encode()[1], STATS_VERSION);
     }
 
     #[test]

@@ -26,7 +26,11 @@
 //!   per-server occupancy, point contention). How much of the raw event
 //!   stream is retained is selected by a [`history::RecordingMode`] (`Full`,
 //!   `Digest`, `Ring`); the digests — and hence the metrics — are identical
-//!   in every mode.
+//!   in every mode;
+//! * [`telemetry::SimTelemetry`] — the sampled, observation-only telemetry
+//!   hook the simulation attaches when `regemu_obs::enabled()` is on;
+//!   histories and reports are byte-identical with telemetry on or off (the
+//!   non-perturbation contract).
 //!
 //! ## Example
 //!
@@ -61,6 +65,7 @@ pub mod object;
 pub mod op;
 pub mod scheduler;
 pub mod sim;
+pub mod telemetry;
 pub mod topology;
 pub mod value;
 
@@ -78,6 +83,7 @@ pub use scheduler::{
     AdversarialScheduler, BlockStrategy, DelayedScheduler, RoundRobinScheduler, Scheduler,
 };
 pub use sim::{DecisionRecord, DeliveryOutcome, PendingOp, SimConfig, Simulation};
+pub use telemetry::SimTelemetry;
 pub use topology::Topology;
 pub use value::{Payload, Value};
 

@@ -14,14 +14,14 @@
 //! one emulation instance per thread (protocol state machines are not
 //! `Send`), and aggregates latency into a [`LatencyHistogram`].
 
-use crate::histogram::LatencyHistogram;
 use crate::transport::{ServeError, TcpTransport, Transport};
 use regemu_bounds::Params;
-use regemu_core::wire::WireMsg;
+use regemu_core::wire::{NodeStats, WireMsg};
 use regemu_fpsm::{
     BaseOp, ClientId, ClientNode, ClientProtocol, Delivery, HighOp, HighOpId, HighResponse,
     ObjectId, OpId, Time, Topology,
 };
+use regemu_obs::LatencyHistogram;
 use regemu_workloads::conform::ConformRecorder;
 use regemu_workloads::fuzz::FuzzEmulation;
 use std::collections::HashMap;
@@ -247,8 +247,9 @@ impl LiveClient {
                 self.in_flight.remove(&op_id);
                 None
             }
-            // Servers never send requests; ignore.
-            WireMsg::Request { .. } => None,
+            // Servers never send requests, and stats frames never answer an
+            // operation; ignore both.
+            WireMsg::Request { .. } | WireMsg::StatsQuery | WireMsg::StatsReply { .. } => None,
         }
     }
 
@@ -292,6 +293,33 @@ impl LiveClient {
     }
 }
 
+/// Scrapes one server's [`NodeStats`] over TCP: connects, sends a
+/// [`WireMsg::StatsQuery`] and waits up to `timeout` for the reply.
+///
+/// The exchange is read-only on the server side — it takes the state lock
+/// once to pair the counters with the logical clock, never touching the
+/// register state — so scraping a busy node is safe.
+pub fn scrape_stats(addr: SocketAddr, timeout: Duration) -> Result<NodeStats, ServeError> {
+    let mut transport = TcpTransport::connect(addr, timeout)?;
+    transport.send(&WireMsg::StatsQuery)?;
+    let started = Instant::now();
+    while started.elapsed() < timeout {
+        match transport.recv_timeout(Duration::from_millis(10))? {
+            Some(WireMsg::StatsReply { stats }) => return Ok(stats),
+            Some(other) => {
+                return Err(ServeError::Config(format!(
+                    "unexpected reply to a stats query: {other:?}"
+                )))
+            }
+            None => {}
+        }
+    }
+    Err(ServeError::Timeout {
+        what: "stats reply".to_string(),
+        waited: started.elapsed(),
+    })
+}
+
 /// A fleet of writer/reader clients to fan out across threads.
 #[derive(Clone, Copy, Debug)]
 pub struct FleetSpec {
@@ -326,9 +354,17 @@ pub struct FleetOutcome {
     pub elapsed: Duration,
     /// Latency of completed operations, in microseconds.
     pub histogram: LatencyHistogram,
+    /// Completed operations per [`FleetOutcome::TIMELINE_BUCKET_MS`]-wide
+    /// wall-clock bucket since the fleet started: the throughput timeline
+    /// `load_gen` puts in its JSON report. Bucket 0 covers the first
+    /// interval; trailing buckets may be absent if no op landed there.
+    pub timeline: Vec<u64>,
 }
 
 impl FleetOutcome {
+    /// Width of one [`FleetOutcome::timeline`] bucket, in milliseconds.
+    pub const TIMELINE_BUCKET_MS: u64 = 250;
+
     /// Completed operations per wall-clock second.
     pub fn ops_per_sec(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
@@ -365,7 +401,7 @@ pub fn run_fleet(
         let options = options.clone();
         let recorder = recorder.clone();
         workers.push(std::thread::spawn(move || {
-            run_fleet_client(spec, client, &addrs, options, recorder)
+            run_fleet_client(spec, client, &addrs, options, recorder, started)
         }));
     }
     let mut outcome = FleetOutcome {
@@ -374,12 +410,19 @@ pub fn run_fleet(
         errors: 0,
         elapsed: Duration::ZERO,
         histogram: LatencyHistogram::new(),
+        timeline: Vec::new(),
     };
     for worker in workers {
-        let (hist, ops, timeouts, errors) = worker
+        let (hist, timeline, ops, timeouts, errors) = worker
             .join()
             .map_err(|_| ServeError::Config("fleet worker panicked".to_string()))?;
         outcome.histogram.merge(&hist);
+        for (bucket, count) in timeline.into_iter().enumerate() {
+            if outcome.timeline.len() <= bucket {
+                outcome.timeline.resize(bucket + 1, 0);
+            }
+            outcome.timeline[bucket] += count;
+        }
         outcome.ops += ops;
         outcome.timeouts += timeouts;
         outcome.errors += errors;
@@ -388,15 +431,17 @@ pub fn run_fleet(
     Ok(outcome)
 }
 
-/// One fleet worker: returns `(histogram, ops, timeouts, errors)`.
+/// One fleet worker: returns `(histogram, timeline, ops, timeouts, errors)`.
 fn run_fleet_client(
     spec: FleetSpec,
     client: usize,
     addrs: &[SocketAddr],
     options: ClientOptions,
     recorder: Option<Arc<ConformRecorder>>,
-) -> (LatencyHistogram, u64, u64, u64) {
+    fleet_started: Instant,
+) -> (LatencyHistogram, Vec<u64>, u64, u64, u64) {
     let mut hist = LatencyHistogram::new();
+    let mut timeline: Vec<u64> = Vec::new();
     let emulation = spec.emulation.build(spec.params);
     let is_writer = client < spec.writers;
     let protocol = if is_writer {
@@ -412,7 +457,7 @@ fn run_fleet_client(
         options,
     ) {
         Ok(live) => live,
-        Err(_) => return (hist, 0, 0, 1),
+        Err(_) => return (hist, timeline, 0, 0, 1),
     };
     if let Some(recorder) = recorder {
         live = live.with_recorder(recorder, client);
@@ -442,6 +487,12 @@ fn run_fleet_client(
         match live.run_op(op) {
             Ok(_) => {
                 hist.record(op_started.elapsed().as_micros() as u64);
+                let bucket = (fleet_started.elapsed().as_millis() as u64
+                    / FleetOutcome::TIMELINE_BUCKET_MS) as usize;
+                if timeline.len() <= bucket {
+                    timeline.resize(bucket + 1, 0);
+                }
+                timeline[bucket] += 1;
                 done += 1;
             }
             Err(ServeError::Timeout { .. }) => {
@@ -455,5 +506,5 @@ fn run_fleet_client(
             }
         }
     }
-    (hist, done, timeouts, errors)
+    (hist, timeline, done, timeouts, errors)
 }

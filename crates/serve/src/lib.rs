@@ -13,9 +13,15 @@
 //!   paper server's base objects; applying a request under the state lock is
 //!   the linearization point (Assumption 1);
 //! * [`client`] — [`client::LiveClient`] drives one emulation client;
-//!   [`client::run_fleet`] fans k writers plus readers out across threads;
-//! * [`histogram`] — a hand-rolled HDR-style latency histogram for the
-//!   `load_gen` binary (p50/p99/p999 with ≤ ~6.25 % relative error).
+//!   [`client::run_fleet`] fans k writers plus readers out across threads.
+//!
+//! Latency is measured into [`regemu_obs::LatencyHistogram`] (re-exported
+//! here as [`LatencyHistogram`] — it lived in this crate before the
+//! telemetry registry existed), and every server keeps per-node
+//! request/response/fault counters plus an in-flight gauge in the global
+//! [`regemu_obs`] registry, scrapeable over the wire protocol's
+//! version-gated `Stats` frame ([`server::node_stats`],
+//! [`client::scrape_stats`]).
 //!
 //! ## Conformance checking
 //!
@@ -79,19 +85,20 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
-pub mod histogram;
 pub mod server;
 pub mod transport;
 
-pub use client::{run_fleet, ClientOptions, FleetOutcome, FleetSpec, LiveClient};
-pub use histogram::LatencyHistogram;
-pub use server::{serve_channel, serve_tcp, ChannelConnector, ServerHandle};
+pub use client::{run_fleet, scrape_stats, ClientOptions, FleetOutcome, FleetSpec, LiveClient};
+pub use regemu_obs::LatencyHistogram;
+pub use server::{node_stats, serve_channel, serve_tcp, ChannelConnector, ServerHandle};
 pub use transport::{ChannelTransport, ServeError, TcpTransport, Transport};
 
 /// Convenient glob import of the most frequently used items.
 pub mod prelude {
-    pub use crate::client::{run_fleet, ClientOptions, FleetOutcome, FleetSpec, LiveClient};
-    pub use crate::histogram::LatencyHistogram;
-    pub use crate::server::{serve_channel, serve_tcp, ChannelConnector, ServerHandle};
+    pub use crate::client::{
+        run_fleet, scrape_stats, ClientOptions, FleetOutcome, FleetSpec, LiveClient,
+    };
+    pub use crate::server::{node_stats, serve_channel, serve_tcp, ChannelConnector, ServerHandle};
     pub use crate::transport::{ChannelTransport, ServeError, TcpTransport, Transport};
+    pub use regemu_obs::LatencyHistogram;
 }

@@ -12,8 +12,9 @@
 //! tests and doc examples.
 
 use crate::transport::{ChannelTransport, ServeError, Transport};
-use regemu_core::wire::{FaultCode, WireMsg};
+use regemu_core::wire::{FaultCode, NodeStats, WireMsg};
 use regemu_fpsm::{BaseOp, NodeError, ObjectError, ObjectId, ServerNode};
+use regemu_obs::{Counter, Gauge};
 use regemu_workloads::conform::{ConformRecord, LowOpKind, CONFORM_HEADER};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener};
@@ -27,6 +28,42 @@ use std::time::Duration;
 /// the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
 
+/// Per-server telemetry handles into the global `regemu-obs` registry.
+///
+/// The counters live under `serve.server<N>.*` so a multi-node process (the
+/// loopback tests boot several) keeps each server's tallies apart. Handles
+/// are resolved once at boot and shared by every connection handler; the
+/// wire-visible [`NodeStats`] frame is a plain read of these atomics plus
+/// the state lock's clock, so scraping never perturbs request handling.
+struct NodeMetrics {
+    requests: Arc<Counter>,
+    responses: Arc<Counter>,
+    faults: Arc<Counter>,
+    in_flight: Arc<Gauge>,
+}
+
+impl NodeMetrics {
+    fn for_server(index: usize) -> Arc<NodeMetrics> {
+        let registry = regemu_obs::global();
+        Arc::new(NodeMetrics {
+            requests: registry.counter(&format!("serve.server{index}.requests")),
+            responses: registry.counter(&format!("serve.server{index}.responses")),
+            faults: registry.counter(&format!("serve.server{index}.faults")),
+            in_flight: registry.gauge(&format!("serve.server{index}.in_flight")),
+        })
+    }
+
+    fn stats(&self, applied: u64) -> NodeStats {
+        NodeStats {
+            requests: self.requests.get(),
+            responses: self.responses.get(),
+            faults: self.faults.get(),
+            in_flight: self.in_flight.get().max(0) as u64,
+            applied,
+        }
+    }
+}
+
 /// Mutable server state shared by all connection handlers.
 struct ServerState {
     node: ServerNode,
@@ -35,6 +72,8 @@ struct ServerState {
     /// Conformance log sink; `respond` lines are flushed as they happen so a
     /// killed process still leaves a parseable log.
     log: Option<std::fs::File>,
+    /// Telemetry handles shared with every connection handler.
+    metrics: Arc<NodeMetrics>,
 }
 
 impl ServerState {
@@ -100,6 +139,13 @@ impl ServerHandle {
         self.state.lock().expect("server state poisoned").clock
     }
 
+    /// A point-in-time [`NodeStats`] snapshot — the same frame the server
+    /// sends on the wire for a [`WireMsg::StatsQuery`].
+    pub fn stats(&self) -> NodeStats {
+        let state = self.state.lock().expect("server state poisoned");
+        state.metrics.stats(state.clock)
+    }
+
     /// Asks the accept loop and every connection handler to stop.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
@@ -124,6 +170,12 @@ impl ServerHandle {
     }
 }
 
+/// A point-in-time [`NodeStats`] snapshot of a running server — free-function
+/// form of [`ServerHandle::stats`] for callers holding only a reference.
+pub fn node_stats(handle: &ServerHandle) -> NodeStats {
+    handle.stats()
+}
+
 fn open_log(path: &Path) -> Result<std::fs::File, ServeError> {
     let mut file = std::fs::File::create(path)?;
     writeln!(file, "{CONFORM_HEADER}")?;
@@ -136,14 +188,33 @@ fn handle_connection<T: Transport>(
     state: &Arc<Mutex<ServerState>>,
     shutdown: &AtomicBool,
 ) {
+    let metrics = Arc::clone(&state.lock().expect("server state poisoned").metrics);
     while !shutdown.load(Ordering::SeqCst) {
         match transport.recv_timeout(POLL) {
             Ok(Some(WireMsg::Request { op_id, object, op })) => {
+                metrics.requests.incr();
+                // Raised before taking the state lock so the gauge counts
+                // requests queued behind the linearization point too.
+                metrics.in_flight.add(1);
                 let reply = state
                     .lock()
                     .expect("server state poisoned")
                     .apply_request(op_id, object, &op);
+                metrics.in_flight.add(-1);
+                match &reply {
+                    WireMsg::Fault { .. } => metrics.faults.incr(),
+                    _ => metrics.responses.incr(),
+                }
                 if transport.send(&reply).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(WireMsg::StatsQuery)) => {
+                let stats = {
+                    let state = state.lock().expect("server state poisoned");
+                    state.metrics.stats(state.clock)
+                };
+                if transport.send(&WireMsg::StatsReply { stats }).is_err() {
                     return;
                 }
             }
@@ -161,10 +232,12 @@ fn make_state(node: ServerNode, log: Option<&Path>) -> Result<Arc<Mutex<ServerSt
         Some(path) => Some(open_log(path)?),
         None => None,
     };
+    let metrics = NodeMetrics::for_server(node.server().index());
     Ok(Arc::new(Mutex::new(ServerState {
         node,
         clock: 0,
         log,
+        metrics,
     })))
 }
 
@@ -359,6 +432,34 @@ mod tests {
             }
         );
         assert_eq!(handle.applied(), 0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn stats_query_reports_node_counters_without_dropping_the_connection() {
+        let (_t, node) = one_register_node();
+        let (handle, connector) = serve_channel(node, None).unwrap();
+        let mut conn = connector.connect().unwrap();
+        conn.send(&request(1, 0, BaseOp::Write(Value::new(1, 3))))
+            .unwrap();
+        assert!(matches!(recv(&mut conn), WireMsg::Response { .. }));
+        // Object 9 is not hosted: a fault, counted separately.
+        conn.send(&request(2, 9, BaseOp::Read)).unwrap();
+        assert!(matches!(recv(&mut conn), WireMsg::Fault { .. }));
+        conn.send(&WireMsg::StatsQuery).unwrap();
+        let WireMsg::StatsReply { stats } = recv(&mut conn) else {
+            panic!("expected a stats reply");
+        };
+        // Counter names are global per server index, so parallel tests may
+        // also bump them; assert lower bounds plus the per-handle clock.
+        assert_eq!(stats.applied, 1);
+        assert!(stats.requests >= 2);
+        assert!(stats.responses >= 1);
+        assert!(stats.faults >= 1);
+        assert_eq!(node_stats(&handle).applied, 1);
+        // The connection is still usable after a stats exchange.
+        conn.send(&request(3, 0, BaseOp::Read)).unwrap();
+        assert!(matches!(recv(&mut conn), WireMsg::Response { .. }));
         handle.join().unwrap();
     }
 

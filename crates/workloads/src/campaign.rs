@@ -686,16 +686,20 @@ pub fn run_shard(spool: &Path, shard: usize, threads: usize) -> Result<ShardRang
     let range = entry.range;
 
     let mut results: Vec<CaseResult> = Vec::with_capacity(range.len());
-    let progress = shard_progress_path(spool, shard);
-    let _ = fs::write(&progress, format!("0 {}\n", range.len()));
+    // Progress files and heartbeats are advisory: a failed write must not
+    // fail the shard. The writer warns once per shard and counts failures
+    // into the heartbeat so the dashboard can surface a sick spool disk.
+    let mut beat = crate::status::HeartbeatWriter::new(spool, shard, "sweep", entry.attempts);
+    beat.write_progress(0, range.len());
+    beat.publish(0, range.len() as u64);
     let mut at = range.start;
     while at < range.end {
         let to = (at + PROGRESS_CHUNK).min(range.end);
         let chunk = run_sweep_range(&config, at, to);
         results.extend(chunk.results().iter().cloned());
         at = to;
-        // Progress is advisory: a failed write must not fail the shard.
-        let _ = fs::write(&progress, format!("{} {}\n", at - range.start, range.len()));
+        beat.write_progress(at - range.start, range.len());
+        beat.publish((at - range.start) as u64, range.len() as u64);
     }
 
     let report = crate::sweep::SweepReport::from_results(results);
@@ -710,31 +714,40 @@ pub fn run_shard(spool: &Path, shard: usize, threads: usize) -> Result<ShardRang
 /// A minimal JSON value — just enough to read back the reports this crate
 /// writes (the offline serde shim cannot deserialize, so the campaign
 /// layer parses its own output format).
-enum Json {
+pub(crate) enum Json {
     Null,
     Bool(bool),
     Num(u64),
+    Float(f64),
     Str(String),
     Arr(Vec<Json>),
     Obj(Vec<(String, Json)>),
 }
 
 impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
         match self {
             Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
 
-    fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Json::Num(n) => Some(*n),
             _ => None,
         }
     }
 
-    fn as_str(&self) -> Option<&str> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
             _ => None,
@@ -750,13 +763,13 @@ impl Json {
     }
 }
 
-struct JsonParser<'a> {
+pub(crate) struct JsonParser<'a> {
     bytes: &'a [u8],
     at: usize,
 }
 
 impl<'a> JsonParser<'a> {
-    fn new(text: &'a str) -> Self {
+    pub(crate) fn new(text: &'a str) -> Self {
         JsonParser {
             bytes: text.as_bytes(),
             at: 0,
@@ -799,7 +812,7 @@ impl<'a> JsonParser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    pub(crate) fn value(&mut self) -> Result<Json, String> {
         match self.peek()? {
             b'{' => self.object(),
             b'[' => self.array(),
@@ -932,10 +945,25 @@ impl<'a> JsonParser<'a> {
         while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
             self.at += 1;
         }
+        // Heartbeat files carry fractional rates; report files never do.
+        let fractional = self.bytes.get(self.at) == Some(&b'.')
+            && self.bytes.get(self.at + 1).is_some_and(u8::is_ascii_digit);
+        if fractional {
+            self.at += 1;
+            while self.bytes.get(self.at).is_some_and(u8::is_ascii_digit) {
+                self.at += 1;
+            }
+        }
         let text = std::str::from_utf8(&self.bytes[start..self.at]).expect("digits are ASCII");
-        text.parse()
-            .map(Json::Num)
-            .map_err(|_| format!("bad number {text:?}"))
+        if fractional {
+            text.parse()
+                .map(Json::Float)
+                .map_err(|_| format!("bad number {text:?}"))
+        } else {
+            text.parse()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?}"))
+        }
     }
 }
 
@@ -1290,14 +1318,20 @@ pub fn run_campaign(
             };
             loop {
                 // Top up the worker pool. A spawn failure must not leak the
-                // workers already running.
-                while running.len() < options.workers.max(1) {
+                // workers already running. In-flight workers are capped by
+                // the remaining `exit_after` budget so a pause request can
+                // never be overtaken by shards finishing in the same poll
+                // window — `--exit-after N` pauses deterministically.
+                while running.len() < options.workers.max(1)
+                    && shards_run + running.len() < exit_after
+                {
                     let Some(shard) = queue.pop_front() else {
                         break;
                     };
                     manifest.shards[shard].attempts += 1;
                     manifest.store(spool)?;
-                    let spawned = Command::new(bin)
+                    let mut command = Command::new(bin);
+                    command
                         .arg("--spool")
                         .arg(spool)
                         .arg("--shard")
@@ -1305,8 +1339,13 @@ pub fn run_campaign(
                         .arg("--threads")
                         .arg(options.worker_threads.to_string())
                         .stdin(Stdio::null())
-                        .stdout(Stdio::null())
-                        .spawn();
+                        .stdout(Stdio::null());
+                    if options.quiet {
+                        // Quiet coordinators silence their workers' progress
+                        // chatter too (errors still reach stderr).
+                        command.env("REGEMU_LOG", "off");
+                    }
+                    let spawned = command.spawn();
                     match spawned {
                         Ok(child) => running.push((shard, child)),
                         Err(e) => {

@@ -718,7 +718,13 @@ pub fn run_fuzz_shard_gen(spool: &Path, shard: usize, gen: usize) -> Result<(), 
          streams {} {}\n",
         entry.range.start, entry.range.end
     );
-    for stream in entry.range.start..entry.range.end {
+    // Heartbeats are advisory observer artifacts; the unit's report below
+    // stays a pure function of the spool state at the generation barrier.
+    let mut beat = crate::status::HeartbeatWriter::new(spool, shard, "fuzz", entry.attempts);
+    let (mut iterations, mut corpus_entries) = (0u64, 0u64);
+    beat.set_fuzz_progress(gen as u64, iterations, corpus_entries);
+    beat.publish(0, entry.range.len() as u64);
+    for (streams_done, stream) in (entry.range.start..entry.range.end).enumerate() {
         let outcome = run_stream_generation(spool, &config, stream, gen)?;
         report.push_str(&format!(
             "stream {stream} iterations {} corpus {} failures {}\n",
@@ -726,6 +732,10 @@ pub fn run_fuzz_shard_gen(spool: &Path, shard: usize, gen: usize) -> Result<(), 
             outcome.corpus_added,
             outcome.failures.len()
         ));
+        iterations += outcome.iterations as u64;
+        corpus_entries += outcome.corpus_added as u64;
+        beat.set_fuzz_progress(gen as u64, iterations, corpus_entries);
+        beat.publish(streams_done as u64 + 1, entry.range.len() as u64);
     }
     report.push_str("end\n");
     write_atomically(&fuzz_shard_report_path(spool, shard, gen), &report)
@@ -1035,8 +1045,10 @@ fn spawn_unit(
     spool: &Path,
     shard: usize,
     gen: usize,
+    quiet: bool,
 ) -> Result<std::process::Child, String> {
-    Command::new(bin)
+    let mut command = Command::new(bin);
+    command
         .arg("--spool")
         .arg(spool)
         .arg("--shard")
@@ -1044,7 +1056,13 @@ fn spawn_unit(
         .arg("--gen")
         .arg(gen.to_string())
         .stdin(Stdio::null())
-        .stdout(Stdio::null())
+        .stdout(Stdio::null());
+    if quiet {
+        // Quiet coordinators silence their workers' progress chatter too
+        // (errors still reach stderr).
+        command.env("REGEMU_LOG", "off");
+    }
+    command
         .spawn()
         .map_err(|e| format!("cannot spawn worker {}: {e}", bin.display()))
 }
@@ -1200,7 +1218,7 @@ pub fn run_fuzz_campaign(
                         };
                         manifest.shards[shard].attempts += 1;
                         manifest.store(spool)?;
-                        match spawn_unit(bin, spool, shard, gen) {
+                        match spawn_unit(bin, spool, shard, gen, options.quiet) {
                             Ok(child) => running.push((shard, child)),
                             Err(reason) => {
                                 ctx.settle(&mut manifest, &mut queue, shard, Err(reason))?

@@ -76,6 +76,7 @@ pub mod fuzz;
 pub mod generator;
 pub mod runner;
 pub mod scenario;
+pub mod status;
 pub mod sweep;
 pub mod table;
 
@@ -94,6 +95,10 @@ pub use fuzz::{
 pub use generator::{Issuer, Workload, WorkloadOp};
 pub use runner::{CheckCoverage, ConsistencyCheck, RunReport};
 pub use scenario::{drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec};
+pub use status::{
+    campaign_status, detect_spool_kind, render_status, stats_path, CampaignStatusReport,
+    ShardHealth, ShardHeartbeat, ShardStatusView, SpoolKind,
+};
 pub use sweep::{
     run_sweep, run_sweep_range, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport,
     WorkloadSpec,
@@ -119,6 +124,10 @@ pub mod prelude {
     pub use crate::runner::{CheckCoverage, ConsistencyCheck, RunReport};
     pub use crate::scenario::{
         drive, CrashPlanSpec, RecordingModeSpec, Scenario, ScenarioRun, SchedulerSpec,
+    };
+    pub use crate::status::{
+        campaign_status, detect_spool_kind, render_status, stats_path, CampaignStatusReport,
+        ShardHealth, ShardHeartbeat, ShardStatusView, SpoolKind,
     };
     pub use crate::sweep::{
         run_sweep, run_sweep_range, CaseResult, EmulationKind, SweepCase, SweepConfig, SweepReport,

@@ -27,7 +27,11 @@
 //! * [`serve`] — the live replicated-register service: the same client and
 //!   server state machines over in-process channels or TCP
 //!   ([`serve::LiveClient`], [`serve::serve_tcp`]), with load generation and
-//!   simulator-backed conformance checking of recorded histories.
+//!   simulator-backed conformance checking of recorded histories;
+//! * [`obs`] — the zero-dependency telemetry registry (counters, gauges,
+//!   histograms, scope timers, renderable [`obs::Snapshot`]s) every
+//!   subsystem reports through, under the non-perturbation contract:
+//!   telemetry never changes behaviour or deterministic artifacts.
 //!
 //! See the `examples/` directory for runnable end-to-end scenarios and the
 //! `regemu-bench` crate for the binaries that regenerate every table and
@@ -75,6 +79,7 @@ pub use regemu_adversary as adversary;
 pub use regemu_bounds as bounds;
 pub use regemu_core as core;
 pub use regemu_fpsm as fpsm;
+pub use regemu_obs as obs;
 pub use regemu_serve as serve;
 pub use regemu_spec as spec;
 pub use regemu_workloads as workloads;
